@@ -1,0 +1,203 @@
+// Benchmark harness: one benchmark per reproduced table/figure
+// (experiments E1–E19; see DESIGN.md for the index). Each benchmark
+// executes its experiment on the calibrated default platform and
+// reports the headline scalar(s) as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every number EXPERIMENTS.md records. Metrics named
+// %...  are percentages; x... are ratios.
+package shortcutmining
+
+import (
+	"fmt"
+	"testing"
+)
+
+// runExp executes an experiment once per benchmark iteration and
+// returns the last result for metric reporting.
+func runExp(b *testing.B, id string) ExperimentResult {
+	b.Helper()
+	var res ExperimentResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = RunExperiment(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return res
+}
+
+func report(b *testing.B, res ExperimentResult, metric, unit string, scale float64) {
+	if v, ok := res.Metrics[metric]; ok {
+		b.ReportMetric(v*scale, unit)
+	} else {
+		b.Fatalf("experiment %s has no metric %q", res.ID, metric)
+	}
+}
+
+func BenchmarkE1_ShortcutShare(b *testing.B) {
+	res := runExp(b, "E1")
+	report(b, res, "share/resnet34", "%share-r34", 100)
+	report(b, res, "share/resnet152", "%share-r152", 100)
+	report(b, res, "share/squeezenet-bypass", "%share-sq", 100)
+}
+
+func BenchmarkE2_ResourceModel(b *testing.B) {
+	res := runExp(b, "E2")
+	report(b, res, "crossbarOverhead", "%xbar-of-design", 100)
+}
+
+func BenchmarkE3_TrafficReduction(b *testing.B) {
+	res := runExp(b, "E3")
+	report(b, res, "reduction/squeezenet-bypass", "%red-sq(53.3)", 100)
+	report(b, res, "reduction/resnet34", "%red-r34(58)", 100)
+	report(b, res, "reduction/resnet152", "%red-r152(43)", 100)
+}
+
+func BenchmarkE4_Throughput(b *testing.B) {
+	res := runExp(b, "E4")
+	report(b, res, "speedup/geomean", "x-geomean(1.93)", 1)
+	report(b, res, "speedup/resnet34", "x-r34", 1)
+}
+
+func BenchmarkE5_StageBreakdown(b *testing.B) {
+	res := runExp(b, "E5")
+	report(b, res, "stage/layer1", "%red-layer1", 100)
+	report(b, res, "stage/layer4", "%red-layer4", 100)
+}
+
+func BenchmarkE6_BufferSweep(b *testing.B) {
+	res := runExp(b, "E6")
+	report(b, res, "red/resnet34/256", "%red-r34@256K", 100)
+	report(b, res, "red/resnet34/1024", "%red-r34@1M", 100)
+	report(b, res, "red/resnet34/4096", "%red-r34@4M", 100)
+}
+
+func BenchmarkE7_Energy(b *testing.B) {
+	res := runExp(b, "E7")
+	report(b, res, "dram/resnet34", "%dram-energy-r34", 100)
+	report(b, res, "total/resnet34", "%total-energy-r34", 100)
+}
+
+func BenchmarkE8_Ablation(b *testing.B) {
+	res := runExp(b, "E8")
+	report(b, res, "red/1/resnet34", "%P2-r34", 100)
+	report(b, res, "red/2/resnet34", "%P2P3-r34", 100)
+	report(b, res, "red/3/resnet34", "%P2P3P4-r34", 100)
+}
+
+func BenchmarkE9_ShortcutSpan(b *testing.B) {
+	res := runExp(b, "E9")
+	report(b, res, "pinned/1", "banks-pinned-span1", 1)
+	report(b, res, "pinned/8", "banks-pinned-span8", 1)
+}
+
+func BenchmarkE10_FPGAOverhead(b *testing.B) {
+	res := runExp(b, "E10")
+	report(b, res, "overhead/34", "%xbar@34banks", 100)
+	report(b, res, "overhead/128", "%xbar@128banks", 100)
+}
+
+func BenchmarkE11_Batch(b *testing.B) {
+	res := runExp(b, "E11")
+	report(b, res, "speedup/1", "x-batch1", 1)
+	report(b, res, "speedup/8", "x-batch8", 1)
+}
+
+func BenchmarkE12_Precision(b *testing.B) {
+	res := runExp(b, "E12")
+	report(b, res, "red/fixed8/resnet34", "%red-r34-fx8", 100)
+	report(b, res, "red/float32/resnet34", "%red-r34-fp32", 100)
+}
+
+func BenchmarkE13_Concat(b *testing.B) {
+	res := runExp(b, "E13")
+	report(b, res, "red/squeezenet", "%red-plain-sq", 100)
+	report(b, res, "red/densechain", "%red-dense", 100)
+}
+
+// BenchmarkSimulate measures raw simulator performance per strategy on
+// ResNet-152, the largest zoo network — the cost of one design-space
+// point, relevant when sweeping configurations.
+func BenchmarkSimulate(b *testing.B) {
+	net, err := BuildNetwork("resnet152")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	for _, s := range []Strategy{Baseline, FMReuse, SCM} {
+		b.Run(fmt.Sprint(s), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Simulate(net, cfg, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVerifyFunctional measures the functional-verification mode
+// (real data through the buffer machinery) on a mid-size synthetic
+// network.
+func BenchmarkVerifyFunctional(b *testing.B) {
+	net, err := BuildShortcutSpanNet(4, 3, 8, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig().WithPoolBytes(64 << 10)
+	for i := 0; i < b.N; i++ {
+		if _, err := VerifyFunctional(net, cfg, SCM.Features(), 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE14_ModernNetworks(b *testing.B) {
+	res := runExp(b, "E14")
+	report(b, res, "red/mobilenetv2", "%red-mbv2", 100)
+	report(b, res, "red/googlenet", "%red-googlenet", 100)
+}
+
+func BenchmarkE15_EvictionPolicy(b *testing.B) {
+	res := runExp(b, "E15")
+	report(b, res, "delta/resnet34/256", "%delta-r34@256K", 100)
+	report(b, res, "delta/resnet152/768", "%delta-r152@768K", 100)
+}
+
+func BenchmarkE16_BandwidthSensitivity(b *testing.B) {
+	res := runExp(b, "E16")
+	report(b, res, "speedup/resnet34/0.5", "x-r34@0.5GBps", 1)
+	report(b, res, "speedup/resnet34/12.8", "x-r34@12.8GBps", 1)
+}
+
+func BenchmarkE17_FusedLayerComparison(b *testing.B) {
+	res := runExp(b, "E17")
+	report(b, res, "ratio/resnet34", "x-fused-over-scm-r34", 1)
+	report(b, res, "ratio/squeezenet-bypass", "x-fused-over-scm-sq", 1)
+}
+
+func BenchmarkE18_StreamingRecycle(b *testing.B) {
+	res := runExp(b, "E18")
+	report(b, res, "gain/resnet152/128", "%gain-r152@128K", 100)
+	report(b, res, "gain/resnet34/256", "%gain-r34@256K", 100)
+}
+
+func BenchmarkE19_TimingFidelity(b *testing.B) {
+	res := runExp(b, "E19")
+	report(b, res, "speedup-simple/resnet34", "x-r34-simple", 1)
+	report(b, res, "speedup-detailed/resnet34", "x-r34-detailed", 1)
+}
+
+func BenchmarkE20_BankGranularity(b *testing.B) {
+	res := runExp(b, "E20")
+	report(b, res, "red/resnet34/17", "%red-r34@17banks", 100)
+	report(b, res, "red/resnet34/272", "%red-r34@272banks", 100)
+}
+
+func BenchmarkE21_Portability(b *testing.B) {
+	res := runExp(b, "E21")
+	report(b, res, "red/vc707/resnet34", "%red-r34-vc707", 100)
+	report(b, res, "speedup/half-scale/resnet34", "x-r34-half", 1)
+}

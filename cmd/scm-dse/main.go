@@ -1,0 +1,83 @@
+// Command scm-dse explores the accelerator design space for a target
+// network: it enumerates pool/PE/bandwidth candidates, checks FPGA
+// feasibility, simulates each under Shortcut Mining, and prints the
+// Pareto frontier over throughput, energy, and SRAM capacity.
+//
+// Usage:
+//
+//	scm-dse -net resnet34
+//	scm-dse -net resnet152 -all       # every point, not just the frontier
+//	scm-dse -net squeezenet-bypass -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"shortcutmining"
+
+	"shortcutmining/internal/core"
+	"shortcutmining/internal/dse"
+	"shortcutmining/internal/fpga"
+)
+
+func main() {
+	var (
+		netName = flag.String("net", "resnet34", "target network")
+		all     = flag.Bool("all", false, "print every evaluated point, not just the frontier")
+		csv     = flag.Bool("csv", false, "emit CSV")
+	)
+	flag.Parse()
+
+	net, err := shortcutmining.BuildNetwork(*netName)
+	if err != nil {
+		fatal(err)
+	}
+	outcomes, err := dse.Explore(net, core.Default(), dse.DefaultSpace(), fpga.VC709())
+	if err != nil {
+		fatal(err)
+	}
+	rows := dse.ParetoFront(outcomes)
+	label := "Pareto frontier"
+	if *all {
+		rows = outcomes
+		label = "all points"
+	}
+
+	if *csv {
+		fmt.Println("point,fits,throughput_img_s,fmap_mib,energy_mj,sram_kib,bram_util,dsp_util")
+		for _, o := range rows {
+			fmt.Printf("%s,%v,%.2f,%.2f,%.3f,%d,%.2f,%.2f\n",
+				o.Point, o.Fits, o.Throughput, float64(o.FmapTraffic)/(1<<20),
+				o.EnergyMJ, o.SRAMKiB, o.BRAMUtil, o.DSPUtil)
+		}
+		return
+	}
+	fmt.Printf("%s for %s (%d points evaluated, %d feasible)\n\n",
+		label, net.Name, len(outcomes), countFits(outcomes))
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "point\tfits\timg/s\tfmap MiB\tenergy mJ\tSRAM KiB\tBRAM\tDSP")
+	for _, o := range rows {
+		fmt.Fprintf(w, "%s\t%v\t%.2f\t%.2f\t%.3f\t%d\t%.0f%%\t%.0f%%\n",
+			o.Point, o.Fits, o.Throughput, float64(o.FmapTraffic)/(1<<20),
+			o.EnergyMJ, o.SRAMKiB, 100*o.BRAMUtil, 100*o.DSPUtil)
+	}
+	w.Flush()
+}
+
+func countFits(outcomes []dse.Outcome) int {
+	n := 0
+	for _, o := range outcomes {
+		if o.Fits {
+			n++
+		}
+	}
+	return n
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scm-dse:", err)
+	os.Exit(1)
+}

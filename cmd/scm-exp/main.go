@@ -1,0 +1,65 @@
+// Command scm-exp regenerates the paper's tables and figures
+// (experiments E1–E19; see DESIGN.md for the index). EXPERIMENTS.md is
+// produced by running the full suite.
+//
+// Usage:
+//
+//	scm-exp               # run the whole suite, markdown to stdout
+//	scm-exp -e E3         # one experiment
+//	scm-exp -e E6 -csv    # machine-readable tables
+//	scm-exp -pool-kib 1024
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"shortcutmining"
+)
+
+func main() {
+	var (
+		id      = flag.String("e", "", "experiment ID (E1–E20); empty runs the whole suite")
+		csv     = flag.Bool("csv", false, "emit CSV instead of markdown")
+		poolKiB = flag.Int64("pool-kib", 0, "override feature-map pool capacity (KiB)")
+		list    = flag.Bool("list", false, "list experiment IDs and titles")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, eid := range shortcutmining.ExperimentIDs() {
+			title, _, err := shortcutmining.ExperimentInfo(eid)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "scm-exp:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-4s %s\n", eid, title)
+		}
+		return
+	}
+
+	cfg := shortcutmining.DefaultConfig()
+	if *poolKiB > 0 {
+		cfg = cfg.WithPoolBytes(*poolKiB << 10)
+	}
+
+	ids := shortcutmining.ExperimentIDs()
+	if *id != "" {
+		ids = []string{*id}
+	}
+	for _, eid := range ids {
+		res, err := shortcutmining.RunExperimentWith(eid, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scm-exp:", err)
+			os.Exit(1)
+		}
+		if *csv {
+			for _, t := range res.Tables {
+				fmt.Printf("# %s: %s\n%s\n", res.ID, t.Title, t.CSV())
+			}
+			continue
+		}
+		fmt.Println(res.Markdown())
+	}
+}

@@ -1,0 +1,61 @@
+// Command scm-nets inspects the model zoo: per-network shortcut
+// structure (the motivation numbers of experiment E1) and, with -net,
+// the full layer listing.
+//
+// Usage:
+//
+//	scm-nets                      # characteristics of every zoo network
+//	scm-nets -net resnet34        # layer-by-layer dump
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"shortcutmining"
+)
+
+func main() {
+	netName := flag.String("net", "", "dump one network's layers instead of the catalog")
+	flag.Parse()
+
+	if *netName != "" {
+		dump(*netName)
+		return
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "network\tconv\tfc\tshortcut edges\tmax span\tMACs (G)\tparams (M)\tshortcut share")
+	for _, name := range shortcutmining.NetworkNames() {
+		net, err := shortcutmining.BuildNetwork(name)
+		if err != nil {
+			fatal(err)
+		}
+		ch := shortcutmining.Characterize(net, shortcutmining.Fixed16)
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%.2f\t%.2f\t%.1f%%\n",
+			name, ch.ConvLayers, ch.FCLayers, ch.ShortcutEdges, ch.MaxSpan,
+			float64(ch.TotalMACs)/1e9, float64(ch.TotalWeightsBytes)/2e6,
+			100*ch.ShortcutShare)
+	}
+	w.Flush()
+}
+
+func dump(name string) {
+	net, err := shortcutmining.BuildNetwork(name)
+	if err != nil {
+		fatal(err)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "#\tlayer\tkind\tstage\tinputs\toutput\tMACs")
+	for _, l := range net.Layers {
+		fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%v\t%v\t%d\n",
+			l.Index, l.Name, l.Kind, l.Stage, l.Inputs, l.Out, l.MACs())
+	}
+	w.Flush()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scm-nets:", err)
+	os.Exit(1)
+}

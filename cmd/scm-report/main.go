@@ -1,0 +1,41 @@
+// Command scm-report regenerates EXPERIMENTS.md: the paper-vs-measured
+// scorecard with computed verdicts followed by the full experiment
+// suite output.
+//
+// Usage:
+//
+//	scm-report                     # to stdout
+//	scm-report -o EXPERIMENTS.md   # rewrite the committed document
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"shortcutmining/internal/core"
+	"shortcutmining/internal/report"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := report.Generate(w, core.Default()); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scm-report:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+// Command scm-trace dumps the scheduler's buffer-management decisions
+// — logical buffer formation, role switches, pins, spills, refills,
+// bank recycling — as JSON lines (default) or human-readable text.
+//
+// Usage:
+//
+//	scm-trace -net resnet34 -strategy scm            # JSONL to stdout
+//	scm-trace -net squeezenet-bypass -human | less
+//	scm-trace -net resnet152 -kinds pin,spill,recycle
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"shortcutmining"
+
+	"shortcutmining/internal/core"
+	"shortcutmining/internal/trace"
+)
+
+func main() {
+	var (
+		netName   = flag.String("net", "resnet34", "model zoo network")
+		strategy  = flag.String("strategy", "scm", "baseline | fm-reuse | scm")
+		human     = flag.Bool("human", false, "one-line text instead of JSONL")
+		kinds     = flag.String("kinds", "", "comma-separated event kinds to keep (default all)")
+		occupancy = flag.Bool("occupancy", false, "render a bank-occupancy timeline instead of events")
+	)
+	flag.Parse()
+
+	net, err := shortcutmining.BuildNetwork(*netName)
+	if err != nil {
+		fatal(err)
+	}
+	s, err := core.ParseStrategy(*strategy)
+	if err != nil {
+		fatal(err)
+	}
+	keep := map[trace.Kind]bool{}
+	for _, k := range strings.Split(*kinds, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			keep[trace.Kind(k)] = true
+		}
+	}
+
+	cfg := shortcutmining.DefaultConfig()
+	var buf trace.Buffer
+	if _, err := core.Simulate(net, cfg, s, &buf); err != nil {
+		fatal(err)
+	}
+	if *occupancy {
+		total := cfg.Pool.NumBanks
+		for _, p := range trace.Timeline(buf.Events) {
+			bars := 0
+			if total > 0 {
+				bars = p.UsedBanks * 40 / total
+			}
+			fmt.Printf("%-24s |%-40s| %2d/%d banks\n", p.Layer, strings.Repeat("#", bars), p.UsedBanks, total)
+		}
+		return
+	}
+	jsonl := trace.NewJSONL(os.Stdout)
+	for _, e := range buf.Events {
+		if len(keep) > 0 && !keep[e.Kind] {
+			continue
+		}
+		if *human {
+			fmt.Println(trace.Describe(e))
+			continue
+		}
+		jsonl.Record(e)
+	}
+	if err := jsonl.Err(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scm-trace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,68 @@
+package shortcutmining_test
+
+import (
+	"fmt"
+
+	"shortcutmining"
+)
+
+// The headline workflow: compare the conventional baseline against
+// Shortcut Mining on a zoo network.
+func ExampleSimulate() {
+	net, err := shortcutmining.BuildNetwork("resnet34")
+	if err != nil {
+		panic(err)
+	}
+	cfg := shortcutmining.DefaultConfig()
+	base, err := shortcutmining.Simulate(net, cfg, shortcutmining.Baseline)
+	if err != nil {
+		panic(err)
+	}
+	scm, err := shortcutmining.Simulate(net, cfg, shortcutmining.SCM)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("reduction %.1f%%, speedup %.2fx\n",
+		100*scm.TrafficReductionVs(base), scm.SpeedupVs(base))
+	// Output: reduction 68.8%, speedup 1.80x
+}
+
+// Characterize exposes the motivation numbers: how much of a network's
+// feature-map traffic is shortcut data.
+func ExampleCharacterize() {
+	net, err := shortcutmining.BuildNetwork("resnet152")
+	if err != nil {
+		panic(err)
+	}
+	ch := shortcutmining.Characterize(net, shortcutmining.Fixed16)
+	fmt.Printf("%d shortcut edges, %.1f%% of traffic\n",
+		ch.ShortcutEdges, 100*ch.ShortcutShare)
+	// Output: 54 shortcut edges, 34.6% of traffic
+}
+
+// Custom topologies go through NetworkBuilder and simulate like any
+// zoo network.
+func ExampleNewNetworkBuilder() {
+	b := shortcutmining.NewNetworkBuilder("block", shortcutmining.Shape{C: 8, H: 16, W: 16})
+	x := b.Conv("c1", b.InputName(), 8, 3, 1, 1)
+	y := b.Conv("c2", x, 8, 3, 1, 1)
+	b.Add("residual", x, y)
+	net, err := b.Finish()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(net.Layers), "layers,", net.Output().Out)
+	// Output: 4 layers, 8x16x16
+}
+
+// Experiments regenerate the paper's tables programmatically.
+func ExampleRunExperiment() {
+	res, err := shortcutmining.RunExperiment("E9")
+	if err != nil {
+		panic(err)
+	}
+	// Pinned banks are identical at span 1 and span 8: retention
+	// across any number of intermediate layers is free.
+	fmt.Println(res.Metrics["pinned/1"] == res.Metrics["pinned/8"])
+	// Output: true
+}

@@ -1,0 +1,37 @@
+// Quickstart: build a zoo network, simulate the conventional baseline
+// and Shortcut Mining on the calibrated platform, and print the
+// headline comparison — the 30-second tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shortcutmining"
+)
+
+func main() {
+	net, err := shortcutmining.BuildNetwork("resnet34")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := shortcutmining.DefaultConfig()
+
+	base, err := shortcutmining.Simulate(net, cfg, shortcutmining.Baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scm, err := shortcutmining.Simulate(net, cfg, shortcutmining.SCM)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("network:              %s\n", net.Name)
+	fmt.Printf("baseline fmap bytes:  %.1f MiB\n", float64(base.FmapTrafficBytes())/(1<<20))
+	fmt.Printf("scm fmap bytes:       %.1f MiB\n", float64(scm.FmapTrafficBytes())/(1<<20))
+	fmt.Printf("traffic reduction:    %.1f%%\n", 100*scm.TrafficReductionVs(base))
+	fmt.Printf("throughput:           %.1f → %.1f img/s (%.2fx)\n",
+		base.Throughput(), scm.Throughput(), scm.SpeedupVs(base))
+	fmt.Printf("banks recycled (P4):  %d\n", scm.BanksRecycled)
+	fmt.Printf("peak pinned banks:    %d\n", scm.PeakPinnedBanks)
+}

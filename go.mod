@@ -1,0 +1,3 @@
+module shortcutmining
+
+go 1.22

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"shortcutmining/internal/tensor"
+)
+
+func TestDecodeConfigJSONPartialOverridesDefaults(t *testing.T) {
+	src := `{"Pool": {"NumBanks": 64, "BankBytes": 16384}, "Batch": 4, "DType": "fixed8"}`
+	cfg, err := DecodeConfigJSON(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Pool.NumBanks != 64 || cfg.Batch != 4 || cfg.DType != tensor.Fixed8 {
+		t.Errorf("overrides lost: %+v", cfg)
+	}
+	// Untouched fields keep calibrated defaults.
+	def := Default()
+	if cfg.PE != def.PE || cfg.WeightBufBytes != def.WeightBufBytes {
+		t.Errorf("defaults clobbered: %+v", cfg)
+	}
+}
+
+func TestDecodeConfigJSONValidates(t *testing.T) {
+	if _, err := DecodeConfigJSON(strings.NewReader(`{"Batch": 0}`)); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := DecodeConfigJSON(strings.NewReader(`{"Bogus": 1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := DecodeConfigJSON(strings.NewReader(`{`)); err == nil {
+		t.Error("malformed json accepted")
+	}
+	if _, err := DecodeConfigJSON(strings.NewReader(`{"DType": 16}`)); err == nil {
+		t.Error("numeric dtype accepted")
+	}
+}
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	orig := Default()
+	orig.Batch = 3
+	orig.Eviction = EvictFarthest
+	orig.DType = tensor.Float32
+	var buf bytes.Buffer
+	if err := EncodeConfigJSON(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"float32"`) {
+		t.Errorf("dtype not encoded as string:\n%s", buf.String())
+	}
+	back, err := DecodeConfigJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != orig {
+		t.Errorf("round trip changed config:\n%+v\n%+v", orig, back)
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+
+	"shortcutmining/internal/dram"
+	"shortcutmining/internal/nn"
+	"shortcutmining/internal/trace"
+)
+
+// TestPerLayerTrafficSumsToRunTotals pins the accounting identity the
+// reports rely on: the run's traffic is exactly the sum of its layers'
+// (at batch 1; batch scales the totals, not the per-layer slices).
+func TestPerLayerTrafficSumsToRunTotals(t *testing.T) {
+	cfg := Default()
+	for _, name := range []string{"resnet34", "squeezenet-bypass", "googlenet", "densenet121"} {
+		net := nn.MustBuild(name)
+		for _, s := range Strategies() {
+			r, err := Simulate(net, cfg, s, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sum dram.Traffic
+			var cycles int64
+			for _, l := range r.Layers {
+				sum.Add(l.Traffic)
+				cycles += l.Cycles
+			}
+			if sum != r.Traffic {
+				t.Errorf("%s/%v: Σ layer traffic %v != run traffic %v", name, s, sum, r.Traffic)
+			}
+			if cycles != r.TotalCycles {
+				t.Errorf("%s/%v: Σ layer cycles %d != run cycles %d", name, s, cycles, r.TotalCycles)
+			}
+		}
+	}
+}
+
+// TestOccupancyTimelineBoundedByPeak: the layer-end occupancy timeline
+// never exceeds the pool's tracked peak (the peak may be higher —
+// it includes intra-layer transients).
+func TestOccupancyTimelineBoundedByPeak(t *testing.T) {
+	var buf trace.Buffer
+	net := nn.MustBuild("resnet34")
+	r, err := Simulate(net, Default(), SCM, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := trace.Timeline(buf.Events)
+	if len(tl) != len(net.Layers) {
+		t.Fatalf("timeline has %d points for %d layers", len(tl), len(net.Layers))
+	}
+	maxEnd := 0
+	for _, p := range tl {
+		if p.UsedBanks > maxEnd {
+			maxEnd = p.UsedBanks
+		}
+	}
+	if maxEnd > r.PeakUsedBanks {
+		t.Errorf("timeline max %d exceeds tracked peak %d", maxEnd, r.PeakUsedBanks)
+	}
+	if maxEnd == 0 {
+		t.Error("timeline shows an empty pool throughout an SCM run")
+	}
+	// The final layer leaves the pool empty.
+	if tl[len(tl)-1].UsedBanks != 0 {
+		t.Errorf("pool not empty at the end: %d banks", tl[len(tl)-1].UsedBanks)
+	}
+}
+
+// TestReusedPlusDramCoversInputs: for every executed layer, the bytes
+// served on chip plus the bytes fetched from DRAM must cover the
+// layer's input footprint (DRAM may exceed its share through halo
+// re-reads, never undershoot it).
+func TestReusedPlusDramCoversInputs(t *testing.T) {
+	cfg := Default()
+	net := nn.MustBuild("resnet34")
+	r, err := Simulate(net, cfg, SCM, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ls := range r.Layers {
+		if ls.Kind == "input" || ls.Kind == "concat" {
+			continue
+		}
+		l := net.Layer(ls.Name)
+		var inBytes int64
+		for _, s := range l.In {
+			inBytes += s.Bytes(cfg.DType)
+		}
+		dramIn := ls.Traffic[dram.ClassIFMRead] + ls.Traffic[dram.ClassSpillRead] + ls.Traffic[dram.ClassShortcutRead]
+		if ls.ReusedInputBytes+dramIn < inBytes {
+			t.Errorf("%s: reused %d + dram %d < input footprint %d",
+				ls.Name, ls.ReusedInputBytes, dramIn, inBytes)
+		}
+	}
+}
+
+// TestLivenessPeakPredictsPerfectReuse ties the static analysis to the
+// scheduler: a pool that covers nn.AnalyzeLiveness's live peak (plus
+// bank-rounding slack and the streaming reserve) must let SCM serve
+// every internal edge on chip, leaving exactly the input image read
+// and the final output write as feature-map traffic.
+func TestLivenessPeakPredictsPerfectReuse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("zoo-wide liveness sweep skipped in -short mode")
+	}
+	for _, name := range nn.ZooNames() {
+		net := nn.MustBuild(name)
+		cfg := Default()
+		cfg.Pool.BankBytes = 4 << 10
+		lv := nn.AnalyzeLiveness(net, cfg.DType)
+		// Slack: every concurrently live fmap may waste up to one bank.
+		slack := int64(len(net.Layers)) * int64(cfg.Pool.BankBytes)
+		reserve := int64(cfg.ReserveBanks) * int64(cfg.Pool.BankBytes)
+		cfg = cfg.WithPoolBytes(lv.LivePeak + slack + reserve)
+
+		r, err := Simulate(net, cfg, SCM, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		d := cfg.DType
+		want := net.Input().Out.Bytes(d) + net.Output().Out.Bytes(d)
+		got := r.FmapTrafficBytes()
+		// Upper tolerance: one burst per DRAM transfer. Lower: the
+		// strided DMA may legitimately skip image boundary rows a
+		// pad-0 stem never touches (e.g. SqueezeNet reads 223 of 224).
+		in := net.Input().Out
+		rowBytes := int64(in.W) * int64(in.C) * int64(d.Bytes())
+		if got > want+2*int64(cfg.DRAM.BurstBytes) || got < want-4*rowBytes {
+			t.Errorf("%s: fmap traffic %d, want ≈image+result %d (pool %d)",
+				name, got, want, cfg.Pool.TotalBytes())
+		}
+		if r.Traffic[dram.ClassSpillWrite] != 0 || r.Traffic[dram.ClassShortcutRead] != 0 {
+			t.Errorf("%s: spills/shortcut reads at liveness-peak capacity", name)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"testing"
+
+	"shortcutmining/internal/nn"
+	"shortcutmining/internal/sram"
+	"shortcutmining/internal/tensor"
+)
+
+// TestFuzzRandomNetworksAnalytical runs generator networks through
+// every strategy at several pool sizes and checks the global
+// invariants: simulations succeed, traffic ordering holds, weights are
+// strategy-independent, and the pool is returned intact (enforced
+// inside finish).
+func TestFuzzRandomNetworksAnalytical(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		net := nn.RandomNetwork(seed)
+		for _, banks := range []int{8, 16, 64} {
+			cfg := Default()
+			cfg.Pool = sram.Config{NumBanks: banks, BankBytes: 1 << 10}
+			cfg.ReserveBanks = 2
+			cfg.WeightBufBytes = 1 << 20
+
+			base, err := Simulate(net, cfg, Baseline, nil)
+			if err != nil {
+				t.Fatalf("seed %d banks %d baseline: %v", seed, banks, err)
+			}
+			fmr, err := Simulate(net, cfg, FMReuse, nil)
+			if err != nil {
+				t.Fatalf("seed %d banks %d fm-reuse: %v", seed, banks, err)
+			}
+			scm, err := Simulate(net, cfg, SCM, nil)
+			if err != nil {
+				t.Fatalf("seed %d banks %d scm: %v", seed, banks, err)
+			}
+			b, f, s := base.FmapTrafficBytes(), fmr.FmapTrafficBytes(), scm.FmapTrafficBytes()
+			if !(f <= b && s <= b) {
+				t.Fatalf("seed %d banks %d: ordering vs baseline violated scm=%d fmr=%d base=%d (%s)",
+					seed, banks, s, f, b, net.Name)
+			}
+			// scm ≤ fm-reuse holds on realistic configurations (tested
+			// strictly on the zoo at the default platform) but is NOT a
+			// theorem: at degenerate pool sizes, pinned shortcut banks
+			// can displace intermediate outputs whose spilled re-reads
+			// carry halo overhead, costing slightly more than the
+			// shortcut re-fetch they save (see DESIGN.md, Limitations;
+			// the E15 eviction policy mitigates). Allow that pathology a
+			// bounded margin.
+			if float64(s) > 1.15*float64(f) {
+				t.Fatalf("seed %d banks %d: scm=%d far above fmr=%d (%s)",
+					seed, banks, s, f, net.Name)
+			}
+			if base.Traffic[2] != scm.Traffic[2] { // ClassWeightRead
+				t.Fatalf("seed %d: weight traffic differs across strategies", seed)
+			}
+		}
+	}
+}
+
+// TestFuzzRandomNetworksFunctional is the deepest randomized check:
+// real data through the buffer machinery for generator networks under
+// tight pools, verified bit-exactly at every consumption point.
+func TestFuzzRandomNetworksFunctional(t *testing.T) {
+	if testing.Short() {
+		t.Skip("functional fuzzing skipped in -short mode")
+	}
+	for seed := int64(0); seed < 120; seed++ {
+		net := nn.RandomNetwork(seed)
+		for _, banks := range []int{6, 12, 40} {
+			cfg := Default()
+			cfg.Pool = sram.Config{NumBanks: banks, BankBytes: 1 << 10}
+			cfg.ReserveBanks = 2
+			cfg.WeightBufBytes = 1 << 20
+			for _, s := range Strategies() {
+				if _, err := VerifyFunctional(net, cfg, s.Features(), seed); err != nil {
+					t.Fatalf("seed %d banks %d %v: %v", seed, banks, s, err)
+				}
+			}
+		}
+	}
+}
+
+// TestModernNetworksSimulate covers the extension zoo (depthwise
+// convolutions, inception concats) end to end on the default platform.
+func TestModernNetworksSimulate(t *testing.T) {
+	cfg := Default()
+	for _, name := range []string{"mobilenetv2", "googlenet"} {
+		net := nn.MustBuild(name)
+		base, err := Simulate(net, cfg, Baseline, nil)
+		if err != nil {
+			t.Fatalf("%s baseline: %v", name, err)
+		}
+		scm, err := Simulate(net, cfg, SCM, nil)
+		if err != nil {
+			t.Fatalf("%s scm: %v", name, err)
+		}
+		if scm.FmapTrafficBytes() >= base.FmapTrafficBytes() {
+			t.Errorf("%s: no reduction (%d vs %d)", name, scm.FmapTrafficBytes(), base.FmapTrafficBytes())
+		}
+		if scm.Throughput() < base.Throughput() {
+			t.Errorf("%s: SCM slower", name)
+		}
+	}
+}
+
+// TestFunctionalInvertedResidual verifies data integrity through a
+// MobileNetV2-style block (expand → depthwise → project → add) under
+// pressure — the depthwise grouped datapath joins the machinery here.
+func TestFunctionalInvertedResidual(t *testing.T) {
+	bb := nn.NewBuilder("ires", tensor.Shape{C: 8, H: 12, W: 12})
+	x := bb.Conv("stem", bb.InputName(), 8, 3, 1, 1)
+	y := bb.Conv("expand", x, 48, 1, 1, 0)
+	y = bb.GroupedConv("dw", y, 48, 3, 1, 1, 48)
+	y = bb.Conv("project", y, 8, 1, 1, 0)
+	sum := bb.Add("add", x, y)
+	bb.Conv("head", sum, 8, 1, 1, 0)
+	net, err := bb.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, banks := range []int{8, 16, 64} {
+		cfg := Default()
+		cfg.Pool = sram.Config{NumBanks: banks, BankBytes: 1 << 10}
+		cfg.ReserveBanks = 2
+		cfg.WeightBufBytes = 1 << 20
+		if _, err := VerifyFunctional(net, cfg, SCM.Features(), 5); err != nil {
+			t.Fatalf("banks %d: %v", banks, err)
+		}
+	}
+}
+
+func TestDenseNet121SimulatesUnderAllStrategies(t *testing.T) {
+	// The deepest multi-consumer workload: 535 shortcut edges, spans
+	// up to 71 layers. Every strategy must complete with a clean pool
+	// and the usual ordering.
+	net := nn.MustBuild("densenet121")
+	cfg := Default()
+	base, err := Simulate(net, cfg, Baseline, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmr, err := Simulate(net, cfg, FMReuse, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scm, err := Simulate(net, cfg, SCM, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, f, s := base.FmapTrafficBytes(), fmr.FmapTrafficBytes(), scm.FmapTrafficBytes()
+	if !(s <= f && f <= b) {
+		t.Errorf("ordering violated: %d / %d / %d", s, f, b)
+	}
+	if s >= b {
+		t.Error("no reduction on densenet121")
+	}
+}
+
+func TestShuffleNetSimulatesAndVerifies(t *testing.T) {
+	// The shuffle op end to end: analytical ordering on the real
+	// network, bit-exact functional verification on a scaled-down
+	// shuffle unit under pressure.
+	net := nn.MustBuild("shufflenetv1")
+	cfg := Default()
+	base, err := Simulate(net, cfg, Baseline, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scm, err := Simulate(net, cfg, SCM, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scm.FmapTrafficBytes() >= base.FmapTrafficBytes() {
+		t.Error("no reduction on shufflenetv1")
+	}
+
+	b := nn.NewBuilder("mini-shuffle", tensor.Shape{C: 12, H: 12, W: 12})
+	x := b.Conv("stem", b.InputName(), 12, 3, 1, 1)
+	y := b.GroupedConv("g1", x, 12, 1, 1, 0, 3)
+	y = b.Shuffle("sh", y, 3)
+	y = b.GroupedConv("dw", y, 12, 3, 1, 1, 12)
+	y = b.GroupedConv("g2", y, 12, 1, 1, 0, 3)
+	sum := b.Add("add", x, y)
+	b.Conv("head", sum, 8, 1, 1, 0)
+	mini, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, banks := range []int{6, 12, 48} {
+		c := Default()
+		c.Pool = sram.Config{NumBanks: banks, BankBytes: 1 << 10}
+		c.ReserveBanks = 2
+		c.WeightBufBytes = 1 << 20
+		for _, s := range Strategies() {
+			if _, err := VerifyFunctional(mini, c, s.Features(), 11); err != nil {
+				t.Fatalf("banks %d %v: %v", banks, s, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"shortcutmining/internal/dram"
+	"shortcutmining/internal/nn"
+	"shortcutmining/internal/tiling"
+)
+
+// The detailed timing mode replaces the per-layer max(compute, mem)
+// approximation with a tile-level pipeline: tiles stream through
+// load → compute → store stages with double-buffered inputs (a tile's
+// load may start once the tile two positions earlier has released its
+// buffer), loads and stores sharing the feature-map channel, weights
+// arriving on their own channel. Pipeline fill, drain, and stage
+// imbalance bubbles appear naturally, so detailed cycles are never
+// below the simple model's.
+
+// scaledTile is one pipeline step in cycles.
+type scaledTile struct {
+	load, weight, store float64 // channel-occupancy cycles
+	compute             float64
+}
+
+// pipelineCycles computes the layer's makespan under detailed timing.
+// delta is the DRAM traffic the layer actually generated; the plan's
+// per-tile byte counts are scaled down to it, so resident data that
+// never touched DRAM does not occupy the channel. Returns 0 when the
+// layer has no tile structure (the caller keeps the simple model).
+func (e *executor) pipelineCycles(l *nn.Layer, plan tiling.Plan, delta dram.Traffic) int64 {
+	tiles := plan.Tiles(e.cfg.DType)
+	if len(tiles) == 0 {
+		return 0
+	}
+	clock := e.cfg.PE.ClockMHz
+	fmapBPC := e.cfg.DRAM.BandwidthGBps * 1e9 / (clock * 1e6)
+	weightBPC := fmapBPC
+	if e.cfg.WeightBandwidthGBps > 0 {
+		weightBPC = e.cfg.WeightBandwidthGBps * 1e9 / (clock * 1e6)
+	}
+
+	actualLoad := float64(delta[dram.ClassIFMRead] + delta[dram.ClassSpillRead] + delta[dram.ClassShortcutRead])
+	actualStore := float64(delta[dram.ClassOFMWrite] + delta[dram.ClassSpillWrite])
+	actualWeights := float64(delta[dram.ClassWeightRead])
+
+	var planLoad, planStore, planWeights float64
+	var totalRows int
+	for _, t := range tiles {
+		planLoad += float64(t.LoadBytes)
+		planStore += float64(t.StoreBytes)
+		planWeights += float64(t.WeightBytes)
+		totalRows += t.Rows
+	}
+	frac := func(actual, planned float64) float64 {
+		if planned <= 0 {
+			return 0
+		}
+		return actual / planned
+	}
+	fLoad, fStore, fWeights := frac(actualLoad, planLoad), frac(actualStore, planStore), frac(actualWeights, planWeights)
+	compute := float64(e.cfg.PE.LayerCycles(l))
+
+	steps := make([]scaledTile, len(tiles))
+	for i, t := range tiles {
+		steps[i] = scaledTile{
+			load:    float64(t.LoadBytes) * fLoad / fmapBPC,
+			weight:  float64(t.WeightBytes) * fWeights / weightBPC,
+			store:   float64(t.StoreBytes) * fStore / fmapBPC,
+			compute: compute * float64(t.Rows) / float64(totalRows),
+		}
+	}
+	return makespan(steps)
+}
+
+// makespan schedules the tile pipeline and returns its length in
+// cycles (rounded up). Loads have channel priority (they gate
+// compute); stores queue and drain whenever the channel would
+// otherwise idle before the next permissible load.
+func makespan(tiles []scaledTile) int64 {
+	max := func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	var memFree, wFree float64 // channel availability
+	compDone := [2]float64{}   // compute completion of tiles i-1, i-2
+	var lastComp float64
+
+	type pendingStore struct{ ready, dur float64 }
+	var storeQ []pendingStore
+	drainBefore := func(deadline float64) {
+		for len(storeQ) > 0 {
+			start := max(memFree, storeQ[0].ready)
+			if start >= deadline {
+				return
+			}
+			memFree = start + storeQ[0].dur
+			storeQ = storeQ[1:]
+		}
+	}
+
+	for _, t := range tiles {
+		gate := compDone[1] // double buffering: tile i-2's buffer must be free
+		drainBefore(gate)   // use the wait for queued write-backs
+		loadDone := max(memFree, gate) + t.load
+		memFree = loadDone
+		wDone := max(wFree, gate) + t.weight
+		wFree = wDone
+
+		compStart := max(max(loadDone, wDone), compDone[0])
+		cd := compStart + t.compute
+		compDone[1], compDone[0] = compDone[0], cd
+		lastComp = cd
+		if t.store > 0 {
+			storeQ = append(storeQ, pendingStore{ready: cd, dur: t.store})
+		}
+	}
+	for _, s := range storeQ {
+		memFree = max(memFree, s.ready) + s.dur
+	}
+	end := max(max(lastComp, memFree), wFree)
+	n := int64(end)
+	if float64(n) < end {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"shortcutmining/internal/nn"
+)
+
+func TestMakespanSingleTile(t *testing.T) {
+	// One tile: strictly sequential load → compute → store.
+	got := makespan([]scaledTile{{load: 10, weight: 5, store: 3, compute: 7}})
+	// compute starts at max(load=10, weight=5) = 10, ends 17; store
+	// ends 20.
+	if got != 20 {
+		t.Errorf("makespan = %d, want 20", got)
+	}
+}
+
+func TestMakespanPerfectOverlap(t *testing.T) {
+	// Compute-bound tiles: after the first load, compute never stalls.
+	tiles := make([]scaledTile, 4)
+	for i := range tiles {
+		tiles[i] = scaledTile{load: 2, compute: 10, store: 1}
+	}
+	// Fill (2) + 4×10 compute; stores hide under compute except the
+	// final one (1). Loads of later tiles hide entirely.
+	got := makespan(tiles)
+	if got != 2+40+1 {
+		t.Errorf("makespan = %d, want 43", got)
+	}
+}
+
+func TestMakespanMemoryBound(t *testing.T) {
+	// Memory-bound tiles: the fmap channel serializes loads+stores.
+	tiles := make([]scaledTile, 4)
+	for i := range tiles {
+		tiles[i] = scaledTile{load: 10, compute: 1, store: 10}
+	}
+	got := makespan(tiles)
+	// Channel moves 4×20 = 80 cycles of data; makespan is at least
+	// that, plus the trailing compute dependency structure.
+	if got < 80 {
+		t.Errorf("makespan = %d, below channel occupancy 80", got)
+	}
+	if got > 95 {
+		t.Errorf("makespan = %d, pipeline overhead implausibly large", got)
+	}
+}
+
+func TestMakespanAtLeastBothBounds(t *testing.T) {
+	tiles := []scaledTile{
+		{load: 5, weight: 2, store: 3, compute: 9},
+		{load: 7, weight: 0, store: 2, compute: 4},
+		{load: 1, weight: 1, store: 6, compute: 8},
+	}
+	var mem, comp, w float64
+	for _, t := range tiles {
+		mem += t.load + t.store
+		comp += t.compute
+		w += t.weight
+	}
+	got := float64(makespan(tiles))
+	if got < mem || got < comp || got < w {
+		t.Errorf("makespan %f below a resource bound (mem %f comp %f w %f)", got, mem, comp, w)
+	}
+}
+
+func TestDetailedTimingNeverFasterAndTrafficIdentical(t *testing.T) {
+	for _, name := range []string{"resnet34", "squeezenet-bypass", "vgg16"} {
+		net := nn.MustBuild(name)
+		for _, s := range Strategies() {
+			simple, err := Simulate(net, Default(), s, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := Default()
+			cfg.DetailedTiming = true
+			detailed, err := Simulate(net, cfg, s, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if detailed.Traffic != simple.Traffic {
+				t.Errorf("%s/%v: detailed timing changed traffic", name, s)
+			}
+			if detailed.TotalCycles < simple.TotalCycles {
+				t.Errorf("%s/%v: detailed cycles %d below simple %d",
+					name, s, detailed.TotalCycles, simple.TotalCycles)
+			}
+			// The pipeline model should stay within 2× of the ideal
+			// overlap bound — it adds bubbles, not pathologies.
+			if detailed.TotalCycles > 2*simple.TotalCycles {
+				t.Errorf("%s/%v: detailed cycles %d more than 2× simple %d",
+					name, s, detailed.TotalCycles, simple.TotalCycles)
+			}
+		}
+	}
+}
+
+func TestDetailedTimingPreservesSpeedupStory(t *testing.T) {
+	cfg := Default()
+	cfg.DetailedTiming = true
+	net := nn.MustBuild("resnet34")
+	base, err := Simulate(net, cfg, Baseline, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scm, err := Simulate(net, cfg, SCM, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp := scm.SpeedupVs(base); sp < 1.3 {
+		t.Errorf("speedup under detailed timing = %.2f, story collapsed", sp)
+	}
+}

@@ -1,0 +1,652 @@
+package core
+
+import (
+	"fmt"
+
+	"shortcutmining/internal/dram"
+	"shortcutmining/internal/nn"
+	"shortcutmining/internal/sram"
+	"shortcutmining/internal/stats"
+	"shortcutmining/internal/tiling"
+	"shortcutmining/internal/trace"
+)
+
+// Simulate executes the network on the platform under the canonical
+// feature set of the strategy and returns the run statistics. rec may
+// be nil when no trace is wanted.
+func Simulate(net *nn.Network, cfg Config, strat Strategy, rec trace.Recorder) (stats.RunStats, error) {
+	run, err := SimulateFeatures(net, cfg, strat.Features(), rec)
+	if err != nil {
+		return run, err
+	}
+	run.Strategy = strat.String()
+	return run, nil
+}
+
+// SimulateFeatures executes the network with an explicit feature set —
+// the ablation entry point (experiment E8). The canonical strategies
+// are Simulate's Baseline/FMReuse/SCM.
+func SimulateFeatures(net *nn.Network, cfg Config, feat Features, rec trace.Recorder) (stats.RunStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return stats.RunStats{}, err
+	}
+	if err := net.Validate(); err != nil {
+		return stats.RunStats{}, err
+	}
+	e, err := newExecutor(cfg)
+	if err != nil {
+		return stats.RunStats{}, err
+	}
+	if rec != nil {
+		e.rec = &trace.Stamper{R: rec}
+	}
+	e.net = net
+	e.feat = feat
+	e.cp = buildConsumptionPlan(net)
+	e.residents = make([]*resident, len(net.Layers))
+	e.run = stats.RunStats{
+		Network:  net.Name,
+		Strategy: featureLabel(feat),
+		Batch:    cfg.Batch,
+		ClockMHz: cfg.PE.ClockMHz,
+	}
+	for _, l := range net.Layers {
+		if err := e.execLayer(l); err != nil {
+			return stats.RunStats{}, fmt.Errorf("core: %s: layer %s: %w", net.Name, l.Name, err)
+		}
+	}
+	return e.finish()
+}
+
+// featureLabel names an ad-hoc feature set for reports.
+func featureLabel(f Features) string {
+	switch f {
+	case Baseline.Features():
+		return Baseline.String()
+	case FMReuse.Features():
+		return FMReuse.String()
+	case SCM.Features():
+		return SCM.String()
+	}
+	s := "custom["
+	if f.RoleSwitch {
+		s += "P2"
+	}
+	if f.ShortcutRetention {
+		s += "+P3"
+	}
+	if f.IncrementalRecycle {
+		s += "+P4"
+	}
+	if f.PartialRetention {
+		s += "+P5"
+	}
+	if f.StreamingRecycle {
+		s += "+SR"
+	}
+	return s + "]"
+}
+
+type executor struct {
+	net  *nn.Network
+	cfg  Config
+	feat Features
+	pool *sram.Pool
+	ch   *dram.Channel
+	rec  *trace.Stamper
+	cp   consumptionPlan
+	fn   *funcState // non-nil in functional-verification mode
+
+	residents []*resident
+	run       stats.RunStats
+}
+
+// newExecutor builds the platform half of an executor (pool, channel,
+// nop trace); callers fill in the network, features, and plan.
+func newExecutor(cfg Config) (*executor, error) {
+	pool, err := sram.NewPool(cfg.Pool)
+	if err != nil {
+		return nil, err
+	}
+	ch, err := dram.NewChannel(cfg.DRAM)
+	if err != nil {
+		return nil, err
+	}
+	return &executor{cfg: cfg, pool: pool, ch: ch, rec: &trace.Stamper{R: trace.Nop{}}}, nil
+}
+
+func (e *executor) bankBytes() int64 { return int64(e.cfg.Pool.BankBytes) }
+
+// planBudget derives the buffer capacity the tiling planner may
+// assume. The baseline's physical buffers are a static four-way split
+// of the same SRAM (input/output × ping/pong) — the inflexibility the
+// logical-buffer abstraction removes. Under role switching, the
+// resident input serves as the input buffer and the free pool backs
+// the streaming buffers.
+func (e *executor) planBudget(l *nn.Layer) tiling.Budget {
+	if !e.feat.RoleSwitch {
+		q := e.cfg.Pool.TotalBytes() / 4
+		return tiling.Budget{IBuf: q, OBuf: q, WBuf: e.cfg.WeightBufBytes}
+	}
+	free := e.pool.FreeBytes()
+	var inOnChip int64
+	for _, p := range uniqueInts(e.cp.sources[l.Index]) {
+		inOnChip += e.residents[p].onChip
+	}
+	return tiling.Budget{IBuf: inOnChip + free, OBuf: free, WBuf: e.cfg.WeightBufBytes}
+}
+
+// readClass labels a DRAM read feeding layer l from producer p.
+func (e *executor) readClass(p int, l *nn.Layer) dram.Class {
+	switch {
+	case p == 0:
+		return dram.ClassIFMRead // the input image lives in DRAM
+	case l.Index-p > 1:
+		return dram.ClassShortcutRead
+	case e.feat.RoleSwitch:
+		return dram.ClassSpillRead // would have been reused; capacity spill
+	default:
+		return dram.ClassIFMRead
+	}
+}
+
+// recyclable is an operand buffer whose consumed prefix can be
+// released into the current layer's output, keeping `keep` banks as a
+// live margin (zero for element-wise streams, a sliding window for
+// conv/pool under the StreamingRecycle extension).
+type recyclable struct {
+	buf  *sram.Buffer
+	keep int
+}
+
+// recyclables returns the operand buffers the layer may consume
+// bank-by-bank while producing its output. For an element-wise add
+// this is procedure P4 proper: every operand making its final pass,
+// released to zero. Under the StreamingRecycle extension a windowed
+// layer may do the same with its input, provided the tiling makes a
+// single monotone pass (no output-channel grouping, which would
+// re-stream the input) and a window-sized margin survives.
+func (e *executor) recyclables(l *nn.Layer, distinct []int, plan tiling.Plan) []recyclable {
+	finalPass := func(p int) *resident {
+		r := e.residents[p]
+		if r.consumersLeft == 1 && r.buf != nil && !r.buf.Freed() && !r.buf.Pinned() {
+			return r
+		}
+		return nil
+	}
+	switch {
+	case l.Kind == nn.OpEltwiseAdd && e.feat.IncrementalRecycle:
+		var out []recyclable
+		for _, p := range distinct {
+			if r := finalPass(p); r != nil {
+				out = append(out, recyclable{buf: r.buf})
+			}
+		}
+		return out
+	case (l.Kind == nn.OpConv || l.Kind == nn.OpPool) && e.feat.StreamingRecycle:
+		if plan.OutGroups != 1 || plan.InGroups != 1 {
+			return nil
+		}
+		var out []recyclable
+		for _, p := range distinct {
+			r := finalPass(p)
+			if r == nil {
+				continue
+			}
+			// Sliding-window margin: k+stride input rows.
+			in := l.In[0]
+			marginBytes := int64(l.K+l.Stride) * int64(in.W) * int64(in.C) * int64(e.cfg.DType.Bytes())
+			keep := int((marginBytes + e.bankBytes() - 1) / e.bankBytes())
+			if keep < 1 {
+				keep = 1
+			}
+			if r.buf.NumBanks() > keep {
+				out = append(out, recyclable{buf: r.buf, keep: keep})
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// nextUseAfter returns the index of the first layer after i that reads
+// producer p's feature map, or a sentinel past the network when none
+// does.
+func (e *executor) nextUseAfter(p, i int) int {
+	for j := i + 1; j < len(e.net.Layers); j++ {
+		for _, s := range e.cp.sources[j] {
+			if s == p {
+				return j
+			}
+		}
+	}
+	return len(e.net.Layers) + 1
+}
+
+// evictOneBank implements the EvictFarthest policy: spill one tail
+// bank of the pinned feature map whose next use is farthest in the
+// future, provided it is farther than the output's own next use
+// (otherwise eviction would be a strict loss). Inputs of the current
+// layer are untouchable — they are being read right now.
+func (e *executor) evictOneBank(l *nn.Layer, distinct []int, outNext int) (bool, error) {
+	best, bestNext := -1, outNext
+	for p, r := range e.residents {
+		if r == nil || r.buf == nil || r.buf.Freed() || !r.buf.Pinned() {
+			continue
+		}
+		current := false
+		for _, d := range distinct {
+			if d == p {
+				current = true
+				break
+			}
+		}
+		if current {
+			continue
+		}
+		if nu := e.nextUseAfter(p, l.Index); nu > bestNext {
+			best, bestNext = p, nu
+		}
+	}
+	if best < 0 {
+		return false, nil
+	}
+	r := e.residents[best]
+	if err := e.pool.Unpin(r.buf); err != nil {
+		return false, err
+	}
+	if err := e.pool.ReleaseTailBanks(r.buf, 1); err != nil {
+		return false, err
+	}
+	newOnChip := r.onChip
+	if r.buf.Freed() {
+		newOnChip = 0
+	} else if c := r.buf.CapacityBytes(); newOnChip > c {
+		newOnChip = c
+	}
+	if delta := r.onChip - newOnChip; delta > 0 {
+		e.ch.Transfer(dram.ClassSpillWrite, delta)
+		e.rec.Record(trace.Event{Kind: trace.KindSpill, Layer: l.Name,
+			Tag: e.net.Layers[best].Name, Bytes: delta, Note: "evict-farthest"})
+	}
+	r.onChip = newOnChip
+	if r.buf.Freed() {
+		r.buf = nil
+	} else if err := e.pool.Pin(r.buf); err != nil {
+		return false, err
+	}
+	if e.fn != nil {
+		e.fn.evict(e, best, r)
+	}
+	return true, nil
+}
+
+// allocOutput forms the retained output buffer, growing bank by bank
+// and recycling consumed operand banks when the free pool (minus the
+// streaming reserve) runs out — and, under the EvictFarthest policy,
+// spilling colder pinned data. It returns the buffer (nil when nothing
+// could be retained), the retained bytes, and the recycled bank count.
+func (e *executor) allocOutput(l *nn.Layer, want int64, recycle []recyclable, distinct []int) (*sram.Buffer, int64, int64, error) {
+	if !e.feat.PartialRetention {
+		capacity := e.pool.FreeBytes() - int64(e.cfg.ReserveBanks)*e.bankBytes()
+		for _, rb := range recycle {
+			capacity += rb.buf.CapacityBytes() - int64(rb.keep)*e.bankBytes()
+		}
+		if capacity < want {
+			return nil, 0, 0, nil // all-or-nothing: retain nothing
+		}
+	}
+	var (
+		buf      *sram.Buffer
+		got      int64
+		recycled int64
+	)
+	for got < want {
+		if e.pool.FreeBanks() > e.cfg.ReserveBanks {
+			chunk := want - got
+			if chunk > e.bankBytes() {
+				chunk = e.bankBytes()
+			}
+			if buf == nil {
+				b, err := e.pool.Alloc(sram.RoleOutput, l.Name, chunk)
+				if err != nil {
+					return nil, 0, 0, err
+				}
+				buf = b
+				got += chunk
+			} else {
+				added, err := e.pool.Grow(buf, chunk)
+				if err != nil {
+					return nil, 0, 0, err
+				}
+				if added == 0 {
+					break
+				}
+				got += added
+			}
+			continue
+		}
+		released := false
+		for _, rb := range recycle {
+			if !rb.buf.Freed() && rb.buf.NumBanks() > rb.keep {
+				if err := e.pool.ReleaseBanks(rb.buf, 1); err != nil {
+					return nil, 0, 0, err
+				}
+				recycled++
+				released = true
+				break
+			}
+		}
+		if !released && e.cfg.Eviction == EvictFarthest && e.feat.ShortcutRetention {
+			var err error
+			released, err = e.evictOneBank(l, distinct, e.nextUseAfter(l.Index, l.Index))
+			if err != nil {
+				return nil, 0, 0, err
+			}
+		}
+		if !released {
+			break
+		}
+	}
+	if recycled > 0 {
+		e.rec.Record(trace.Event{Kind: trace.KindRecycle, Layer: l.Name, Banks: int(recycled)})
+	}
+	if buf != nil {
+		e.rec.Record(trace.Event{Kind: trace.KindAlloc, Layer: l.Name, Tag: l.Name,
+			Role: sram.RoleOutput.String(), Banks: buf.NumBanks(), Bytes: got})
+	}
+	return buf, got, recycled, nil
+}
+
+// captureSpilled retains (a prefix of) producer p's feature map after
+// it streamed through the current layer, when it still has consumers
+// ahead and no on-chip home. Only leftover capacity beyond the
+// streaming reserve is used.
+func (e *executor) captureSpilled(l *nn.Layer, p int) error {
+	r := e.residents[p]
+	// Capture only genuine fan-out (≥2 consumers ahead): holding banks
+	// for a single far consumer is the retention-pressure gamble the
+	// E15 policy study examines, not a clear win.
+	if r == nil || r.buf != nil || r.consumersLeft < 2 || r.onChip > 0 {
+		return nil
+	}
+	budget := e.pool.FreeBytes() - int64(e.cfg.ReserveBanks)*e.bankBytes()
+	want := r.total
+	if !e.feat.PartialRetention && budget < want {
+		return nil
+	}
+	if want > budget {
+		want = budget
+	}
+	if want <= 0 {
+		return nil
+	}
+	buf, err := e.pool.Alloc(sram.RoleRetained, e.net.Layers[p].Name, want)
+	if err != nil {
+		return err
+	}
+	r.buf = buf
+	r.onChip = want
+	if err := e.pool.Pin(buf); err != nil {
+		return err
+	}
+	e.rec.Record(trace.Event{Kind: trace.KindPin, Layer: l.Name, Tag: buf.Tag(),
+		Banks: buf.NumBanks(), Bytes: want, Note: "capture"})
+	if e.fn != nil {
+		g := e.fn.golden[p]
+		buf.Payload = g[:want/4]
+	}
+	return nil
+}
+
+func (e *executor) execLayer(l *nn.Layer) error {
+	e.rec.Record(trace.Event{Kind: trace.KindLayerStart, Layer: l.Name})
+	d := e.cfg.DType
+
+	if l.Kind == nn.OpInput {
+		total := l.Out.Bytes(d)
+		e.residents[0] = &resident{
+			producer: 0, total: total, spilled: total,
+			consumersLeft: e.cp.consumers[0], lastUse: e.cp.lastUse[0],
+		}
+		if e.fn != nil {
+			e.fn.produceInput(e, l)
+		}
+		e.run.Layers = append(e.run.Layers, stats.LayerStats{Name: l.Name, Kind: l.Kind.String(), Stage: l.Stage})
+		e.rec.Record(trace.Event{Kind: trace.KindLayerEnd, Layer: l.Name})
+		return nil
+	}
+	if l.Kind == nn.OpConcat {
+		// Transparent: concatenation is bank/address layout; its
+		// sources are consumed directly by the concat's readers.
+		if e.fn != nil {
+			if err := e.fn.computeGolden(e, l); err != nil {
+				return err
+			}
+		}
+		e.run.Layers = append(e.run.Layers, stats.LayerStats{Name: l.Name, Kind: l.Kind.String(), Stage: l.Stage})
+		e.rec.Record(trace.Event{Kind: trace.KindLayerEnd, Layer: l.Name})
+		return nil
+	}
+
+	before := e.ch.Traffic()
+	ls := stats.LayerStats{Name: l.Name, Kind: l.Kind.String(), Stage: l.Stage}
+
+	plan, err := tiling.ForLayer(l, d, e.planBudget(l))
+	if err != nil {
+		return err
+	}
+
+	srcs := e.cp.sources[l.Index]
+	distinct := uniqueInts(srcs)
+
+	// Operands at their final read are unpinned so the add can recycle
+	// their banks and the epilogue can free them.
+	for _, p := range distinct {
+		r := e.residents[p]
+		if r.consumersLeft == 1 && r.buf != nil && r.buf.Pinned() {
+			if err := e.pool.Unpin(r.buf); err != nil {
+				return err
+			}
+			e.rec.Record(trace.Event{Kind: trace.KindUnpin, Layer: l.Name, Tag: r.buf.Tag()})
+		}
+	}
+
+	if e.fn != nil {
+		if err := e.fn.verifyInputs(e, l, distinct); err != nil {
+			return err
+		}
+		if err := e.fn.computeGolden(e, l); err != nil {
+			return err
+		}
+	}
+
+	// Input traffic. The planner's IFM bytes embed the halo/group
+	// overhead factor for streamed data; resident bytes are free.
+	var inTotal int64
+	for _, s := range l.In {
+		inTotal += s.Bytes(d)
+	}
+	factor := 1.0
+	if inTotal > 0 {
+		factor = float64(plan.IFMReadBytes) / float64(inTotal)
+	}
+	for _, p := range srcs {
+		r := e.residents[p]
+		ls.ReusedInputBytes += r.onChip
+		if dp := r.dramBytes(); dp > 0 {
+			read := int64(float64(dp)*factor + 0.5)
+			class := e.readClass(p, l)
+			moved := e.ch.Transfer(class, read)
+			kind := trace.KindDRAM
+			if class == dram.ClassSpillRead || class == dram.ClassShortcutRead {
+				kind = trace.KindRefill
+			}
+			e.rec.Record(trace.Event{Kind: kind, Layer: l.Name,
+				Tag: e.net.Layers[p].Name, Class: class.String(), Bytes: moved})
+		}
+		if r.buf != nil && l.Index-p == 1 && r.buf.Role() != sram.RoleInput {
+			if err := e.pool.SetRole(r.buf, sram.RoleInput); err != nil {
+				return err
+			}
+			e.rec.Record(trace.Event{Kind: trace.KindRoleSwitch, Layer: l.Name, Tag: r.buf.Tag(),
+				Role: sram.RoleInput.String()})
+		}
+	}
+
+	e.ch.Transfer(dram.ClassWeightRead, plan.WeightReadBytes)
+
+	// Output placement.
+	outBytes := l.Out.Bytes(d)
+	consumers := e.cp.consumers[l.Index]
+	lastUse := e.cp.lastUse[l.Index]
+	out := &resident{producer: l.Index, total: outBytes, consumersLeft: consumers, lastUse: lastUse}
+
+	keep := e.feat.RoleSwitch && consumers > 0
+	fullCopy := !keep
+	if keep && !e.feat.ShortcutRetention && lastUse > l.Index+1 {
+		// Role switching alone can only hand data to the next layer;
+		// later consumers need a DRAM copy.
+		fullCopy = true
+	}
+	if keep {
+		recycle := e.recyclables(l, distinct, plan)
+		buf, got, recycled, err := e.allocOutput(l, outBytes, recycle, distinct)
+		if err != nil {
+			return err
+		}
+		out.buf = buf
+		out.onChip = got
+		ls.RecycledBanks = recycled
+		if fullCopy {
+			e.ch.Transfer(dram.ClassOFMWrite, outBytes)
+			out.spilled = outBytes
+		} else if got < outBytes {
+			spill := outBytes - got
+			e.ch.Transfer(dram.ClassSpillWrite, spill)
+			out.spilled = spill
+			ls.SpilledBytes = spill
+			e.rec.Record(trace.Event{Kind: trace.KindSpill, Layer: l.Name, Tag: l.Name, Bytes: spill,
+				Note: "partial retention"})
+		}
+	} else {
+		e.ch.Transfer(dram.ClassOFMWrite, outBytes)
+		out.spilled = outBytes
+	}
+
+	if out.buf != nil && e.feat.ShortcutRetention && lastUse > l.Index+1 {
+		if err := e.pool.Pin(out.buf); err != nil {
+			return err
+		}
+		ls.RetainedBytes = out.onChip
+		e.rec.Record(trace.Event{Kind: trace.KindPin, Layer: l.Name, Tag: l.Name,
+			Banks: out.buf.NumBanks(), Bytes: out.onChip})
+	}
+	if consumers > 0 {
+		e.residents[l.Index] = out
+	}
+	if e.fn != nil {
+		e.fn.placeOutput(e, l, out, fullCopy)
+	}
+
+	// Release consumed operands.
+	for _, p := range distinct {
+		r := e.residents[p]
+		r.consumersLeft--
+		if r.consumersLeft == 0 || !e.feat.ShortcutRetention {
+			if r.buf != nil {
+				e.rec.Record(trace.Event{Kind: trace.KindFree, Layer: l.Name, Tag: e.net.Layers[p].Name})
+			}
+			if err := r.dropBuffer(e.pool); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Capture: an operand that streamed from DRAM this layer but has
+	// more consumers ahead (the input image feeding several branches, a
+	// fully spilled fan-out fmap) is worth keeping — it is on the chip
+	// right now. Leftover capacity only, so output retention keeps
+	// priority.
+	if e.feat.ShortcutRetention {
+		for _, p := range distinct {
+			if err := e.captureSpilled(l, p); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Timing and bookkeeping.
+	delta := e.ch.Traffic()
+	for c := range delta {
+		delta[c] -= before[c]
+	}
+	ls.Traffic = delta
+	ls.ComputeCycles = e.cfg.PE.LayerCycles(l)
+	ls.MemCycles = e.memCycles(delta)
+	ls.Cycles = ls.ComputeCycles
+	if ls.MemCycles > ls.Cycles {
+		ls.Cycles = ls.MemCycles
+	}
+	if e.cfg.DetailedTiming {
+		if cyc := e.pipelineCycles(l, plan, delta); cyc > ls.Cycles {
+			ls.Cycles = cyc
+		}
+	}
+	ls.Cycles += e.cfg.ControlCycles
+	ls.SRAMBytes = 2 * (inTotal + outBytes + plan.WeightReadBytes)
+	e.run.Layers = append(e.run.Layers, ls)
+	e.rec.Record(trace.Event{Kind: trace.KindLayerEnd, Layer: l.Name, Bytes: delta.Total(),
+		Banks: e.pool.UsedBanks(), Note: fmt.Sprintf("pinned=%d", e.pool.PinnedBanks())})
+	return nil
+}
+
+// memCycles converts a layer's traffic into channel-occupancy cycles.
+// With a dedicated weight channel the two streams overlap and the
+// slower one gates the layer; otherwise everything shares one pipe.
+func (e *executor) memCycles(delta dram.Traffic) int64 {
+	clock := e.cfg.PE.ClockMHz
+	if e.cfg.WeightBandwidthGBps <= 0 {
+		return e.ch.CyclesAt(delta.Total(), clock)
+	}
+	fm := e.ch.CyclesAt(delta.FeatureMap(), clock)
+	wBytesPerCycle := e.cfg.WeightBandwidthGBps * 1e9 / (clock * 1e6)
+	w := int64(float64(delta[dram.ClassWeightRead])/wBytesPerCycle + 0.999999)
+	if w > fm {
+		return w
+	}
+	return fm
+}
+
+func (e *executor) finish() (stats.RunStats, error) {
+	if used := e.pool.UsedBanks(); used != 0 {
+		return stats.RunStats{}, fmt.Errorf("core: %s: %d banks leaked at end of run", e.net.Name, used)
+	}
+	if err := e.pool.CheckInvariants(); err != nil {
+		return stats.RunStats{}, err
+	}
+	batch := int64(e.cfg.Batch)
+	r := &e.run
+	r.Traffic = e.ch.Traffic()
+	for c := range r.Traffic {
+		if dram.Class(c) == dram.ClassWeightRead && e.cfg.AmortizeWeights {
+			continue // weights stream once per batch (layer-inner loop)
+		}
+		r.Traffic[c] *= batch
+	}
+	for _, ls := range r.Layers {
+		r.ComputeCycles += ls.ComputeCycles * batch
+		r.MemCycles += ls.MemCycles * batch
+		r.TotalCycles += ls.Cycles * batch
+		r.SRAMBytes += ls.SRAMBytes * batch
+	}
+	r.MACs = e.net.TotalMACs() * batch
+	ps := e.pool.Stats()
+	r.PeakUsedBanks = ps.PeakUsedBanks
+	r.PeakPinnedBanks = ps.PeakPinnedBanks
+	r.RoleSwitches = ps.RoleSwitches
+	r.BanksRecycled = ps.BanksRecycled
+	r.BanksEvicted = ps.BanksEvicted
+	r.Energy = e.cfg.Energy.Estimate(r.Traffic.Total(), r.SRAMBytes, r.MACs)
+	return *r, nil
+}

@@ -1,0 +1,63 @@
+package dram
+
+import "fmt"
+
+// DDRTimings models one DDR channel at the transaction level, used to
+// derive the *effective* bandwidth the simulator's Config assumes. The
+// feature-map channel of the calibrated platform moves short, strided
+// bursts (row stripes of partially retained maps, halo re-reads) with
+// poor row-buffer locality, which is why its effective bandwidth sits
+// far below the pin rate; the weight channel streams long sequential
+// bursts and runs near peak.
+type DDRTimings struct {
+	TransferMTs float64 // mega-transfers per second (e.g. 1600 for DDR3-1600)
+	BusBytes    int     // data bus width in bytes (8 for a 64-bit SODIMM)
+	// Row activate + precharge + CAS latency for a row-buffer miss,
+	// and CAS-only latency for a hit, in nanoseconds.
+	RowMissNs float64
+	RowHitNs  float64
+}
+
+// DDR3_1600 returns the timings of the DDR3-1600 SODIMMs on a
+// VC709-class board: 12.8 GB/s pin bandwidth, ~45 ns row-miss penalty
+// (tRP+tRCD+CL ≈ 13.75+13.75+13.75), ~14 ns CAS on a hit.
+func DDR3_1600() DDRTimings {
+	return DDRTimings{TransferMTs: 1600, BusBytes: 8, RowMissNs: 45, RowHitNs: 13.75}
+}
+
+// Validate checks the timings.
+func (t DDRTimings) Validate() error {
+	if t.TransferMTs <= 0 || t.BusBytes <= 0 {
+		return fmt.Errorf("dram: bad DDR geometry %+v", t)
+	}
+	if t.RowMissNs < t.RowHitNs || t.RowHitNs < 0 {
+		return fmt.Errorf("dram: inconsistent DDR latencies %+v", t)
+	}
+	return nil
+}
+
+// PeakGBps is the pin bandwidth.
+func (t DDRTimings) PeakGBps() float64 {
+	return t.TransferMTs * 1e6 * float64(t.BusBytes) / 1e9
+}
+
+// EffectiveGBps derives the sustained bandwidth for an access stream
+// of the given mean transaction size and row-buffer hit rate: each
+// transaction pays its data time plus the (hit- or miss-weighted)
+// access latency, serialized — a deliberately pessimistic single-rank
+// model matching a simple FPGA memory controller without deep
+// reordering.
+func (t DDRTimings) EffectiveGBps(burstBytes int64, rowHitRate float64) (float64, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	if burstBytes <= 0 {
+		return 0, fmt.Errorf("dram: non-positive burst %d", burstBytes)
+	}
+	if rowHitRate < 0 || rowHitRate > 1 {
+		return 0, fmt.Errorf("dram: hit rate %g out of [0,1]", rowHitRate)
+	}
+	dataNs := float64(burstBytes) / (t.TransferMTs * 1e6 * float64(t.BusBytes)) * 1e9
+	latNs := rowHitRate*t.RowHitNs + (1-rowHitRate)*t.RowMissNs
+	return float64(burstBytes) / (dataNs + latNs), nil
+}

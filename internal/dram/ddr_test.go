@@ -1,0 +1,102 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDDR3PeakBandwidth(t *testing.T) {
+	if got := DDR3_1600().PeakGBps(); got != 12.8 {
+		t.Errorf("peak = %g GB/s, want 12.8", got)
+	}
+}
+
+func TestDDRValidate(t *testing.T) {
+	if err := DDR3_1600().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []DDRTimings{
+		{TransferMTs: 0, BusBytes: 8, RowMissNs: 45, RowHitNs: 14},
+		{TransferMTs: 1600, BusBytes: 0, RowMissNs: 45, RowHitNs: 14},
+		{TransferMTs: 1600, BusBytes: 8, RowMissNs: 10, RowHitNs: 14}, // miss < hit
+		{TransferMTs: 1600, BusBytes: 8, RowMissNs: 45, RowHitNs: -1},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad timings %d accepted", i)
+		}
+	}
+}
+
+func TestEffectiveBandwidthRegimes(t *testing.T) {
+	ddr := DDR3_1600()
+	// Long sequential bursts with high locality approach the pin rate
+	// — the weight channel regime.
+	seq, err := ddr.EffectiveGBps(4096, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq < 0.90*ddr.PeakGBps() {
+		t.Errorf("sequential regime %g GB/s, want ≥90%% of peak", seq)
+	}
+	// Short strided bursts with poor locality collapse to the order of
+	// 1 GB/s — the calibrated feature-map channel (Config.DRAM).
+	strided, err := ddr.EffectiveGBps(48, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strided < 0.7 || strided > 1.6 {
+		t.Errorf("strided regime %g GB/s, want ≈1 GB/s", strided)
+	}
+	if strided >= seq {
+		t.Error("strided regime should be far slower than sequential")
+	}
+}
+
+func TestEffectiveBandwidthErrors(t *testing.T) {
+	ddr := DDR3_1600()
+	if _, err := ddr.EffectiveGBps(0, 0.5); err == nil {
+		t.Error("zero burst accepted")
+	}
+	if _, err := ddr.EffectiveGBps(64, -0.1); err == nil {
+		t.Error("negative hit rate accepted")
+	}
+	if _, err := ddr.EffectiveGBps(64, 1.1); err == nil {
+		t.Error("hit rate > 1 accepted")
+	}
+	var bad DDRTimings
+	if _, err := bad.EffectiveGBps(64, 0.5); err == nil {
+		t.Error("invalid timings accepted")
+	}
+}
+
+func TestQuickEffectiveBandwidthMonotone(t *testing.T) {
+	ddr := DDR3_1600()
+	// Monotone in burst size and in hit rate, always below peak.
+	f := func(b1, b2 uint16, h1, h2 uint8) bool {
+		s1, s2 := int64(b1%4096)+16, int64(b2%4096)+16
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		r1, r2 := float64(h1%101)/100, float64(h2%101)/100
+		if r1 > r2 {
+			r1, r2 = r2, r1
+		}
+		a, err := ddr.EffectiveGBps(s1, r1)
+		if err != nil {
+			return false
+		}
+		b, err := ddr.EffectiveGBps(s2, r1)
+		if err != nil {
+			return false
+		}
+		c, err := ddr.EffectiveGBps(s1, r2)
+		if err != nil {
+			return false
+		}
+		return a <= b && a <= c && b <= ddr.PeakGBps() && a > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,190 @@
+// Package dram models the off-chip memory channel of the accelerator:
+// a sustained-bandwidth pipe with burst-granular transfers, per-class
+// byte accounting, and access energy. The paper's headline metric —
+// off-chip feature-map traffic — is read directly from this package's
+// counters.
+package dram
+
+import "fmt"
+
+// Class labels the purpose of a transfer so experiments can slice
+// traffic the way the paper does (feature maps vs. weights, shortcut
+// re-fetches vs. ordinary input streaming, spills from partial
+// retention).
+type Class int
+
+const (
+	// ClassIFMRead is input-feature-map streaming into the input
+	// buffer.
+	ClassIFMRead Class = iota
+	// ClassOFMWrite is output-feature-map write-back.
+	ClassOFMWrite
+	// ClassWeightRead is filter/parameter streaming.
+	ClassWeightRead
+	// ClassShortcutRead is the re-fetch of a shortcut operand at an
+	// element-wise add or concat that could not be served on chip.
+	ClassShortcutRead
+	// ClassSpillWrite is the overflow store of a partially retained
+	// feature map (procedure P5).
+	ClassSpillWrite
+	// ClassSpillRead is the reload of previously spilled bytes.
+	ClassSpillRead
+
+	// NumClasses is the number of traffic classes.
+	NumClasses int = iota
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassIFMRead:
+		return "ifm-read"
+	case ClassOFMWrite:
+		return "ofm-write"
+	case ClassWeightRead:
+		return "weight-read"
+	case ClassShortcutRead:
+		return "shortcut-read"
+	case ClassSpillWrite:
+		return "spill-write"
+	case ClassSpillRead:
+		return "spill-read"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// IsFeatureMap reports whether the class counts toward the paper's
+// "off-chip feature map traffic" metric (everything except weights).
+func (c Class) IsFeatureMap() bool { return c != ClassWeightRead }
+
+// Classes lists all classes in declaration order.
+func Classes() []Class {
+	out := make([]Class, NumClasses)
+	for i := range out {
+		out[i] = Class(i)
+	}
+	return out
+}
+
+// Config describes the channel.
+type Config struct {
+	BandwidthGBps float64 // sustained bandwidth, GB/s (1e9 bytes)
+	BurstBytes    int     // transaction granularity; transfers round up
+	EnergyPJForB  float64 // access energy per byte, picojoules
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.BandwidthGBps <= 0 {
+		return fmt.Errorf("dram: bandwidth must be positive, got %g", c.BandwidthGBps)
+	}
+	if c.BurstBytes <= 0 {
+		return fmt.Errorf("dram: burst must be positive, got %d", c.BurstBytes)
+	}
+	if c.EnergyPJForB < 0 {
+		return fmt.Errorf("dram: negative energy %g", c.EnergyPJForB)
+	}
+	return nil
+}
+
+// Traffic is a per-class byte tally. Bytes are burst-rounded, i.e.
+// they measure what the bus actually moves.
+type Traffic [NumClasses]int64
+
+// Total sums every class.
+func (t Traffic) Total() int64 {
+	var sum int64
+	for _, b := range t {
+		sum += b
+	}
+	return sum
+}
+
+// FeatureMap sums the classes counted as feature-map traffic.
+func (t Traffic) FeatureMap() int64 {
+	var sum int64
+	for c, b := range t {
+		if Class(c).IsFeatureMap() {
+			sum += b
+		}
+	}
+	return sum
+}
+
+// Add accumulates another tally.
+func (t *Traffic) Add(o Traffic) {
+	for c := range t {
+		t[c] += o[c]
+	}
+}
+
+// Channel is one accelerator's DRAM interface. Like the bank pool it
+// is single-threaded by design.
+type Channel struct {
+	cfg     Config
+	traffic Traffic
+	raw     Traffic // pre-rounding payload bytes
+}
+
+// NewChannel builds a channel.
+func NewChannel(cfg Config) (*Channel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Channel{cfg: cfg}, nil
+}
+
+// Config returns the channel configuration.
+func (ch *Channel) Config() Config { return ch.cfg }
+
+// round applies burst granularity.
+func (ch *Channel) round(bytes int64) int64 {
+	b := int64(ch.cfg.BurstBytes)
+	return (bytes + b - 1) / b * b
+}
+
+// Transfer records a transfer of the given class and returns the
+// burst-rounded byte count actually moved. Zero or negative sizes are
+// ignored (and return 0), which keeps call sites free of emptiness
+// checks when a spill or refill happens to be empty.
+func (ch *Channel) Transfer(c Class, bytes int64) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	moved := ch.round(bytes)
+	ch.traffic[c] += moved
+	ch.raw[c] += bytes
+	return moved
+}
+
+// Traffic returns the burst-rounded tally so far.
+func (ch *Channel) Traffic() Traffic { return ch.traffic }
+
+// RawTraffic returns the payload (pre-rounding) tally so far.
+func (ch *Channel) RawTraffic() Traffic { return ch.raw }
+
+// Reset clears the counters (the configuration is retained).
+func (ch *Channel) Reset() {
+	ch.traffic = Traffic{}
+	ch.raw = Traffic{}
+}
+
+// CyclesAt converts a byte count into channel-occupancy cycles at the
+// given accelerator clock. Partial cycles round up.
+func (ch *Channel) CyclesAt(bytes int64, clockMHz float64) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	bytesPerCycle := ch.cfg.BandwidthGBps * 1e9 / (clockMHz * 1e6)
+	cycles := float64(bytes) / bytesPerCycle
+	n := int64(cycles)
+	if float64(n) < cycles {
+		n++
+	}
+	return n
+}
+
+// EnergyPJ returns the access energy of the tallied traffic.
+func (ch *Channel) EnergyPJ() float64 {
+	return float64(ch.traffic.Total()) * ch.cfg.EnergyPJForB
+}

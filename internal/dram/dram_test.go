@@ -1,0 +1,186 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newTestChannel(t *testing.T) *Channel {
+	t.Helper()
+	ch, err := NewChannel(Config{BandwidthGBps: 12.8, BurstBytes: 64, EnergyPJForB: 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{BandwidthGBps: 10, BurstBytes: 64, EnergyPJForB: 100}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := []Config{
+		{BandwidthGBps: 0, BurstBytes: 64},
+		{BandwidthGBps: 10, BurstBytes: 0},
+		{BandwidthGBps: 10, BurstBytes: 64, EnergyPJForB: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+		if _, err := NewChannel(c); err == nil {
+			t.Errorf("NewChannel accepted bad config %d", i)
+		}
+	}
+}
+
+func TestTransferBurstRounding(t *testing.T) {
+	ch := newTestChannel(t)
+	if moved := ch.Transfer(ClassIFMRead, 100); moved != 128 {
+		t.Errorf("moved = %d, want 128", moved)
+	}
+	if moved := ch.Transfer(ClassIFMRead, 64); moved != 64 {
+		t.Errorf("aligned moved = %d, want 64", moved)
+	}
+	tr := ch.Traffic()
+	if tr[ClassIFMRead] != 192 {
+		t.Errorf("tallied = %d, want 192", tr[ClassIFMRead])
+	}
+	raw := ch.RawTraffic()
+	if raw[ClassIFMRead] != 164 {
+		t.Errorf("raw = %d, want 164", raw[ClassIFMRead])
+	}
+}
+
+func TestTransferIgnoresNonPositive(t *testing.T) {
+	ch := newTestChannel(t)
+	if moved := ch.Transfer(ClassOFMWrite, 0); moved != 0 {
+		t.Errorf("zero transfer moved %d", moved)
+	}
+	if moved := ch.Transfer(ClassOFMWrite, -5); moved != 0 {
+		t.Errorf("negative transfer moved %d", moved)
+	}
+	if ch.Traffic().Total() != 0 {
+		t.Error("counters changed")
+	}
+}
+
+func TestTrafficClassSlicing(t *testing.T) {
+	ch := newTestChannel(t)
+	ch.Transfer(ClassIFMRead, 640)
+	ch.Transfer(ClassOFMWrite, 640)
+	ch.Transfer(ClassWeightRead, 1280)
+	ch.Transfer(ClassShortcutRead, 64)
+	ch.Transfer(ClassSpillWrite, 64)
+	ch.Transfer(ClassSpillRead, 64)
+	tr := ch.Traffic()
+	if got := tr.Total(); got != 640+640+1280+64*3 {
+		t.Errorf("total = %d", got)
+	}
+	if got := tr.FeatureMap(); got != 640+640+64*3 {
+		t.Errorf("feature map = %d", got)
+	}
+}
+
+func TestClassPredicatesAndStrings(t *testing.T) {
+	if ClassWeightRead.IsFeatureMap() {
+		t.Error("weights counted as feature map")
+	}
+	for _, c := range Classes() {
+		if c != ClassWeightRead && !c.IsFeatureMap() {
+			t.Errorf("%v should be feature map", c)
+		}
+		if c.String() == "" {
+			t.Errorf("empty string for class %d", int(c))
+		}
+	}
+	if len(Classes()) != NumClasses {
+		t.Errorf("Classes() length %d != %d", len(Classes()), NumClasses)
+	}
+	want := map[Class]string{
+		ClassIFMRead: "ifm-read", ClassOFMWrite: "ofm-write",
+		ClassWeightRead: "weight-read", ClassShortcutRead: "shortcut-read",
+		ClassSpillWrite: "spill-write", ClassSpillRead: "spill-read",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), s)
+		}
+	}
+}
+
+func TestTrafficAdd(t *testing.T) {
+	var a, b Traffic
+	a[ClassIFMRead] = 100
+	b[ClassIFMRead] = 50
+	b[ClassOFMWrite] = 25
+	a.Add(b)
+	if a[ClassIFMRead] != 150 || a[ClassOFMWrite] != 25 {
+		t.Errorf("Add result %v", a)
+	}
+}
+
+func TestCyclesAt(t *testing.T) {
+	ch := newTestChannel(t) // 12.8 GB/s
+	// At 200 MHz: 12.8e9/200e6 = 64 bytes/cycle.
+	if got := ch.CyclesAt(6400, 200); got != 100 {
+		t.Errorf("cycles = %d, want 100", got)
+	}
+	if got := ch.CyclesAt(6401, 200); got != 101 {
+		t.Errorf("cycles = %d, want 101 (round up)", got)
+	}
+	if got := ch.CyclesAt(0, 200); got != 0 {
+		t.Errorf("cycles for 0 bytes = %d", got)
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	ch := newTestChannel(t)
+	ch.Transfer(ClassIFMRead, 640)
+	if got := ch.EnergyPJ(); got != 640*160 {
+		t.Errorf("energy = %g", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	ch := newTestChannel(t)
+	ch.Transfer(ClassIFMRead, 640)
+	ch.Reset()
+	if ch.Traffic().Total() != 0 || ch.RawTraffic().Total() != 0 {
+		t.Error("reset did not clear counters")
+	}
+	if ch.Config().BandwidthGBps != 12.8 {
+		t.Error("reset clobbered config")
+	}
+}
+
+func TestQuickRoundingProperties(t *testing.T) {
+	ch := newTestChannel(t)
+	f := func(n uint32) bool {
+		bytes := int64(n%10_000_000) + 1
+		before := ch.Traffic()[ClassIFMRead]
+		moved := ch.Transfer(ClassIFMRead, bytes)
+		// Rounded up, within one burst, multiple of the burst.
+		if moved < bytes || moved-bytes >= 64 || moved%64 != 0 {
+			return false
+		}
+		return ch.Traffic()[ClassIFMRead] == before+moved
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCyclesMonotone(t *testing.T) {
+	ch := newTestChannel(t)
+	f := func(a, b uint32) bool {
+		x, y := int64(a%1_000_000), int64(b%1_000_000)
+		if x > y {
+			x, y = y, x
+		}
+		return ch.CyclesAt(x, 200) <= ch.CyclesAt(y, 200)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

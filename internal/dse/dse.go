@@ -1,0 +1,182 @@
+// Package dse explores the accelerator design space: it enumerates
+// platform configurations (bank pool geometry, PE array, feature-map
+// channel bandwidth), discards points that do not fit the FPGA device,
+// simulates the remaining ones under Shortcut Mining, and extracts the
+// Pareto frontier over throughput, energy, and on-chip storage. It
+// answers the adoption question the paper's fixed prototype cannot:
+// where should *your* design sit?
+package dse
+
+import (
+	"fmt"
+	"sort"
+
+	"shortcutmining/internal/core"
+	"shortcutmining/internal/fpga"
+	"shortcutmining/internal/nn"
+	"shortcutmining/internal/sram"
+)
+
+// Point is one platform candidate, expressed as deltas from a base
+// configuration.
+type Point struct {
+	Banks    int
+	BankKiB  int
+	Tn, Tm   int
+	FmapGBps float64
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("%db×%dKiB/%dx%d/%.1fGBps", p.Banks, p.BankKiB, p.Tn, p.Tm, p.FmapGBps)
+}
+
+// Outcome is the evaluated result of one point on one network.
+type Outcome struct {
+	Point Point
+
+	Fits     bool
+	BRAMUtil float64
+	DSPUtil  float64
+	LUTUtil  float64
+
+	Throughput  float64 // img/s under SCM
+	FmapTraffic int64   // bytes per image
+	EnergyMJ    float64 // per image
+	SRAMKiB     int64   // pool capacity
+}
+
+// Space is the enumeration grid.
+type Space struct {
+	Banks    []int
+	BankKiB  []int
+	PE       [][2]int // {Tn, Tm}
+	FmapGBps []float64
+}
+
+// DefaultSpace returns a grid of 72 candidates around the calibrated
+// platform: pools from 256 KiB to 2 MiB at two granularities, three PE
+// arrays, two channel speeds.
+func DefaultSpace() Space {
+	return Space{
+		Banks:    []int{16, 34, 64},
+		BankKiB:  []int{8, 16},
+		PE:       [][2]int{{32, 32}, {48, 48}, {64, 56}},
+		FmapGBps: []float64{1.0, 2.0},
+	}
+}
+
+// Size returns the number of grid points.
+func (s Space) Size() int {
+	return len(s.Banks) * len(s.BankKiB) * len(s.PE) * len(s.FmapGBps)
+}
+
+// points enumerates the grid in deterministic order.
+func (s Space) points() []Point {
+	var out []Point
+	for _, b := range s.Banks {
+		for _, kb := range s.BankKiB {
+			for _, pe := range s.PE {
+				for _, bw := range s.FmapGBps {
+					out = append(out, Point{Banks: b, BankKiB: kb, Tn: pe[0], Tm: pe[1], FmapGBps: bw})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// apply specializes the base config to the point.
+func apply(base core.Config, p Point) core.Config {
+	cfg := base
+	cfg.Pool = sram.Config{NumBanks: p.Banks, BankBytes: p.BankKiB << 10}
+	cfg.PE.Tn, cfg.PE.Tm = p.Tn, p.Tm
+	cfg.DRAM.BandwidthGBps = p.FmapGBps
+	if cfg.ReserveBanks >= cfg.Pool.NumBanks {
+		cfg.ReserveBanks = cfg.Pool.NumBanks / 4
+	}
+	return cfg
+}
+
+// Explore evaluates every grid point on the network. Points that do
+// not fit the device are returned with Fits=false and no simulation
+// results, so callers can report *why* the frontier looks as it does.
+func Explore(net *nn.Network, base core.Config, space Space, dev fpga.Device) ([]Outcome, error) {
+	if space.Size() == 0 {
+		return nil, fmt.Errorf("dse: empty design space")
+	}
+	var out []Outcome
+	for _, p := range space.points() {
+		cfg := apply(base, p)
+		rep, err := fpga.Estimate(dev, fpga.Design{
+			MACs:           cfg.PE.NumMACs(),
+			PoolBanks:      cfg.Pool.NumBanks,
+			BankBytes:      cfg.Pool.BankBytes,
+			WeightBufBytes: cfg.WeightBufBytes,
+			LogicalBuffers: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("dse: %v: %w", p, err)
+		}
+		o := Outcome{
+			Point:    p,
+			Fits:     rep.Fits,
+			BRAMUtil: rep.BRAMUtil,
+			DSPUtil:  rep.DSPUtil,
+			LUTUtil:  rep.LUTUtil,
+			SRAMKiB:  cfg.Pool.TotalBytes() >> 10,
+		}
+		if rep.Fits {
+			r, err := core.Simulate(net, cfg, core.SCM, nil)
+			if err != nil {
+				return nil, fmt.Errorf("dse: %v: %w", p, err)
+			}
+			o.Throughput = r.Throughput()
+			o.FmapTraffic = r.FmapTrafficBytes()
+			o.EnergyMJ = r.Energy.TotalMJ()
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// dominates reports whether a is at least as good as b on every
+// objective (throughput up; energy and SRAM down) and strictly better
+// on at least one.
+func dominates(a, b Outcome) bool {
+	if a.Throughput < b.Throughput || a.EnergyMJ > b.EnergyMJ || a.SRAMKiB > b.SRAMKiB {
+		return false
+	}
+	return a.Throughput > b.Throughput || a.EnergyMJ < b.EnergyMJ || a.SRAMKiB < b.SRAMKiB
+}
+
+// ParetoFront filters the feasible outcomes down to the non-dominated
+// set, sorted by descending throughput.
+func ParetoFront(outcomes []Outcome) []Outcome {
+	var feasible []Outcome
+	for _, o := range outcomes {
+		if o.Fits {
+			feasible = append(feasible, o)
+		}
+	}
+	var front []Outcome
+	for i, a := range feasible {
+		dominated := false
+		for j, b := range feasible {
+			if i != j && dominates(b, a) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, a)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		if front[i].Throughput != front[j].Throughput {
+			return front[i].Throughput > front[j].Throughput
+		}
+		return front[i].EnergyMJ < front[j].EnergyMJ
+	})
+	return front
+}

@@ -1,0 +1,144 @@
+package dse
+
+import (
+	"testing"
+
+	"shortcutmining/internal/core"
+	"shortcutmining/internal/fpga"
+	"shortcutmining/internal/nn"
+)
+
+func smallSpace() Space {
+	return Space{
+		Banks:    []int{16, 34},
+		BankKiB:  []int{16},
+		PE:       [][2]int{{32, 32}, {64, 56}},
+		FmapGBps: []float64{1.0, 2.0},
+	}
+}
+
+func TestSpaceSizeAndEnumeration(t *testing.T) {
+	s := smallSpace()
+	if s.Size() != 8 {
+		t.Errorf("size = %d, want 8", s.Size())
+	}
+	pts := s.points()
+	if len(pts) != 8 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	seen := map[string]bool{}
+	for _, p := range pts {
+		if seen[p.String()] {
+			t.Errorf("duplicate point %v", p)
+		}
+		seen[p.String()] = true
+	}
+	if DefaultSpace().Size() != 36 {
+		t.Errorf("default space = %d points", DefaultSpace().Size())
+	}
+}
+
+func TestExploreEvaluatesEveryPoint(t *testing.T) {
+	net := nn.MustResNet(18)
+	outcomes, err := Explore(net, core.Default(), smallSpace(), fpga.VC709())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 8 {
+		t.Fatalf("outcomes = %d", len(outcomes))
+	}
+	for _, o := range outcomes {
+		if !o.Fits {
+			continue
+		}
+		if o.Throughput <= 0 || o.FmapTraffic <= 0 || o.EnergyMJ <= 0 {
+			t.Errorf("%v: degenerate outcome %+v", o.Point, o)
+		}
+		if o.SRAMKiB != int64(o.Point.Banks*o.Point.BankKiB) {
+			t.Errorf("%v: SRAM = %d KiB", o.Point, o.SRAMKiB)
+		}
+	}
+}
+
+func TestExploreMarksOversizedPoints(t *testing.T) {
+	net := nn.MustResNet(18)
+	huge := Space{Banks: []int{4096}, BankKiB: []int{16}, PE: [][2]int{{64, 64}}, FmapGBps: []float64{1}}
+	outcomes, err := Explore(net, core.Default(), huge, fpga.VC709())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcomes[0].Fits {
+		t.Error("4096-bank pool reported as fitting a VC709")
+	}
+	if outcomes[0].Throughput != 0 {
+		t.Error("unfittable point was simulated")
+	}
+}
+
+func TestExploreEmptySpace(t *testing.T) {
+	if _, err := Explore(nn.MustResNet(18), core.Default(), Space{}, fpga.VC709()); err == nil {
+		t.Error("empty space accepted")
+	}
+}
+
+func TestParetoFrontNonDominated(t *testing.T) {
+	net := nn.MustResNet(34)
+	outcomes, err := Explore(net, core.Default(), smallSpace(), fpga.VC709())
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := ParetoFront(outcomes)
+	if len(front) == 0 {
+		t.Fatal("empty frontier")
+	}
+	// No frontier member dominates another; no feasible outcome
+	// dominates a frontier member.
+	for i, a := range front {
+		for j, b := range front {
+			if i != j && dominates(a, b) {
+				t.Errorf("frontier member %v dominates %v", a.Point, b.Point)
+			}
+		}
+		for _, o := range outcomes {
+			if o.Fits && dominates(o, a) {
+				t.Errorf("%v dominated by %v but on frontier", a.Point, o.Point)
+			}
+		}
+	}
+	// Sorted by descending throughput.
+	for i := 1; i < len(front); i++ {
+		if front[i].Throughput > front[i-1].Throughput {
+			t.Error("frontier not sorted by throughput")
+		}
+	}
+}
+
+func TestDominates(t *testing.T) {
+	a := Outcome{Fits: true, Throughput: 10, EnergyMJ: 1, SRAMKiB: 100}
+	b := Outcome{Fits: true, Throughput: 5, EnergyMJ: 2, SRAMKiB: 200}
+	if !dominates(a, b) {
+		t.Error("a should dominate b")
+	}
+	if dominates(b, a) {
+		t.Error("b should not dominate a")
+	}
+	if dominates(a, a) {
+		t.Error("nothing dominates itself")
+	}
+	// Trade-off points do not dominate each other.
+	c := Outcome{Fits: true, Throughput: 20, EnergyMJ: 3, SRAMKiB: 100}
+	if dominates(a, c) || dominates(c, a) {
+		t.Error("trade-off points must be incomparable")
+	}
+}
+
+func TestFrontierExcludesInfeasible(t *testing.T) {
+	outcomes := []Outcome{
+		{Fits: false, Throughput: 1000, EnergyMJ: 0.1, SRAMKiB: 1},
+		{Fits: true, Throughput: 10, EnergyMJ: 1, SRAMKiB: 100},
+	}
+	front := ParetoFront(outcomes)
+	if len(front) != 1 || !front[0].Fits {
+		t.Errorf("frontier = %+v", front)
+	}
+}

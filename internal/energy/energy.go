@@ -1,0 +1,60 @@
+// Package energy rolls DRAM traffic, SRAM activity and MAC counts into
+// access-energy estimates. The coefficients follow the convention of
+// accelerator evaluations (Eyeriss-style normalized access costs): a
+// DRAM byte costs roughly two orders of magnitude more than an on-chip
+// buffer byte, which is why traffic reduction translates almost
+// directly into energy reduction (experiment E7).
+package energy
+
+import "fmt"
+
+// Model holds per-event energy coefficients in picojoules.
+type Model struct {
+	DRAMPerByte float64 // off-chip access energy per byte
+	SRAMPerByte float64 // large on-chip buffer access per byte
+	MACPerOp    float64 // one 16-bit multiply-accumulate
+}
+
+// Default returns the coefficients used by the experiments: 160 pJ/B
+// DRAM (≈640 pJ per 32-bit word), 3 pJ/B buffer SRAM, 1 pJ per 16-bit
+// MAC.
+func Default() Model {
+	return Model{DRAMPerByte: 160, SRAMPerByte: 3, MACPerOp: 1}
+}
+
+// Validate checks the model.
+func (m Model) Validate() error {
+	if m.DRAMPerByte < 0 || m.SRAMPerByte < 0 || m.MACPerOp < 0 {
+		return fmt.Errorf("energy: negative coefficient in %+v", m)
+	}
+	if m.DRAMPerByte < m.SRAMPerByte {
+		return fmt.Errorf("energy: DRAM (%g) cheaper than SRAM (%g)", m.DRAMPerByte, m.SRAMPerByte)
+	}
+	return nil
+}
+
+// Breakdown is an energy tally in picojoules.
+type Breakdown struct {
+	DRAMPJ float64
+	SRAMPJ float64
+	MACPJ  float64
+}
+
+// TotalPJ sums the components.
+func (b Breakdown) TotalPJ() float64 { return b.DRAMPJ + b.SRAMPJ + b.MACPJ }
+
+// TotalMJ returns the total in millijoules (convenient magnitude for
+// whole-network inferences).
+func (b Breakdown) TotalMJ() float64 { return b.TotalPJ() / 1e9 }
+
+// Estimate combines the activity counters of one run. sramBytes should
+// count every buffer read and write (the schedulers report it as
+// roughly two touches per datapath byte: one write into a buffer, one
+// read out).
+func (m Model) Estimate(dramBytes, sramBytes, macs int64) Breakdown {
+	return Breakdown{
+		DRAMPJ: float64(dramBytes) * m.DRAMPerByte,
+		SRAMPJ: float64(sramBytes) * m.SRAMPerByte,
+		MACPJ:  float64(macs) * m.MACPerOp,
+	}
+}

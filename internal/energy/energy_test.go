@@ -1,0 +1,60 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	bad := []Model{
+		{DRAMPerByte: -1, SRAMPerByte: 1, MACPerOp: 1},
+		{DRAMPerByte: 10, SRAMPerByte: -1, MACPerOp: 1},
+		{DRAMPerByte: 10, SRAMPerByte: 1, MACPerOp: -1},
+		{DRAMPerByte: 1, SRAMPerByte: 10, MACPerOp: 1}, // DRAM cheaper than SRAM
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+}
+
+func TestEstimate(t *testing.T) {
+	m := Model{DRAMPerByte: 100, SRAMPerByte: 2, MACPerOp: 1}
+	b := m.Estimate(1000, 5000, 1_000_000)
+	if b.DRAMPJ != 100_000 {
+		t.Errorf("dram = %g", b.DRAMPJ)
+	}
+	if b.SRAMPJ != 10_000 {
+		t.Errorf("sram = %g", b.SRAMPJ)
+	}
+	if b.MACPJ != 1_000_000 {
+		t.Errorf("mac = %g", b.MACPJ)
+	}
+	if b.TotalPJ() != 1_110_000 {
+		t.Errorf("total = %g", b.TotalPJ())
+	}
+	if math.Abs(b.TotalMJ()-1_110_000/1e9) > 1e-15 {
+		t.Errorf("mj = %g", b.TotalMJ())
+	}
+}
+
+func TestZeroActivityZeroEnergy(t *testing.T) {
+	if got := Default().Estimate(0, 0, 0).TotalPJ(); got != 0 {
+		t.Errorf("zero activity energy = %g", got)
+	}
+}
+
+func TestDRAMDominatesAtEqualBytes(t *testing.T) {
+	m := Default()
+	b := m.Estimate(1000, 1000, 0)
+	if b.DRAMPJ <= b.SRAMPJ {
+		t.Error("DRAM should dominate SRAM at equal byte counts")
+	}
+}

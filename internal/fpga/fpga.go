@@ -1,0 +1,148 @@
+// Package fpga is the substitute for the paper's FPGA prototype: an
+// analytical resource model that checks whether an accelerator
+// configuration (PE array + bank pool + weight buffer) fits a
+// Virtex-7-class device and what the bank-pool interconnect costs
+// relative to the baseline's hard-wired buffers.
+//
+// The paper's FPGA results serve two purposes we reproduce here:
+// feasibility (the same BRAM budget hosts either design, since logical
+// buffers add routing rather than storage) and overhead (the crossbar
+// between the bank pool and the datapath ports is a small fraction of
+// device LUTs). Absolute numbers are rough by construction; the
+// experiments only consume the ratios and the fits/does-not-fit
+// verdicts.
+package fpga
+
+import (
+	"fmt"
+	"math"
+)
+
+// Device describes the programmable fabric budget.
+type Device struct {
+	Name        string
+	BRAM36      int // 36 Kb block RAMs
+	DSP         int // DSP48 slices
+	LUT         int
+	MaxClockMHz float64
+}
+
+// VC709 returns the Virtex-7 XC7VX690T evaluation-board device, the
+// class of part used for prototypes of this generation.
+func VC709() Device {
+	return Device{Name: "xc7vx690t", BRAM36: 1470, DSP: 3600, LUT: 433200, MaxClockMHz: 250}
+}
+
+// VC707 returns the smaller Virtex-7 XC7VX485T device.
+func VC707() Device {
+	return Device{Name: "xc7vx485t", BRAM36: 1030, DSP: 2800, LUT: 303600, MaxClockMHz: 250}
+}
+
+// bram36Bytes is the byte capacity of one 36 Kb block RAM.
+const bram36Bytes = 36 * 1024 / 8
+
+// Design is the resource-relevant part of an accelerator config.
+type Design struct {
+	MACs            int   // PE array multiply-accumulators (16-bit)
+	PoolBanks       int   // feature-map bank pool
+	BankBytes       int   // capacity per bank
+	WeightBufBytes  int64 // dedicated weight buffer
+	DatapathPorts   int   // concurrent bank-pool clients (DMA, IBUF, OBUF, shortcut)
+	LogicalBuffers  bool  // true for Shortcut Mining (adds the crossbar)
+	PortWidthBits   int   // datapath port width
+	BaseControlLUTs int   // FSM + DMA + misc.; defaulted when zero
+}
+
+// Report is the estimated utilization on a device.
+type Report struct {
+	Device Device
+
+	BRAMUsed int
+	DSPUsed  int
+	LUTUsed  int
+
+	CrossbarLUTs int // portion of LUTUsed attributable to the bank crossbar
+
+	BRAMUtil float64
+	DSPUtil  float64
+	LUTUtil  float64
+
+	ClockMHz float64
+	Fits     bool
+}
+
+func ceilDiv64(a, b int64) int64 { return (a + b - 1) / b }
+
+// Estimate computes the utilization of the design on the device.
+func Estimate(dev Device, d Design) (Report, error) {
+	if d.MACs <= 0 || d.PoolBanks <= 0 || d.BankBytes <= 0 {
+		return Report{}, fmt.Errorf("fpga: incomplete design %+v", d)
+	}
+	if d.DatapathPorts <= 0 {
+		d.DatapathPorts = 4
+	}
+	if d.PortWidthBits <= 0 {
+		d.PortWidthBits = 256
+	}
+	if d.BaseControlLUTs <= 0 {
+		d.BaseControlLUTs = 25_000
+	}
+
+	// Storage: each bank maps to whole BRAM36 blocks; the weight
+	// buffer is double-buffered like the prototype's.
+	bramPerBank := int(ceilDiv64(int64(d.BankBytes), bram36Bytes))
+	bram := d.PoolBanks*bramPerBank + 2*int(ceilDiv64(d.WeightBufBytes, bram36Bytes))
+
+	// Compute: one DSP slice per 16-bit MAC, plus wrapper logic.
+	dsp := d.MACs
+	lut := d.BaseControlLUTs + d.MACs*60
+
+	// Interconnect. The baseline hard-wires each physical buffer to
+	// its port (a constant per-port mux); logical buffers need every
+	// port to reach every bank — a ports × banks crossbar, ~W/2 LUTs
+	// per endpoint mux level, plus the bank-table controller.
+	var xbar int
+	if d.LogicalBuffers {
+		muxLevels := int(math.Ceil(math.Log2(float64(d.PoolBanks))))
+		if muxLevels < 1 {
+			muxLevels = 1
+		}
+		xbar = d.DatapathPorts*d.PoolBanks*d.PortWidthBits/2 + d.PoolBanks*64
+		lut += xbar
+		_ = muxLevels
+	} else {
+		lut += d.DatapathPorts * d.PortWidthBits // fixed per-port wiring
+	}
+
+	r := Report{
+		Device:       dev,
+		BRAMUsed:     bram,
+		DSPUsed:      dsp,
+		LUTUsed:      lut,
+		CrossbarLUTs: xbar,
+		BRAMUtil:     float64(bram) / float64(dev.BRAM36),
+		DSPUtil:      float64(dsp) / float64(dev.DSP),
+		LUTUtil:      float64(lut) / float64(dev.LUT),
+		ClockMHz:     dev.MaxClockMHz,
+	}
+	// The crossbar adds pipeline stages, not clock degradation, until
+	// the pool gets very large; model a gentle penalty beyond 64 banks.
+	if d.LogicalBuffers && d.PoolBanks > 64 {
+		r.ClockMHz = dev.MaxClockMHz * 64 / float64(d.PoolBanks) * 1.5
+		if r.ClockMHz > dev.MaxClockMHz {
+			r.ClockMHz = dev.MaxClockMHz
+		}
+	}
+	r.Fits = bram <= dev.BRAM36 && dsp <= dev.DSP && lut <= dev.LUT
+	return r, nil
+}
+
+// OverheadVsBaseline reports the LUT fraction the logical-buffer
+// crossbar adds relative to the whole design (the paper's "small
+// overhead" argument, experiment E10).
+func (r Report) OverheadVsBaseline() float64 {
+	if r.LUTUsed == 0 {
+		return 0
+	}
+	return float64(r.CrossbarLUTs) / float64(r.LUTUsed)
+}

@@ -1,0 +1,155 @@
+package fpga
+
+import "testing"
+
+func testDesign(logical bool) Design {
+	return Design{
+		MACs:           256,
+		PoolBanks:      64,
+		BankBytes:      32 << 10,
+		WeightBufBytes: 512 << 10,
+		LogicalBuffers: logical,
+	}
+}
+
+func TestEstimateFitsVC709(t *testing.T) {
+	r, err := Estimate(VC709(), testDesign(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Fits {
+		t.Errorf("default SCM design does not fit VC709: %+v", r)
+	}
+	if r.BRAMUsed <= 0 || r.DSPUsed != 256 || r.LUTUsed <= 0 {
+		t.Errorf("bogus usage: %+v", r)
+	}
+	if r.BRAMUtil <= 0 || r.BRAMUtil > 1 {
+		t.Errorf("bram util = %f", r.BRAMUtil)
+	}
+}
+
+func TestEstimateRejectsIncompleteDesign(t *testing.T) {
+	bad := []Design{
+		{MACs: 0, PoolBanks: 4, BankBytes: 1024},
+		{MACs: 16, PoolBanks: 0, BankBytes: 1024},
+		{MACs: 16, PoolBanks: 4, BankBytes: 0},
+	}
+	for i, d := range bad {
+		if _, err := Estimate(VC709(), d); err == nil {
+			t.Errorf("bad design %d accepted", i)
+		}
+	}
+}
+
+func TestBRAMMappingExact(t *testing.T) {
+	// 32 KiB bank = ceil(32768/4608) = 8 BRAM36. 64 banks = 512.
+	// Weight buffer 512 KiB double-buffered = 2*114 = 228.
+	r, err := Estimate(VC709(), testDesign(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 64*8 + 2*114
+	if r.BRAMUsed != want {
+		t.Errorf("bram = %d, want %d", r.BRAMUsed, want)
+	}
+}
+
+func TestSameBRAMBothDesigns(t *testing.T) {
+	// The paper's point: logical buffers cost interconnect, not
+	// storage. Same pool → same BRAM.
+	base, err := Estimate(VC709(), testDesign(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scm, err := Estimate(VC709(), testDesign(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.BRAMUsed != scm.BRAMUsed {
+		t.Errorf("bram differs: %d vs %d", base.BRAMUsed, scm.BRAMUsed)
+	}
+	if scm.LUTUsed <= base.LUTUsed {
+		t.Error("crossbar should cost LUTs")
+	}
+	if base.CrossbarLUTs != 0 {
+		t.Error("baseline has crossbar LUTs")
+	}
+}
+
+func TestCrossbarOverheadSmall(t *testing.T) {
+	r, err := Estimate(VC709(), testDesign(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ovh := r.OverheadVsBaseline()
+	if ovh <= 0 {
+		t.Fatal("zero crossbar overhead for logical buffers")
+	}
+	// The design argument requires the crossbar to stay a modest
+	// fraction of total logic (and of the device).
+	if ovh > 0.65 {
+		t.Errorf("crossbar overhead = %.1f%% of design", 100*ovh)
+	}
+	if frac := float64(r.CrossbarLUTs) / float64(r.Device.LUT); frac > 0.10 {
+		t.Errorf("crossbar uses %.1f%% of device LUTs", 100*frac)
+	}
+}
+
+func TestClockPenaltyOnlyForHugePools(t *testing.T) {
+	small := testDesign(true)
+	r1, err := Estimate(VC709(), small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ClockMHz != VC709().MaxClockMHz {
+		t.Errorf("64-bank pool penalized: %g MHz", r1.ClockMHz)
+	}
+	big := small
+	big.PoolBanks = 512
+	r2, err := Estimate(VC709(), big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.ClockMHz >= r1.ClockMHz {
+		t.Errorf("512-bank pool not penalized: %g MHz", r2.ClockMHz)
+	}
+}
+
+func TestOversizedDesignDoesNotFit(t *testing.T) {
+	d := testDesign(true)
+	d.MACs = 10_000 // more DSPs than the device has
+	r, err := Estimate(VC709(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Fits {
+		t.Error("10k-MAC design reported as fitting")
+	}
+	d = testDesign(true)
+	d.PoolBanks = 300 // 300*8 BRAM > 1470
+	r, err = Estimate(VC709(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Fits {
+		t.Error("2400-BRAM design reported as fitting")
+	}
+}
+
+func TestDevices(t *testing.T) {
+	if VC709().BRAM36 <= VC707().BRAM36 {
+		t.Error("VC709 should be the larger device")
+	}
+	for _, d := range []Device{VC709(), VC707()} {
+		if d.Name == "" || d.LUT <= 0 || d.MaxClockMHz <= 0 {
+			t.Errorf("bad device %+v", d)
+		}
+	}
+}
+
+func TestOverheadZeroOnEmptyReport(t *testing.T) {
+	var r Report
+	if r.OverheadVsBaseline() != 0 {
+		t.Error("empty report overhead not 0")
+	}
+}

@@ -1,0 +1,165 @@
+package nn
+
+import (
+	"shortcutmining/internal/tensor"
+)
+
+// Edge is one producer→consumer feature-map dependence.
+type Edge struct {
+	Producer int // layer index that produces the feature map
+	Consumer int // layer index that consumes it
+	Bytes    int64
+	// Shortcut reports whether at least one other layer executes
+	// between producer and consumer, i.e. the feature map must be
+	// retained across intermediate layers (or spilled to DRAM) to be
+	// reused on chip. This covers both residual add operands and the
+	// cross-branch edges of concat modules (fire modules, DenseNet).
+	Shortcut bool
+}
+
+// Edges enumerates every feature-map dependence of the network at
+// dtype d, in (consumer, input-position) order.
+func Edges(n *Network, d tensor.DataType) []Edge {
+	var out []Edge
+	for _, l := range n.Layers {
+		for _, in := range l.Inputs {
+			p := n.Layer(in)
+			out = append(out, Edge{
+				Producer: p.Index,
+				Consumer: l.Index,
+				Bytes:    p.Out.Bytes(d),
+				Shortcut: l.Index-p.Index > 1,
+			})
+		}
+	}
+	return out
+}
+
+// ShortcutEdges returns only the edges that skip at least one
+// intermediate layer.
+func ShortcutEdges(n *Network, d tensor.DataType) []Edge {
+	var out []Edge
+	for _, e := range Edges(n, d) {
+		if e.Shortcut {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Span returns the number of layers executed strictly between the
+// producer and the consumer of the edge.
+func (e Edge) Span() int { return e.Consumer - e.Producer - 1 }
+
+// Characteristics summarizes a network for the motivation study
+// (experiment E1, the paper's "~40% of total feature map data" claim).
+//
+// The traffic convention matches the paper's conventional-accelerator
+// accounting: every feature map produced is written to DRAM once and
+// read back once per consuming edge; the input image is read once. A
+// shortcut edge is then charged its read plus the (otherwise avoidable)
+// store of its operand, which is what "shortcut connection data"
+// measures.
+type Characteristics struct {
+	Network       string
+	ConvLayers    int
+	FCLayers      int
+	ShortcutEdges int
+	MaxSpan       int // widest shortcut (intermediate layer count)
+
+	TotalFmapBytes    int64 // sum of all produced feature maps (incl. input)
+	BaselineReads     int64 // per-edge reads under the conventional policy
+	BaselineWrites    int64 // per-output writes under the conventional policy
+	ShortcutBytes     int64 // read traffic on shortcut edges
+	ShortcutTraffic   int64 // shortcut reads + attributed stores
+	ShortcutShare     float64
+	TotalMACs         int64
+	TotalWeightsBytes int64
+}
+
+// Characterize computes Characteristics at dtype d.
+func Characterize(n *Network, d tensor.DataType) Characteristics {
+	c := Characteristics{
+		Network:           n.Name,
+		TotalMACs:         n.TotalMACs(),
+		TotalWeightsBytes: n.TotalWeightBytes(d),
+	}
+	for _, l := range n.Layers {
+		switch l.Kind {
+		case OpConv:
+			c.ConvLayers++
+		case OpFC:
+			c.FCLayers++
+		}
+		c.TotalFmapBytes += l.Out.Bytes(d)
+		if l.Kind != OpInput {
+			c.BaselineWrites += l.Out.Bytes(d)
+		}
+	}
+	// The image itself arrives from DRAM exactly once.
+	c.BaselineReads += n.Input().Out.Bytes(d)
+	shortcutStores := make(map[int]int64)
+	for _, e := range Edges(n, d) {
+		c.BaselineReads += e.Bytes
+		if e.Shortcut {
+			c.ShortcutEdges++
+			c.ShortcutBytes += e.Bytes
+			if s := e.Span(); s > c.MaxSpan {
+				c.MaxSpan = s
+			}
+			// Attribute the producer's store once, even when several
+			// shortcut edges share a producer (DenseNet-style reuse).
+			shortcutStores[e.Producer] = e.Bytes
+		}
+	}
+	c.ShortcutTraffic = c.ShortcutBytes
+	for _, b := range shortcutStores {
+		c.ShortcutTraffic += b
+	}
+	if total := c.BaselineReads + c.BaselineWrites; total > 0 {
+		c.ShortcutShare = float64(c.ShortcutTraffic) / float64(total)
+	}
+	return c
+}
+
+// BaselineFmapTraffic is the conventional-accelerator feature-map
+// traffic (reads + writes) used as the normalization denominator.
+func (c Characteristics) BaselineFmapTraffic() int64 {
+	return c.BaselineReads + c.BaselineWrites
+}
+
+// Liveness describes when each produced feature map can be released.
+type Liveness struct {
+	// LastUse[i] is the index of the last layer consuming layer i's
+	// output (i itself when unconsumed).
+	LastUse []int
+	// LivePeak is the maximum, over execution points, of the total
+	// bytes of feature maps that are live (produced but not yet fully
+	// consumed) — a lower bound on the pool needed for full on-chip
+	// reuse.
+	LivePeak int64
+}
+
+// AnalyzeLiveness computes feature-map liveness at dtype d. A feature
+// map is live from the end of its producing layer until the end of its
+// last consuming layer; during a layer the live set also includes its
+// own output being produced.
+func AnalyzeLiveness(n *Network, d tensor.DataType) Liveness {
+	lv := Liveness{LastUse: make([]int, len(n.Layers))}
+	for i := range n.Layers {
+		lv.LastUse[i] = n.LastUse(i)
+	}
+	for step := range n.Layers {
+		var live int64
+		for i, l := range n.Layers {
+			if i <= step && lv.LastUse[i] > step {
+				live += l.Out.Bytes(d) // produced, still needed later
+			}
+		}
+		live += n.Layers[step].Out.Bytes(d) // being produced now
+		if live > lv.LivePeak {
+			lv.LivePeak = live
+		}
+	}
+	return lv
+}

@@ -1,0 +1,48 @@
+package nn
+
+import "fmt"
+
+// DenseNet121 builds the ImageNet DenseNet-121: four dense blocks
+// (6/12/24/16 bottleneck layers, growth 32) joined by 1x1+avgpool
+// transitions. Every layer's input is the concatenation of its block
+// input and all previous layers in the block, so a single feature map
+// can have dozens of consumers spread across dozens of layers — the
+// most demanding multi-consumer retention workload in the zoo and the
+// stress case for the concat-transparent consumption planner.
+func DenseNet121() (*Network, error) {
+	const growth = 32
+	blocks := []int{6, 12, 24, 16}
+
+	b := NewBuilder("densenet121", imageNetInput)
+	b.SetStage("stem")
+	x := b.Conv("conv1", b.InputName(), 64, 7, 2, 3)
+	x = b.Pool("pool1", x, MaxPool, 3, 2, 1)
+
+	channels := 64
+	for bi, layers := range blocks {
+		b.SetStage(fmt.Sprintf("block%d", bi+1))
+		feats := []string{x}
+		for li := 0; li < layers; li++ {
+			prefix := fmt.Sprintf("block%d.%d", bi+1, li+1)
+			in := feats[0]
+			if len(feats) > 1 {
+				in = b.Concat(prefix+".concat_in", feats...)
+			}
+			y := b.Conv(prefix+".bottleneck", in, 4*growth, 1, 1, 0)
+			y = b.Conv(prefix+".conv", y, growth, 3, 1, 1)
+			feats = append(feats, y)
+		}
+		channels += layers * growth
+		x = b.Concat(fmt.Sprintf("block%d.out", bi+1), feats...)
+		if bi < len(blocks)-1 {
+			b.SetStage(fmt.Sprintf("transition%d", bi+1))
+			channels /= 2
+			x = b.Conv(fmt.Sprintf("trans%d.conv", bi+1), x, channels, 1, 1, 0)
+			x = b.Pool(fmt.Sprintf("trans%d.pool", bi+1), x, AvgPool, 2, 2, 0)
+		}
+	}
+	b.SetStage("head")
+	x = b.GlobalPool("avgpool", x)
+	b.FC("fc", x, 1000)
+	return b.Finish()
+}

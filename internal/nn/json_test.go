@@ -1,0 +1,145 @@
+package nn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"shortcutmining/internal/tensor"
+)
+
+func TestDecodeJSONResidualBlock(t *testing.T) {
+	src := `{
+	  "name": "jsonnet",
+	  "input": {"c": 8, "h": 16, "w": 16},
+	  "layers": [
+	    {"name": "c1", "op": "conv", "inputs": ["input"], "out_channels": 8, "kernel": 3, "stride": 1, "pad": 1},
+	    {"name": "c2", "op": "conv", "inputs": ["c1"], "out_channels": 8, "kernel": 3, "stride": 1, "pad": 1, "stage": "body"},
+	    {"name": "sum", "op": "add", "inputs": ["c1", "c2"]},
+	    {"name": "down", "op": "pool", "pool": "max", "inputs": ["sum"], "kernel": 2, "stride": 2},
+	    {"name": "gap", "op": "gpool", "inputs": ["down"]},
+	    {"name": "fc", "op": "fc", "inputs": ["gap"], "out_channels": 10}
+	  ]
+	}`
+	n, err := DecodeJSON(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "jsonnet" || len(n.Layers) != 7 {
+		t.Fatalf("decoded %s with %d layers", n.Name, len(n.Layers))
+	}
+	if n.Layer("c2").Stage != "body" {
+		t.Errorf("stage = %q", n.Layer("c2").Stage)
+	}
+	if got := n.Output().Out; got != (tensor.Shape{C: 10, H: 1, W: 1}) {
+		t.Errorf("output = %v", got)
+	}
+	if len(ShortcutEdges(n, tensor.Fixed16)) != 1 {
+		t.Error("shortcut edge lost in decoding")
+	}
+}
+
+func TestDecodeJSONGroupedConvAndConcat(t *testing.T) {
+	src := `{
+	  "name": "g",
+	  "input": {"c": 8, "h": 8, "w": 8},
+	  "layers": [
+	    {"name": "dw", "op": "conv", "inputs": ["input"], "out_channels": 8, "kernel": 3, "stride": 1, "pad": 1, "groups": 8},
+	    {"name": "pw", "op": "conv", "inputs": ["dw"], "out_channels": 8, "kernel": 1, "stride": 1},
+	    {"name": "cat", "op": "concat", "inputs": ["dw", "pw"]}
+	  ]
+	}`
+	n, err := DecodeJSON(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Layer("dw").NumGroups() != 8 {
+		t.Error("groups lost")
+	}
+	if n.Layer("cat").Out.C != 16 {
+		t.Errorf("concat channels = %d", n.Layer("cat").Out.C)
+	}
+}
+
+func TestDecodeJSONErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"bad json", `{`, "decoding"},
+		{"unknown field", `{"name":"x","input":{"c":1,"h":1,"w":1},"bogus":1,"layers":[]}`, "decoding"},
+		{"no name", `{"input":{"c":1,"h":4,"w":4},"layers":[{"name":"c","op":"conv","inputs":["input"],"out_channels":1,"kernel":1,"stride":1}]}`, "needs a name"},
+		{"unknown op", `{"name":"x","input":{"c":1,"h":4,"w":4},"layers":[{"name":"m","op":"magic","inputs":["input"]}]}`, "unknown op"},
+		{"unknown pool", `{"name":"x","input":{"c":1,"h":4,"w":4},"layers":[{"name":"p","op":"pool","pool":"median","inputs":["input"],"kernel":2,"stride":2}]}`, "unknown pool kind"},
+		{"conv arity", `{"name":"x","input":{"c":1,"h":4,"w":4},"layers":[{"name":"c","op":"conv","inputs":["input","input"],"out_channels":1,"kernel":1,"stride":1}]}`, "exactly one input"},
+		{"builder error surfaces", `{"name":"x","input":{"c":1,"h":4,"w":4},"layers":[{"name":"c","op":"conv","inputs":["ghost"],"out_channels":1,"kernel":1,"stride":1}]}`, "unknown layer"},
+		{"empty network", `{"name":"x","input":{"c":1,"h":4,"w":4},"layers":[]}`, "no layers"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := DecodeJSON(strings.NewReader(c.src))
+			if err == nil {
+				t.Fatalf("expected error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestJSONRoundTripZoo(t *testing.T) {
+	// Every zoo network must survive encode → decode with identical
+	// structure and analysis results.
+	for _, name := range ZooNames() {
+		orig := MustBuild(name)
+		var buf bytes.Buffer
+		if err := EncodeJSON(&buf, orig); err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		back, err := DecodeJSON(&buf)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if len(back.Layers) != len(orig.Layers) {
+			t.Fatalf("%s: layer count %d → %d", name, len(orig.Layers), len(back.Layers))
+		}
+		for i := range orig.Layers {
+			a, b := orig.Layers[i], back.Layers[i]
+			if a.Name != b.Name || a.Kind != b.Kind || a.Out != b.Out || a.Stage != b.Stage ||
+				a.NumGroups() != b.NumGroups() {
+				t.Fatalf("%s: layer %d differs: %+v vs %+v", name, i, a, b)
+			}
+		}
+		ca := Characterize(orig, tensor.Fixed16)
+		cb := Characterize(back, tensor.Fixed16)
+		if ca != cb {
+			t.Errorf("%s: characteristics changed across round trip", name)
+		}
+	}
+}
+
+func TestDecodeJSONShuffle(t *testing.T) {
+	src := `{
+	  "name": "sh",
+	  "input": {"c": 12, "h": 8, "w": 8},
+	  "layers": [
+	    {"name": "g1", "op": "conv", "inputs": ["input"], "out_channels": 12, "kernel": 1, "stride": 1, "groups": 3},
+	    {"name": "mix", "op": "shuffle", "inputs": ["g1"], "groups": 3},
+	    {"name": "g2", "op": "conv", "inputs": ["mix"], "out_channels": 12, "kernel": 1, "stride": 1, "groups": 3}
+	  ]
+	}`
+	n, err := DecodeJSON(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Layer("mix").Kind != OpShuffle || n.Layer("mix").NumGroups() != 3 {
+		t.Error("shuffle not decoded")
+	}
+	// Bad groups surface the builder error.
+	bad := strings.Replace(src, `"groups": 3},
+	    {"name": "g2"`, `"groups": 5},
+	    {"name": "g2"`, 1)
+	if _, err := DecodeJSON(strings.NewReader(bad)); err == nil {
+		t.Error("indivisible shuffle groups accepted")
+	}
+}

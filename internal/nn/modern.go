@@ -1,0 +1,212 @@
+package nn
+
+import "fmt"
+
+// MobileNetV2 builds the ImageNet MobileNetV2 topology: inverted
+// residual bottlenecks whose expand → depthwise → project main path is
+// bridged by identity shortcuts whenever stride and width allow. It is
+// the modern, mobile-scale counterpart of the paper's residual
+// workloads (extension experiment E14): shortcut data is plentiful but
+// individual feature maps are small, so retention saturates earlier.
+func MobileNetV2() (*Network, error) {
+	b := NewBuilder("mobilenetv2", imageNetInput)
+	b.SetStage("stem")
+	x := b.Conv("conv1", b.InputName(), 32, 3, 2, 1)
+
+	specs := []struct {
+		t, c, n, s int // expansion, out channels, repeats, first stride
+	}{
+		{1, 16, 1, 1},
+		{6, 24, 2, 2},
+		{6, 32, 3, 2},
+		{6, 64, 4, 2},
+		{6, 96, 3, 1},
+		{6, 160, 3, 2},
+		{6, 320, 1, 1},
+	}
+	inC := 32
+	for si, sp := range specs {
+		b.SetStage(fmt.Sprintf("stage%d", si+1))
+		for i := 0; i < sp.n; i++ {
+			s := sp.s
+			if i > 0 {
+				s = 1
+			}
+			prefix := fmt.Sprintf("block%d.%d", si+1, i)
+			x = invertedResidual(b, prefix, x, inC, sp.c, sp.t, s)
+			inC = sp.c
+		}
+	}
+	b.SetStage("head")
+	x = b.Conv("conv_last", x, 1280, 1, 1, 0)
+	x = b.GlobalPool("avgpool", x)
+	b.FC("fc", x, 1000)
+	return b.Finish()
+}
+
+// invertedResidual appends one MobileNetV2 bottleneck: 1x1 expand,
+// 3x3 depthwise, 1x1 linear projection, with an identity shortcut when
+// the geometry is preserved.
+func invertedResidual(b *Builder, prefix, in string, inC, outC, expand, stride int) string {
+	if b.err != nil {
+		return ""
+	}
+	hidden := inC * expand
+	y := in
+	if expand != 1 {
+		y = b.Conv(prefix+".expand", y, hidden, 1, 1, 0)
+	}
+	y = b.GroupedConv(prefix+".dw", y, hidden, 3, stride, 1, hidden)
+	y = b.Conv(prefix+".project", y, outC, 1, 1, 0)
+	if stride == 1 && inC == outC {
+		return b.Add(prefix+".add", in, y)
+	}
+	return y
+}
+
+// GoogLeNet builds Inception v1: nine inception modules whose four
+// branches all reconverge through channel concatenation — the
+// concat-retention stress case (every branch output must survive the
+// sibling branches' execution).
+func GoogLeNet() (*Network, error) {
+	b := NewBuilder("googlenet", imageNetInput)
+	b.SetStage("stem")
+	x := b.Conv("conv1", b.InputName(), 64, 7, 2, 3)
+	x = b.Pool("pool1", x, MaxPool, 3, 2, 1)
+	x = b.Conv("conv2reduce", x, 64, 1, 1, 0)
+	x = b.Conv("conv2", x, 192, 3, 1, 1)
+	x = b.Pool("pool2", x, MaxPool, 3, 2, 1)
+
+	specs := []struct {
+		name                     string
+		c1, c3r, c3, c5r, c5, pp int
+		poolAfter                bool
+	}{
+		{"3a", 64, 96, 128, 16, 32, 32, false},
+		{"3b", 128, 128, 192, 32, 96, 64, true},
+		{"4a", 192, 96, 208, 16, 48, 64, false},
+		{"4b", 160, 112, 224, 24, 64, 64, false},
+		{"4c", 128, 128, 256, 24, 64, 64, false},
+		{"4d", 112, 144, 288, 32, 64, 64, false},
+		{"4e", 256, 160, 320, 32, 128, 128, true},
+		{"5a", 256, 160, 320, 32, 128, 128, false},
+		{"5b", 384, 192, 384, 48, 128, 128, false},
+	}
+	for _, sp := range specs {
+		b.SetStage("inception" + sp.name)
+		x = inceptionModule(b, "inc"+sp.name, x, sp.c1, sp.c3r, sp.c3, sp.c5r, sp.c5, sp.pp)
+		if sp.poolAfter {
+			x = b.Pool("pool_"+sp.name, x, MaxPool, 3, 2, 1)
+		}
+	}
+	b.SetStage("head")
+	x = b.GlobalPool("avgpool", x)
+	b.FC("fc", x, 1000)
+	return b.Finish()
+}
+
+// inceptionModule appends the classic four-branch module: 1x1, 1x1→3x3,
+// 1x1→5x5, and 3x3maxpool→1x1, concatenated along channels.
+func inceptionModule(b *Builder, prefix, in string, c1, c3r, c3, c5r, c5, pp int) string {
+	b1 := b.Conv(prefix+".b1", in, c1, 1, 1, 0)
+	b3 := b.Conv(prefix+".b3r", in, c3r, 1, 1, 0)
+	b3 = b.Conv(prefix+".b3", b3, c3, 3, 1, 1)
+	b5 := b.Conv(prefix+".b5r", in, c5r, 1, 1, 0)
+	b5 = b.Conv(prefix+".b5", b5, c5, 5, 1, 2)
+	bp := b.Pool(prefix+".pool", in, MaxPool, 3, 1, 1)
+	bp = b.Conv(prefix+".bp", bp, pp, 1, 1, 0)
+	return b.Concat(prefix+".concat", b1, b3, b5, bp)
+}
+
+// ResNeXt50 builds ResNeXt-50 (32×4d): the ResNet-50 topology with
+// 32-way grouped 3x3 convolutions and doubled bottleneck width —
+// grouped convolution at ImageNet scale with the full residual
+// shortcut structure.
+func ResNeXt50() (*Network, error) {
+	const cardinality = 32
+	blocks := []int{3, 4, 6, 3}
+	b := NewBuilder("resnext50", imageNetInput)
+	b.SetStage("stem")
+	x := b.Conv("conv1", b.InputName(), 64, 7, 2, 3)
+	x = b.Pool("pool1", x, MaxPool, 3, 2, 1)
+
+	width := 128 // bottleneck width (2× ResNet-50's)
+	outC := 256  // block output channels
+	for stage := 0; stage < 4; stage++ {
+		b.SetStage(fmt.Sprintf("layer%d", stage+1))
+		stride := 1
+		if stage > 0 {
+			stride = 2
+		}
+		for blk := 0; blk < blocks[stage]; blk++ {
+			s := stride
+			if blk > 0 {
+				s = 1
+			}
+			prefix := fmt.Sprintf("layer%d.%d", stage+1, blk)
+			shortcut := x
+			if s != 1 || b.net.byName[x].Out.C != outC {
+				shortcut = b.Conv(prefix+".downsample", x, outC, 1, s, 0)
+			}
+			y := b.Conv(prefix+".conv1", x, width, 1, 1, 0)
+			y = b.GroupedConv(prefix+".conv2", y, width, 3, s, 1, cardinality)
+			y = b.Conv(prefix+".conv3", y, outC, 1, 1, 0)
+			x = b.Add(prefix+".add", shortcut, y)
+		}
+		width *= 2
+		outC *= 2
+	}
+	b.SetStage("head")
+	x = b.GlobalPool("avgpool", x)
+	b.FC("fc", x, 1000)
+	return b.Finish()
+}
+
+// ShuffleNetV1 builds ShuffleNet v1 (1×, groups 3): grouped pointwise
+// convolutions whose channel mixing comes from an explicit shuffle
+// layer — the op that motivated OpShuffle — with residual adds on
+// stride-1 units and avgpool-concat bypasses on stride-2 units.
+func ShuffleNetV1() (*Network, error) {
+	const g = 3
+	stages := []struct {
+		out, units int
+	}{{240, 4}, {480, 8}, {960, 4}}
+
+	b := NewBuilder("shufflenetv1", imageNetInput)
+	b.SetStage("stem")
+	x := b.Conv("conv1", b.InputName(), 24, 3, 2, 1)
+	x = b.Pool("pool1", x, MaxPool, 3, 2, 1)
+	inC := 24
+
+	for si, st := range stages {
+		b.SetStage(fmt.Sprintf("stage%d", si+2))
+		for u := 0; u < st.units; u++ {
+			prefix := fmt.Sprintf("stage%d.%d", si+2, u)
+			bott := st.out / 4
+			g1 := g
+			if si == 0 && u == 0 {
+				g1 = 1 // the 24-channel stem input is not grouped
+			}
+			if u == 0 { // stride-2 unit: concat bypass
+				branchOut := st.out - inC
+				side := b.Pool(prefix+".avgpool", x, AvgPool, 3, 2, 1)
+				y := b.GroupedConv(prefix+".gconv1", x, bott, 1, 1, 0, g1)
+				y = b.Shuffle(prefix+".shuffle", y, g)
+				y = b.GroupedConv(prefix+".dw", y, bott, 3, 2, 1, bott)
+				y = b.GroupedConv(prefix+".gconv2", y, branchOut, 1, 1, 0, g)
+				x = b.Concat(prefix+".concat", side, y)
+			} else { // stride-1 unit: residual add
+				y := b.GroupedConv(prefix+".gconv1", x, bott, 1, 1, 0, g1)
+				y = b.Shuffle(prefix+".shuffle", y, g)
+				y = b.GroupedConv(prefix+".dw", y, bott, 3, 1, 1, bott)
+				y = b.GroupedConv(prefix+".gconv2", y, st.out, 1, 1, 0, g)
+				x = b.Add(prefix+".add", x, y)
+			}
+			inC = st.out
+		}
+	}
+	b.SetStage("head")
+	x = b.GlobalPool("avgpool", x)
+	b.FC("fc", x, 1000)
+	return b.Finish()
+}

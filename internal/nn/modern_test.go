@@ -1,0 +1,373 @@
+package nn
+
+import (
+	"testing"
+
+	"shortcutmining/internal/tensor"
+)
+
+func TestGroupedConvSemantics(t *testing.T) {
+	b := NewBuilder("g", tensor.Shape{C: 8, H: 8, W: 8})
+	dense := b.Conv("dense", b.InputName(), 16, 3, 1, 1)
+	grouped := b.GroupedConv("grouped", dense, 16, 3, 1, 1, 4)
+	dw := b.GroupedConv("dw", grouped, 16, 3, 1, 1, 16)
+	n, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, g, w := n.Layer(dense), n.Layer(grouped), n.Layer(dw)
+	if d.NumGroups() != 1 || g.NumGroups() != 4 || w.NumGroups() != 16 {
+		t.Fatal("group counts wrong")
+	}
+	// Grouped conv divides MACs and weights by the group count.
+	if g.MACs() != int64(16*8*8)*int64(16/4)*9 {
+		t.Errorf("grouped MACs = %d", g.MACs())
+	}
+	if w.MACs() != int64(16*8*8)*1*9 {
+		t.Errorf("depthwise MACs = %d", w.MACs())
+	}
+	if g.WeightBytes(tensor.Fixed8) != int64(16*4*9) {
+		t.Errorf("grouped weights = %d", g.WeightBytes(tensor.Fixed8))
+	}
+	if w.WeightBytes(tensor.Fixed8) != int64(16*1*9) {
+		t.Errorf("depthwise weights = %d", w.WeightBytes(tensor.Fixed8))
+	}
+}
+
+func TestGroupedConvValidation(t *testing.T) {
+	b := NewBuilder("g", tensor.Shape{C: 6, H: 8, W: 8})
+	b.GroupedConv("bad", b.InputName(), 8, 3, 1, 1, 4) // 6 % 4 != 0
+	if _, err := b.Finish(); err == nil {
+		t.Error("indivisible groups accepted")
+	}
+	b = NewBuilder("g", tensor.Shape{C: 8, H: 8, W: 8})
+	b.GroupedConv("bad", b.InputName(), 6, 3, 1, 1, 4) // 6 % 4 != 0
+	if _, err := b.Finish(); err == nil {
+		t.Error("indivisible output groups accepted")
+	}
+}
+
+func TestMobileNetV2KnownNumbers(t *testing.T) {
+	n, err := MobileNetV2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Published: ~3.4M params, ~300M MACs at 224×224.
+	params := n.TotalWeightBytes(tensor.Fixed8)
+	if !approx(params, 3_400_000, 0.06) {
+		t.Errorf("params = %d, want ≈3.4M", params)
+	}
+	if !approx(n.TotalMACs(), 300_000_000, 0.08) {
+		t.Errorf("MACs = %d, want ≈300M", n.TotalMACs())
+	}
+	if got := n.Output().Out; got != (tensor.Shape{C: 1000, H: 1, W: 1}) {
+		t.Errorf("output = %v", got)
+	}
+	// 10 identity-shortcut blocks: stage2(1)+stage3(2)+stage4(3)+stage5(2)+stage6(2).
+	adds := 0
+	for _, l := range n.Layers {
+		if l.Kind == OpEltwiseAdd {
+			adds++
+		}
+	}
+	if adds != 10 {
+		t.Errorf("adds = %d, want 10", adds)
+	}
+	// Depthwise layers are present and grouped.
+	dw := n.Layer("block2.0.dw")
+	if dw == nil || dw.NumGroups() != dw.In[0].C {
+		t.Error("depthwise layer missing or not depthwise")
+	}
+}
+
+func TestMobileNetV2StageGeometry(t *testing.T) {
+	n, err := MobileNetV2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		layer string
+		want  tensor.Shape
+	}{
+		{"conv1", tensor.Shape{C: 32, H: 112, W: 112}},
+		{"block1.0.project", tensor.Shape{C: 16, H: 112, W: 112}},
+		{"block2.1.add", tensor.Shape{C: 24, H: 56, W: 56}},
+		{"block4.3.add", tensor.Shape{C: 64, H: 14, W: 14}},
+		{"block7.0.project", tensor.Shape{C: 320, H: 7, W: 7}},
+		{"conv_last", tensor.Shape{C: 1280, H: 7, W: 7}},
+	}
+	for _, c := range cases {
+		l := n.Layer(c.layer)
+		if l == nil {
+			t.Fatalf("missing layer %q", c.layer)
+		}
+		if l.Out != c.want {
+			t.Errorf("%s out = %v, want %v", c.layer, l.Out, c.want)
+		}
+	}
+}
+
+func TestGoogLeNetKnownNumbers(t *testing.T) {
+	n, err := GoogLeNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Published: ~7.0M params (weights), ~1.5G MACs.
+	params := n.TotalWeightBytes(tensor.Fixed8)
+	if !approx(params, 7_000_000, 0.06) {
+		t.Errorf("params = %d, want ≈7M", params)
+	}
+	if !approx(n.TotalMACs(), 1_500_000_000, 0.10) {
+		t.Errorf("MACs = %d, want ≈1.5G", n.TotalMACs())
+	}
+	// Nine inception modules, each a 4-way concat.
+	concats := 0
+	for _, l := range n.Layers {
+		if l.Kind == OpConcat {
+			if len(l.In) != 4 {
+				t.Errorf("%s has %d branches", l.Name, len(l.In))
+			}
+			concats++
+		}
+	}
+	if concats != 9 {
+		t.Errorf("concats = %d, want 9", concats)
+	}
+	// Known module output widths.
+	cases := []struct {
+		layer string
+		wantC int
+	}{
+		{"inc3a.concat", 256}, {"inc3b.concat", 480},
+		{"inc4e.concat", 832}, {"inc5b.concat", 1024},
+	}
+	for _, c := range cases {
+		l := n.Layer(c.layer)
+		if l == nil {
+			t.Fatalf("missing %q", c.layer)
+		}
+		if l.Out.C != c.wantC {
+			t.Errorf("%s channels = %d, want %d", c.layer, l.Out.C, c.wantC)
+		}
+	}
+}
+
+func TestGoogLeNetShortcutShareNearForty(t *testing.T) {
+	n, err := GoogLeNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := Characterize(n, tensor.Fixed16)
+	if ch.ShortcutShare < 0.30 || ch.ShortcutShare > 0.50 {
+		t.Errorf("googlenet shortcut share = %.1f%%, want ≈40%%", 100*ch.ShortcutShare)
+	}
+}
+
+func TestRandomNetworksAlwaysValid(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		n := RandomNetwork(seed)
+		if err := n.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(n.Layers) < 3 {
+			t.Fatalf("seed %d: degenerate network", seed)
+		}
+	}
+}
+
+func TestRandomNetworksCoverMechanisms(t *testing.T) {
+	// Across a seed range the generator must produce shortcut edges,
+	// concats, grouped convs and pooling — otherwise the fuzz tests
+	// exercise less than intended.
+	var sawShortcut, sawConcat, sawGroup, sawPool bool
+	for seed := int64(0); seed < 100; seed++ {
+		n := RandomNetwork(seed)
+		if len(ShortcutEdges(n, tensor.Fixed16)) > 0 {
+			sawShortcut = true
+		}
+		for _, l := range n.Layers {
+			switch {
+			case l.Kind == OpConcat:
+				sawConcat = true
+			case l.Kind == OpPool:
+				sawPool = true
+			case l.Kind == OpConv && l.NumGroups() > 1:
+				sawGroup = true
+			}
+		}
+	}
+	if !sawShortcut || !sawConcat || !sawGroup || !sawPool {
+		t.Errorf("coverage: shortcut=%v concat=%v group=%v pool=%v",
+			sawShortcut, sawConcat, sawGroup, sawPool)
+	}
+}
+
+func TestRandomNetworkDeterministic(t *testing.T) {
+	a := RandomNetwork(12345)
+	b := RandomNetwork(12345)
+	if len(a.Layers) != len(b.Layers) {
+		t.Fatal("same seed, different layer count")
+	}
+	for i := range a.Layers {
+		if a.Layers[i].Name != b.Layers[i].Name || a.Layers[i].Out != b.Layers[i].Out {
+			t.Fatalf("same seed, different layer %d", i)
+		}
+	}
+}
+
+func TestDenseNet121KnownNumbers(t *testing.T) {
+	n, err := DenseNet121()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Published: ~7.98M params, ~2.87G MACs.
+	params := n.TotalWeightBytes(tensor.Fixed8)
+	if !approx(params, 7_980_000, 0.04) {
+		t.Errorf("params = %d, want ≈7.98M", params)
+	}
+	if !approx(n.TotalMACs(), 2_870_000_000, 0.05) {
+		t.Errorf("MACs = %d, want ≈2.87G", n.TotalMACs())
+	}
+	ch := Characterize(n, tensor.Fixed16)
+	if ch.ConvLayers != 120 { // 1 stem + 58×2 dense + 3 transitions
+		t.Errorf("conv layers = %d, want 120", ch.ConvLayers)
+	}
+	// Dense connectivity: hundreds of shortcut edges, spans of tens of
+	// layers.
+	if ch.ShortcutEdges < 400 || ch.MaxSpan < 50 {
+		t.Errorf("edges=%d span=%d: dense connectivity missing", ch.ShortcutEdges, ch.MaxSpan)
+	}
+	// Block output widths.
+	cases := []struct {
+		layer string
+		wantC int
+	}{
+		{"block1.out", 256}, {"trans1.conv", 128},
+		{"block2.out", 512}, {"block3.out", 1024}, {"block4.out", 1024},
+	}
+	for _, c := range cases {
+		l := n.Layer(c.layer)
+		if l == nil {
+			t.Fatalf("missing %q", c.layer)
+		}
+		if l.Out.C != c.wantC {
+			t.Errorf("%s channels = %d, want %d", c.layer, l.Out.C, c.wantC)
+		}
+	}
+	if got := n.Layer("block4.out").Out; got.H != 7 || got.W != 7 {
+		t.Errorf("final spatial = %v", got)
+	}
+}
+
+func TestResNeXt50KnownNumbers(t *testing.T) {
+	n, err := ResNeXt50()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Published: ~25.0M params, ~4.23G MACs.
+	params := n.TotalWeightBytes(tensor.Fixed8)
+	if !approx(params, 25_000_000, 0.04) {
+		t.Errorf("params = %d, want ≈25M", params)
+	}
+	if !approx(n.TotalMACs(), 4_230_000_000, 0.05) {
+		t.Errorf("MACs = %d, want ≈4.23G", n.TotalMACs())
+	}
+	// Grouped 3x3 in every block.
+	c2 := n.Layer("layer1.0.conv2")
+	if c2 == nil || c2.NumGroups() != 32 {
+		t.Error("grouped conv2 missing")
+	}
+	// Same block structure as ResNet-50: 16 adds, 4 projections.
+	adds, proj := 0, 0
+	for _, l := range n.Layers {
+		if l.Kind == OpEltwiseAdd {
+			adds++
+		}
+		if l.Kind == OpConv && l.K == 1 && l.Stride >= 1 && l.Name != "" &&
+			len(l.Name) > 10 && l.Name[len(l.Name)-10:] == "downsample" {
+			proj++
+		}
+	}
+	if adds != 16 || proj != 4 {
+		t.Errorf("adds=%d projections=%d, want 16/4", adds, proj)
+	}
+	if got := n.Layer("layer4.2.add").Out; got != (tensor.Shape{C: 2048, H: 7, W: 7}) {
+		t.Errorf("final block out = %v", got)
+	}
+}
+
+func TestShuffleOpSemantics(t *testing.T) {
+	b := NewBuilder("sh", tensor.Shape{C: 12, H: 8, W: 8})
+	s := b.Shuffle("shuffle", b.InputName(), 3)
+	n, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := n.Layer(s)
+	if l.Out != (tensor.Shape{C: 12, H: 8, W: 8}) {
+		t.Errorf("shuffle out = %v", l.Out)
+	}
+	if l.WeightBytes(tensor.Fixed16) != 0 {
+		t.Error("shuffle has weights")
+	}
+	if l.MACs() != int64(12*8*8) {
+		t.Errorf("shuffle ops = %d", l.MACs())
+	}
+	// Invalid group counts are rejected.
+	b = NewBuilder("bad", tensor.Shape{C: 10, H: 4, W: 4})
+	b.Shuffle("s", b.InputName(), 3)
+	if _, err := b.Finish(); err == nil {
+		t.Error("indivisible shuffle accepted")
+	}
+	b = NewBuilder("bad", tensor.Shape{C: 10, H: 4, W: 4})
+	b.Shuffle("s", b.InputName(), 1)
+	if _, err := b.Finish(); err == nil {
+		t.Error("single-group shuffle accepted")
+	}
+}
+
+func TestShuffleNetV1KnownNumbers(t *testing.T) {
+	n, err := ShuffleNetV1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Published (1×, g=3): ~137 MFLOPs; params just under 2M.
+	if !approx(n.TotalMACs(), 140_000_000, 0.08) {
+		t.Errorf("MACs = %d, want ≈140M", n.TotalMACs())
+	}
+	params := n.TotalWeightBytes(tensor.Fixed8)
+	if params < 1_500_000 || params > 2_200_000 {
+		t.Errorf("params = %d, want ≈1.9M", params)
+	}
+	shuffles, adds, concats := 0, 0, 0
+	for _, l := range n.Layers {
+		switch l.Kind {
+		case OpShuffle:
+			shuffles++
+		case OpEltwiseAdd:
+			adds++
+		case OpConcat:
+			concats++
+		}
+	}
+	if shuffles != 16 || adds != 13 || concats != 3 {
+		t.Errorf("shuffles=%d adds=%d concats=%d, want 16/13/3", shuffles, adds, concats)
+	}
+	cases := []struct {
+		layer string
+		want  tensor.Shape
+	}{
+		{"stage2.0.concat", tensor.Shape{C: 240, H: 28, W: 28}},
+		{"stage3.0.concat", tensor.Shape{C: 480, H: 14, W: 14}},
+		{"stage4.3.add", tensor.Shape{C: 960, H: 7, W: 7}},
+	}
+	for _, c := range cases {
+		l := n.Layer(c.layer)
+		if l == nil {
+			t.Fatalf("missing %q", c.layer)
+		}
+		if l.Out != c.want {
+			t.Errorf("%s = %v, want %v", c.layer, l.Out, c.want)
+		}
+	}
+}

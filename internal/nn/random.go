@@ -1,0 +1,97 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"shortcutmining/internal/tensor"
+)
+
+// RandomNetwork generates a small, valid network from a seed: a
+// conv/pool backbone sprinkled with residual adds (including long-span
+// shortcuts), concat branches, grouped convolutions, and an optional
+// classifier head. It drives the randomized end-to-end tests: any
+// network it can produce must simulate under every strategy, preserve
+// the traffic ordering, and verify functionally.
+func RandomNetwork(seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	channels := []int{4, 8, 12, 16}[rng.Intn(4)]
+	hw := []int{8, 12, 16}[rng.Intn(3)]
+	b := NewBuilder(fmt.Sprintf("random-%d", seed), tensor.Shape{C: channels, H: hw, W: hw})
+
+	// outs tracks produced layer names with their shapes for shortcut
+	// and concat candidates.
+	type prod struct {
+		name  string
+		shape tensor.Shape
+	}
+	cur := prod{b.InputName(), tensor.Shape{C: channels, H: hw, W: hw}}
+	var history []prod
+
+	conv := func(name string, in prod, outC, k, stride, pad, groups int) prod {
+		if b.err != nil {
+			return in
+		}
+		var n string
+		if groups > 1 {
+			n = b.GroupedConv(name, in.name, outC, k, stride, pad, groups)
+		} else {
+			n = b.Conv(name, in.name, outC, k, stride, pad)
+		}
+		return prod{n, b.net.byName[n].Out}
+	}
+
+	steps := 4 + rng.Intn(10)
+	for i := 0; i < steps; i++ {
+		history = append(history, cur)
+		name := fmt.Sprintf("l%d", i)
+		switch choice := rng.Intn(10); {
+		case choice < 4: // plain conv, occasionally grouped
+			outC := []int{4, 8, 12, 16}[rng.Intn(4)]
+			groups := 1
+			if rng.Intn(4) == 0 && cur.shape.C%4 == 0 && outC%4 == 0 {
+				groups = 4
+			}
+			k := []int{1, 3}[rng.Intn(2)]
+			cur = conv(name, cur, outC, k, 1, k/2, groups)
+		case choice < 6: // residual block with random span
+			span := 1 + rng.Intn(3)
+			src := cur
+			y := cur
+			for s := 0; s < span; s++ {
+				y = conv(fmt.Sprintf("%s.s%d", name, s), y, src.shape.C, 3, 1, 1, 1)
+			}
+			n := b.Add(name+".add", src.name, y.name)
+			cur = prod{n, src.shape}
+		case choice < 8: // two-branch concat
+			left := conv(name+".a", cur, 4+4*rng.Intn(2), 1, 1, 0, 1)
+			right := conv(name+".b", cur, 4+4*rng.Intn(2), 3, 1, 1, 1)
+			n := b.Concat(name+".cat", left.name, right.name)
+			cur = prod{n, tensor.Shape{C: left.shape.C + right.shape.C, H: cur.shape.H, W: cur.shape.W}}
+		case choice < 9 && cur.shape.H >= 4: // downsample
+			n := b.Pool(name+".pool", cur.name, PoolKind(rng.Intn(2)), 2, 2, 0)
+			cur = prod{n, tensor.Shape{C: cur.shape.C, H: cur.shape.H / 2, W: cur.shape.W / 2}}
+		default: // long-range add to any same-shape ancestor
+			match := -1
+			for j := len(history) - 1; j >= 0; j-- {
+				if history[j].shape == cur.shape && history[j].name != cur.name {
+					match = j
+					break
+				}
+			}
+			if match < 0 {
+				cur = conv(name, cur, cur.shape.C, 3, 1, 1, 1)
+				break
+			}
+			n := b.Add(name+".skip", history[match].name, cur.name)
+			cur = prod{n, cur.shape}
+		}
+	}
+	if rng.Intn(2) == 0 {
+		g := b.GlobalPool("gap", cur.name)
+		b.FC("fc", g, 10)
+	} else {
+		b.Conv("head", cur.name, 8, 1, 1, 0)
+	}
+	return b.MustFinish()
+}

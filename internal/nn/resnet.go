@@ -1,0 +1,149 @@
+package nn
+
+import (
+	"fmt"
+
+	"shortcutmining/internal/tensor"
+)
+
+// imageNetInput is the canonical 224×224 RGB input used by the zoo.
+var imageNetInput = tensor.Shape{C: 3, H: 224, W: 224}
+
+// resnetSpec captures one depth configuration of the ResNet family.
+type resnetSpec struct {
+	blocks     [4]int // residual blocks per stage
+	bottleneck bool   // 3-layer bottleneck vs 2-layer basic block
+}
+
+var resnetSpecs = map[int]resnetSpec{
+	18:  {blocks: [4]int{2, 2, 2, 2}},
+	34:  {blocks: [4]int{3, 4, 6, 3}},
+	50:  {blocks: [4]int{3, 4, 6, 3}, bottleneck: true},
+	101: {blocks: [4]int{3, 4, 23, 3}, bottleneck: true},
+	152: {blocks: [4]int{3, 8, 36, 3}, bottleneck: true},
+}
+
+// ResNet builds the ImageNet ResNet of the given depth (18, 34, 50,
+// 101 or 152) with projection shortcuts at stage transitions, exactly
+// the topologies the paper evaluates (ResNet-34 and ResNet-152) plus
+// the rest of the family for sweeps.
+func ResNet(depth int) (*Network, error) {
+	spec, ok := resnetSpecs[depth]
+	if !ok {
+		return nil, fmt.Errorf("nn: unsupported ResNet depth %d", depth)
+	}
+	b := NewBuilder(fmt.Sprintf("resnet%d", depth), imageNetInput)
+	b.SetStage("stem")
+	x := b.Conv("conv1", b.InputName(), 64, 7, 2, 3)
+	x = b.Pool("pool1", x, MaxPool, 3, 2, 1)
+
+	width := 64
+	for stage := 0; stage < 4; stage++ {
+		b.SetStage(fmt.Sprintf("layer%d", stage+1))
+		stride := 1
+		if stage > 0 {
+			stride = 2
+		}
+		for blk := 0; blk < spec.blocks[stage]; blk++ {
+			s := stride
+			if blk > 0 {
+				s = 1
+			}
+			prefix := fmt.Sprintf("layer%d.%d", stage+1, blk)
+			if spec.bottleneck {
+				x = bottleneckBlock(b, prefix, x, width, s)
+			} else {
+				x = basicBlock(b, prefix, x, width, s)
+			}
+		}
+		width *= 2
+	}
+
+	b.SetStage("head")
+	x = b.GlobalPool("avgpool", x)
+	b.FC("fc", x, 1000)
+	return b.Finish()
+}
+
+// MustResNet is ResNet for static zoo call sites.
+func MustResNet(depth int) *Network {
+	n, err := ResNet(depth)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// basicBlock appends a 2×3x3 residual block. The shortcut operand is
+// the block input, optionally passed through a strided 1x1 projection
+// when the geometry changes; the projection runs first so that its
+// output, like any shortcut operand, must survive across the
+// intermediate convolutions.
+func basicBlock(b *Builder, prefix, in string, width, stride int) string {
+	if b.err != nil {
+		return ""
+	}
+	shortcut := in
+	needsProj := stride != 1 || b.net.byName[in].Out.C != width
+	if needsProj {
+		shortcut = b.Conv(prefix+".downsample", in, width, 1, stride, 0)
+	}
+	y := b.Conv(prefix+".conv1", in, width, 3, stride, 1)
+	y = b.Conv(prefix+".conv2", y, width, 3, 1, 1)
+	return b.Add(prefix+".add", shortcut, y)
+}
+
+// bottleneckBlock appends a 1x1→3x3→1x1 bottleneck residual block with
+// expansion 4.
+func bottleneckBlock(b *Builder, prefix, in string, width, stride int) string {
+	if b.err != nil {
+		return ""
+	}
+	const expansion = 4
+	outC := width * expansion
+	shortcut := in
+	needsProj := stride != 1 || b.net.byName[in].Out.C != outC
+	if needsProj {
+		shortcut = b.Conv(prefix+".downsample", in, outC, 1, stride, 0)
+	}
+	y := b.Conv(prefix+".conv1", in, width, 1, 1, 0)
+	y = b.Conv(prefix+".conv2", y, width, 3, stride, 1)
+	y = b.Conv(prefix+".conv3", y, outC, 1, 1, 0)
+	return b.Add(prefix+".add", shortcut, y)
+}
+
+// PlainNet builds the shortcut-free counterpart of a basic-block
+// ResNet (the "plain network" control: identical convolution stack,
+// no residual additions). Supported depths are 18 and 34.
+func PlainNet(depth int) (*Network, error) {
+	spec, ok := resnetSpecs[depth]
+	if !ok || spec.bottleneck {
+		return nil, fmt.Errorf("nn: unsupported PlainNet depth %d", depth)
+	}
+	b := NewBuilder(fmt.Sprintf("plain%d", depth), imageNetInput)
+	b.SetStage("stem")
+	x := b.Conv("conv1", b.InputName(), 64, 7, 2, 3)
+	x = b.Pool("pool1", x, MaxPool, 3, 2, 1)
+	width := 64
+	for stage := 0; stage < 4; stage++ {
+		b.SetStage(fmt.Sprintf("layer%d", stage+1))
+		stride := 1
+		if stage > 0 {
+			stride = 2
+		}
+		for blk := 0; blk < spec.blocks[stage]; blk++ {
+			s := stride
+			if blk > 0 {
+				s = 1
+			}
+			prefix := fmt.Sprintf("layer%d.%d", stage+1, blk)
+			x = b.Conv(prefix+".conv1", x, width, 3, s, 1)
+			x = b.Conv(prefix+".conv2", x, width, 3, 1, 1)
+		}
+		width *= 2
+	}
+	b.SetStage("head")
+	x = b.GlobalPool("avgpool", x)
+	b.FC("fc", x, 1000)
+	return b.Finish()
+}

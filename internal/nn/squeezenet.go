@@ -1,0 +1,186 @@
+package nn
+
+import (
+	"fmt"
+
+	"shortcutmining/internal/tensor"
+)
+
+// BypassMode selects the shortcut topology of SqueezeNet, following
+// §6 of the SqueezeNet paper: the HPCA'19 evaluation uses the bypass
+// variant (otherwise there is no shortcut data to mine).
+type BypassMode int
+
+const (
+	// NoBypass is plain SqueezeNet v1.1.
+	NoBypass BypassMode = iota
+	// SimpleBypass adds identity shortcuts around fire3/5/7/9 (the
+	// modules whose input and output channel counts match).
+	SimpleBypass
+	// ComplexBypass additionally adds 1x1 projection shortcuts around
+	// fire2/4/6/8.
+	ComplexBypass
+)
+
+// String implements fmt.Stringer.
+func (m BypassMode) String() string {
+	switch m {
+	case NoBypass:
+		return "plain"
+	case SimpleBypass:
+		return "simple-bypass"
+	case ComplexBypass:
+		return "complex-bypass"
+	}
+	return fmt.Sprintf("BypassMode(%d)", int(m))
+}
+
+// fireSpec is one fire module: squeeze width and the two expand widths.
+type fireSpec struct {
+	squeeze, expand1, expand3 int
+}
+
+var squeezeNetFires = []fireSpec{
+	{16, 64, 64},   // fire2
+	{16, 64, 64},   // fire3
+	{32, 128, 128}, // fire4
+	{32, 128, 128}, // fire5
+	{48, 192, 192}, // fire6
+	{48, 192, 192}, // fire7
+	{64, 256, 256}, // fire8
+	{64, 256, 256}, // fire9
+}
+
+// SqueezeNet builds SqueezeNet v1.1 with the requested bypass mode.
+// Fire modules decompose into squeeze → (expand1x1 ‖ expand3x3) →
+// concat; the squeeze output feeding both expands and the expand1x1
+// output crossing the expand3x3 layer are exactly the short-span
+// retention cases P3 handles, while bypass additions are the
+// residual-style long-span case.
+func SqueezeNet(mode BypassMode) (*Network, error) {
+	b := NewBuilder("squeezenet-"+mode.String(), imageNetInput)
+	b.SetStage("stem")
+	x := b.Conv("conv1", b.InputName(), 64, 3, 2, 0)
+	x = b.Pool("pool1", x, MaxPool, 3, 2, 0)
+
+	for i, f := range squeezeNetFires {
+		id := i + 2 // fire2..fire9
+		name := fmt.Sprintf("fire%d", id)
+		b.SetStage(name)
+		switch id {
+		case 4:
+			b.SetStage("pool3")
+			x = b.Pool("pool3", x, MaxPool, 3, 2, 0)
+			b.SetStage(name)
+		case 6:
+			b.SetStage("pool5")
+			x = b.Pool("pool5", x, MaxPool, 3, 2, 0)
+			b.SetStage(name)
+		}
+		in := x
+		out := fireModule(b, name, in, f)
+		matched := id%2 == 1 // fire3/5/7/9 keep channel count
+		switch {
+		case mode == SimpleBypass && matched, mode == ComplexBypass && matched:
+			x = b.Add(name+".bypass", in, out)
+		case mode == ComplexBypass:
+			proj := b.Conv(name+".bypassconv", in, f.expand1+f.expand3, 1, 1, 0)
+			x = b.Add(name+".bypass", proj, out)
+		default:
+			x = out
+		}
+	}
+
+	b.SetStage("head")
+	x = b.Conv("conv10", x, 1000, 1, 1, 0)
+	b.GlobalPool("avgpool", x)
+	return b.Finish()
+}
+
+// MustSqueezeNet is SqueezeNet for static zoo call sites.
+func MustSqueezeNet(mode BypassMode) *Network {
+	n, err := SqueezeNet(mode)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func fireModule(b *Builder, name, in string, f fireSpec) string {
+	sq := b.Conv(name+".squeeze", in, f.squeeze, 1, 1, 0)
+	e1 := b.Conv(name+".expand1x1", sq, f.expand1, 1, 1, 0)
+	e3 := b.Conv(name+".expand3x3", sq, f.expand3, 3, 1, 1)
+	return b.Concat(name+".concat", e1, e3)
+}
+
+// VGG16 builds VGG-16, the shortcut-free high-traffic control network.
+func VGG16() (*Network, error) {
+	b := NewBuilder("vgg16", imageNetInput)
+	widths := []struct {
+		n, c int
+	}{{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512}}
+	x := b.InputName()
+	for stage, w := range widths {
+		b.SetStage(fmt.Sprintf("block%d", stage+1))
+		for i := 0; i < w.n; i++ {
+			x = b.Conv(fmt.Sprintf("conv%d_%d", stage+1, i+1), x, w.c, 3, 1, 1)
+		}
+		x = b.Pool(fmt.Sprintf("pool%d", stage+1), x, MaxPool, 2, 2, 0)
+	}
+	b.SetStage("head")
+	x = b.FC("fc6", x, 4096)
+	x = b.FC("fc7", x, 4096)
+	b.FC("fc8", x, 1000)
+	return b.Finish()
+}
+
+// DenseChain builds a DenseNet-style chain: `blocks` convolutions where
+// every layer's input is the concatenation of all previous outputs in
+// the block. It exercises many-consumer shortcut retention (one
+// produced fmap feeding several later layers), the generalization the
+// paper's procedures support "across any number of intermediate
+// layers". Spatial size and growth rate are configurable so the chain
+// can be sized against a bank pool.
+func DenseChain(blocks, growth, hw int) (*Network, error) {
+	if blocks < 2 || growth < 1 || hw < 1 {
+		return nil, fmt.Errorf("nn: bad DenseChain parameters blocks=%d growth=%d hw=%d", blocks, growth, hw)
+	}
+	b := NewBuilder(fmt.Sprintf("densechain-b%d-g%d", blocks, growth),
+		tensor.Shape{C: growth, H: hw, W: hw})
+	b.SetStage("dense")
+	outs := []string{b.InputName()}
+	concat := b.InputName()
+	for i := 0; i < blocks; i++ {
+		y := b.Conv(fmt.Sprintf("conv%d", i+1), concat, growth, 3, 1, 1)
+		outs = append(outs, y)
+		if i < blocks-1 {
+			concat = b.Concat(fmt.Sprintf("concat%d", i+1), outs...)
+		}
+	}
+	return b.Finish()
+}
+
+// ShortcutSpanNet builds the synthetic network for experiment E9: a
+// few residual blocks whose main path contains `span` intermediate
+// same-shape convolutions between the shortcut source and the
+// element-wise add. All feature maps share one shape, so any change in
+// traffic or pinned-bank peak across span values is attributable to the
+// retention machinery alone.
+func ShortcutSpanNet(span, blocks, channels, hw int) (*Network, error) {
+	if span < 1 || blocks < 1 || channels < 1 || hw < 1 {
+		return nil, fmt.Errorf("nn: bad ShortcutSpanNet parameters span=%d blocks=%d", span, blocks)
+	}
+	b := NewBuilder(fmt.Sprintf("span%d-net", span), tensor.Shape{C: channels, H: hw, W: hw})
+	b.SetStage("stem")
+	x := b.Conv("conv0", b.InputName(), channels, 3, 1, 1)
+	for blk := 0; blk < blocks; blk++ {
+		b.SetStage(fmt.Sprintf("block%d", blk+1))
+		in := x
+		y := in
+		for i := 0; i < span; i++ {
+			y = b.Conv(fmt.Sprintf("block%d.conv%d", blk+1, i+1), y, channels, 3, 1, 1)
+		}
+		x = b.Add(fmt.Sprintf("block%d.add", blk+1), in, y)
+	}
+	return b.Finish()
+}

@@ -1,0 +1,62 @@
+package nn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// zoo maps canonical model names to constructors. Synthetic,
+// parameterized networks (DenseChain, ShortcutSpanNet) are not listed
+// here; they are built directly by the experiments that sweep them.
+var zoo = map[string]func() (*Network, error){
+	"resnet18":           func() (*Network, error) { return ResNet(18) },
+	"resnet34":           func() (*Network, error) { return ResNet(34) },
+	"resnet50":           func() (*Network, error) { return ResNet(50) },
+	"resnet101":          func() (*Network, error) { return ResNet(101) },
+	"resnet152":          func() (*Network, error) { return ResNet(152) },
+	"plain34":            func() (*Network, error) { return PlainNet(34) },
+	"squeezenet":         func() (*Network, error) { return SqueezeNet(NoBypass) },
+	"squeezenet-bypass":  func() (*Network, error) { return SqueezeNet(SimpleBypass) },
+	"squeezenet-complex": func() (*Network, error) { return SqueezeNet(ComplexBypass) },
+	"vgg16":              VGG16,
+	"densechain":         func() (*Network, error) { return DenseChain(6, 32, 28) },
+	"densenet121":        DenseNet121,
+	"mobilenetv2":        MobileNetV2,
+	"resnext50":          ResNeXt50,
+	"shufflenetv1":       ShuffleNetV1,
+	"googlenet":          GoogLeNet,
+}
+
+// Build constructs a zoo network by name.
+func Build(name string) (*Network, error) {
+	ctor, ok := zoo[name]
+	if !ok {
+		return nil, fmt.Errorf("nn: unknown network %q (see nn.ZooNames)", name)
+	}
+	return ctor()
+}
+
+// MustBuild is Build for static call sites.
+func MustBuild(name string) *Network {
+	n, err := Build(name)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// ZooNames lists the available model names in sorted order.
+func ZooNames() []string {
+	names := make([]string, 0, len(zoo))
+	for n := range zoo {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HeadlineNetworks returns the three networks of the paper's headline
+// results in the order the abstract reports them.
+func HeadlineNetworks() []string {
+	return []string{"squeezenet-bypass", "resnet34", "resnet152"}
+}

@@ -1,0 +1,307 @@
+package nn
+
+import (
+	"testing"
+
+	"shortcutmining/internal/tensor"
+)
+
+// approx reports whether got is within tol (fractional) of want.
+func approx(got, want int64, tol float64) bool {
+	diff := float64(got - want)
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff <= tol*float64(want)
+}
+
+func TestResNetKnownParameterCounts(t *testing.T) {
+	// Published parameter counts (conv+fc weights; our model omits BN
+	// scale/shift and biases, a <2% difference).
+	cases := []struct {
+		depth int
+		want  int64 // parameters
+	}{
+		{18, 11_690_000},
+		{34, 21_800_000},
+		{50, 25_560_000},
+		{101, 44_550_000},
+		{152, 60_190_000},
+	}
+	for _, c := range cases {
+		n := MustResNet(c.depth)
+		params := n.TotalWeightBytes(tensor.Fixed8) // 1 byte/param = param count
+		if !approx(params, c.want, 0.03) {
+			t.Errorf("resnet%d params = %d, want ≈%d", c.depth, params, c.want)
+		}
+	}
+}
+
+func TestResNetKnownMACs(t *testing.T) {
+	cases := []struct {
+		depth int
+		want  int64
+	}{
+		{18, 1_820_000_000},
+		{34, 3_670_000_000},
+		{50, 4_110_000_000},
+		{152, 11_560_000_000},
+	}
+	for _, c := range cases {
+		n := MustResNet(c.depth)
+		if !approx(n.TotalMACs(), c.want, 0.05) {
+			t.Errorf("resnet%d MACs = %d, want ≈%d", c.depth, n.TotalMACs(), c.want)
+		}
+	}
+}
+
+func TestResNet34Structure(t *testing.T) {
+	n := MustResNet(34)
+	ch := Characterize(n, tensor.Fixed16)
+	if ch.ConvLayers != 36 { // 33 3x3 convs + 3 projections
+		t.Errorf("conv layers = %d, want 36", ch.ConvLayers)
+	}
+	if ch.FCLayers != 1 {
+		t.Errorf("fc layers = %d, want 1", ch.FCLayers)
+	}
+	adds := 0
+	for _, l := range n.Layers {
+		if l.Kind == OpEltwiseAdd {
+			adds++
+		}
+	}
+	if adds != 16 {
+		t.Errorf("residual adds = %d, want 16", adds)
+	}
+	if got := n.Output().Out; got != (tensor.Shape{C: 1000, H: 1, W: 1}) {
+		t.Errorf("output shape = %v", got)
+	}
+}
+
+func TestResNet152Structure(t *testing.T) {
+	n := MustResNet(152)
+	adds := 0
+	for _, l := range n.Layers {
+		if l.Kind == OpEltwiseAdd {
+			adds++
+		}
+	}
+	if adds != 50 { // 3+8+36+3 bottleneck blocks
+		t.Errorf("residual adds = %d, want 50", adds)
+	}
+	ch := Characterize(n, tensor.Fixed16)
+	if ch.ConvLayers != 155 { // 1 stem + 50*3 + 4 projections
+		t.Errorf("conv layers = %d, want 155", ch.ConvLayers)
+	}
+}
+
+func TestResNetStageShapes(t *testing.T) {
+	n := MustResNet(34)
+	cases := []struct {
+		layer string
+		want  tensor.Shape
+	}{
+		{"conv1", tensor.Shape{C: 64, H: 112, W: 112}},
+		{"pool1", tensor.Shape{C: 64, H: 56, W: 56}},
+		{"layer1.2.add", tensor.Shape{C: 64, H: 56, W: 56}},
+		{"layer2.0.add", tensor.Shape{C: 128, H: 28, W: 28}},
+		{"layer3.0.add", tensor.Shape{C: 256, H: 14, W: 14}},
+		{"layer4.2.add", tensor.Shape{C: 512, H: 7, W: 7}},
+	}
+	for _, c := range cases {
+		l := n.Layer(c.layer)
+		if l == nil {
+			t.Fatalf("missing layer %q", c.layer)
+		}
+		if l.Out != c.want {
+			t.Errorf("%s out = %v, want %v", c.layer, l.Out, c.want)
+		}
+	}
+}
+
+func TestResNetUnsupportedDepth(t *testing.T) {
+	if _, err := ResNet(42); err == nil {
+		t.Error("ResNet(42) should fail")
+	}
+	if _, err := PlainNet(50); err == nil {
+		t.Error("PlainNet(50) (bottleneck) should fail")
+	}
+}
+
+func TestPlainNetHasNoShortcuts(t *testing.T) {
+	n, err := PlainNet(34)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edges := ShortcutEdges(n, tensor.Fixed16); len(edges) != 0 {
+		t.Errorf("plain34 has %d shortcut edges, want 0", len(edges))
+	}
+	// Same conv stack as ResNet-34 minus the three projections.
+	ch := Characterize(n, tensor.Fixed16)
+	if ch.ConvLayers != 33 {
+		t.Errorf("conv layers = %d, want 33", ch.ConvLayers)
+	}
+}
+
+func TestSqueezeNetV11Geometry(t *testing.T) {
+	n := MustSqueezeNet(NoBypass)
+	cases := []struct {
+		layer string
+		want  tensor.Shape
+	}{
+		{"conv1", tensor.Shape{C: 64, H: 111, W: 111}},
+		{"pool1", tensor.Shape{C: 64, H: 55, W: 55}},
+		{"fire2.concat", tensor.Shape{C: 128, H: 55, W: 55}},
+		{"fire4.concat", tensor.Shape{C: 256, H: 27, W: 27}},
+		{"fire6.concat", tensor.Shape{C: 384, H: 13, W: 13}},
+		{"fire9.concat", tensor.Shape{C: 512, H: 13, W: 13}},
+		{"conv10", tensor.Shape{C: 1000, H: 13, W: 13}},
+		{"avgpool", tensor.Shape{C: 1000, H: 1, W: 1}},
+	}
+	for _, c := range cases {
+		l := n.Layer(c.layer)
+		if l == nil {
+			t.Fatalf("missing layer %q", c.layer)
+		}
+		if l.Out != c.want {
+			t.Errorf("%s out = %v, want %v", c.layer, l.Out, c.want)
+		}
+	}
+	params := n.TotalWeightBytes(tensor.Fixed8)
+	if !approx(params, 1_235_000, 0.03) {
+		t.Errorf("squeezenet params = %d, want ≈1.235M", params)
+	}
+}
+
+func TestSqueezeNetBypassModes(t *testing.T) {
+	plain := MustSqueezeNet(NoBypass)
+	simple := MustSqueezeNet(SimpleBypass)
+	complexNet := MustSqueezeNet(ComplexBypass)
+
+	count := func(n *Network, k OpKind) int {
+		c := 0
+		for _, l := range n.Layers {
+			if l.Kind == k {
+				c++
+			}
+		}
+		return c
+	}
+	if got := count(plain, OpEltwiseAdd); got != 0 {
+		t.Errorf("plain adds = %d", got)
+	}
+	if got := count(simple, OpEltwiseAdd); got != 4 { // fire3/5/7/9
+		t.Errorf("simple adds = %d, want 4", got)
+	}
+	if got := count(complexNet, OpEltwiseAdd); got != 8 {
+		t.Errorf("complex adds = %d, want 8", got)
+	}
+	// Bypass must not change the classifier geometry.
+	for _, n := range []*Network{plain, simple, complexNet} {
+		if got := n.Output().Out; got != (tensor.Shape{C: 1000, H: 1, W: 1}) {
+			t.Errorf("%s output = %v", n.Name, got)
+		}
+	}
+	// Every fire module contributes intra-module shortcut edges (the
+	// squeeze→expand3x3 and expand1x1→concat hops) even without bypass.
+	if got := len(ShortcutEdges(plain, tensor.Fixed16)); got < 16 {
+		t.Errorf("plain squeezenet shortcut edges = %d, want ≥16", got)
+	}
+}
+
+func TestVGG16KnownNumbers(t *testing.T) {
+	n, err := VGG16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := n.TotalWeightBytes(tensor.Fixed8)
+	if !approx(params, 138_000_000, 0.03) {
+		t.Errorf("vgg16 params = %d, want ≈138M", params)
+	}
+	if !approx(n.TotalMACs(), 15_470_000_000, 0.05) {
+		t.Errorf("vgg16 MACs = %d, want ≈15.5G", n.TotalMACs())
+	}
+	if got := len(ShortcutEdges(n, tensor.Fixed16)); got != 0 {
+		t.Errorf("vgg16 shortcut edges = %d, want 0", got)
+	}
+}
+
+func TestDenseChain(t *testing.T) {
+	n, err := DenseChain(4, 8, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// conv_i consumes growth*i channels.
+	for i, wantIn := range []int{8, 16, 24, 32} {
+		l := n.Layer("conv" + string(rune('1'+i)))
+		if l == nil {
+			t.Fatalf("missing conv%d", i+1)
+		}
+		if l.In[0].C != wantIn {
+			t.Errorf("conv%d input channels = %d, want %d", i+1, l.In[0].C, wantIn)
+		}
+	}
+	// Every early conv output feeds multiple later concats: its edges
+	// must register as shortcuts.
+	edges := ShortcutEdges(n, tensor.Fixed16)
+	if len(edges) == 0 {
+		t.Fatal("dense chain has no shortcut edges")
+	}
+	if _, err := DenseChain(1, 8, 14); err == nil {
+		t.Error("DenseChain(1,...) should fail")
+	}
+}
+
+func TestShortcutSpanNet(t *testing.T) {
+	for span := 1; span <= 6; span++ {
+		n, err := ShortcutSpanNet(span, 3, 16, 28)
+		if err != nil {
+			t.Fatal(err)
+		}
+		edges := ShortcutEdges(n, tensor.Fixed16)
+		if len(edges) != 3 {
+			t.Fatalf("span %d: %d shortcut edges, want 3", span, len(edges))
+		}
+		for _, e := range edges {
+			if e.Span() != span {
+				t.Errorf("span %d: edge span = %d", span, e.Span())
+			}
+		}
+	}
+	if _, err := ShortcutSpanNet(0, 1, 8, 8); err == nil {
+		t.Error("span 0 should fail")
+	}
+}
+
+func TestZooBuildsEverything(t *testing.T) {
+	for _, name := range ZooNames() {
+		n, err := Build(name)
+		if err != nil {
+			t.Errorf("Build(%q): %v", name, err)
+			continue
+		}
+		if err := n.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", name, err)
+		}
+	}
+	if _, err := Build("alexnet"); err == nil {
+		t.Error("unknown network should fail")
+	}
+}
+
+func TestHeadlineNetworksExist(t *testing.T) {
+	for _, name := range HeadlineNetworks() {
+		if _, err := Build(name); err != nil {
+			t.Errorf("headline network %q: %v", name, err)
+		}
+	}
+}
+
+func TestMustBuildPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild on unknown name did not panic")
+		}
+	}()
+	MustBuild("nope")
+}

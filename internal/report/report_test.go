@@ -1,0 +1,90 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"shortcutmining/internal/core"
+)
+
+func TestReductionVerdict(t *testing.T) {
+	cases := []struct {
+		measured, claimed float64
+		want              string
+	}{
+		{0.535, 0.533, "match"},
+		{0.43, 0.43, "match"},
+		{0.688, 0.58, "overshoot by 11 pp"},
+		{0.40, 0.58, "undershoot by 18 pp"},
+	}
+	for _, c := range cases {
+		got := reductionVerdict(c.measured, c.claimed)
+		if !strings.Contains(got, c.want) {
+			t.Errorf("reductionVerdict(%.3f, %.3f) = %q, want contains %q", c.measured, c.claimed, got, c.want)
+		}
+	}
+}
+
+func TestSpeedupVerdict(t *testing.T) {
+	if got := speedupVerdict(1.85, 1.93); !strings.Contains(got, "match") {
+		t.Errorf("1.85 vs 1.93 = %q", got)
+	}
+	if got := speedupVerdict(1.30, 1.93); !strings.Contains(got, "direction holds") {
+		t.Errorf("1.30 vs 1.93 = %q", got)
+	}
+	if got := speedupVerdict(0.9, 1.93); !strings.Contains(got, "NOT reproduced") {
+		t.Errorf("0.9 vs 1.93 = %q", got)
+	}
+}
+
+func TestScorecardOnDefaultPlatform(t *testing.T) {
+	rows, err := Scorecard(core.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("scorecard rows = %d", len(rows))
+	}
+	// On the calibrated platform, SqueezeNet and ResNet-152 match and
+	// the span claim holds exactly.
+	byClaim := map[string]Row{}
+	for _, r := range rows {
+		byClaim[r.Claim] = r
+	}
+	for _, name := range []string{"squeezenet-bypass", "resnet152"} {
+		r := byClaim[name+" feature-map traffic reduction"]
+		if r.Verdict != "match" {
+			t.Errorf("%s verdict = %q, want match", name, r.Verdict)
+		}
+	}
+	if r := byClaim["Throughput vs state-of-the-art baseline"]; !strings.Contains(r.Verdict, "match") {
+		t.Errorf("speedup verdict = %q", r.Verdict)
+	}
+	if r := byClaim["Shortcut reuse across any number of intermediate layers without extra buffers"]; !strings.Contains(r.Verdict, "match") {
+		t.Errorf("span verdict = %q", r.Verdict)
+	}
+}
+
+func TestGenerateFullDocument(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Generate(&buf, core.Default()); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	for _, want := range []string{
+		"# EXPERIMENTS",
+		"## Headline scorecard",
+		"## Suite output (generated)",
+		"## E1 —", "## E9 —", "## E19 —",
+		"53.3%", "1.93×",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("document missing %q", want)
+		}
+	}
+	// Every registered experiment appears.
+	if got := strings.Count(doc, "*Paper anchor:*"); got != 21 {
+		t.Errorf("document has %d experiments, want 21", got)
+	}
+}

@@ -1,0 +1,578 @@
+// Package sram models the on-chip buffer architecture that Shortcut
+// Mining is built on: a pool of physical SRAM banks from which
+// *logical buffers* are composed at run time.
+//
+// The package provides exactly the primitives the paper's procedures
+// need:
+//
+//   - logical buffer formation over free banks (procedure P1),
+//   - zero-copy role switching, so one layer's output buffer becomes
+//     the next layer's input buffer (P2),
+//   - pinning, so a shortcut feature map survives across any number of
+//     intermediate layers (P3),
+//   - incremental bank release, so the element-wise add can recycle
+//     consumed shortcut banks into output banks (P4),
+//   - partial (best-effort) allocation for graceful spilling when the
+//     pool is oversubscribed (P5).
+//
+// The pool never moves data: a logical buffer is an ordered set of
+// bank indices plus a byte count, and every operation preserves that
+// mapping. Conservation invariants are checked by CheckInvariants and
+// exercised with property-based tests.
+package sram
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Role describes what a logical buffer currently holds. Roles carry no
+// mechanism — switching them is free — but they drive accounting and
+// make traces and invariants legible.
+type Role int
+
+const (
+	// RoleInput marks the buffer feeding the currently running layer.
+	RoleInput Role = iota
+	// RoleOutput marks the buffer the current layer writes.
+	RoleOutput
+	// RoleRetained marks a pinned shortcut feature map waiting for its
+	// consumer (the "mined" data).
+	RoleRetained
+	// RoleScratch marks transient allocations (e.g. pooling halos).
+	RoleScratch
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleInput:
+		return "input"
+	case RoleOutput:
+		return "output"
+	case RoleRetained:
+		return "retained"
+	case RoleScratch:
+		return "scratch"
+	}
+	return fmt.Sprintf("Role(%d)", int(r))
+}
+
+// Package errors. Callers branch on these to implement spill policies.
+var (
+	// ErrInsufficient reports that the pool has too few free banks for
+	// a full allocation.
+	ErrInsufficient = errors.New("sram: insufficient free banks")
+	// ErrPinned reports an operation that is illegal on a pinned
+	// buffer (freeing or releasing its banks).
+	ErrPinned = errors.New("sram: buffer is pinned")
+	// ErrReleased reports use of a buffer after it was freed.
+	ErrReleased = errors.New("sram: buffer already freed")
+)
+
+// Config sizes a pool.
+type Config struct {
+	NumBanks  int // physical banks
+	BankBytes int // capacity of each bank
+}
+
+// TotalBytes is the aggregate pool capacity.
+func (c Config) TotalBytes() int64 { return int64(c.NumBanks) * int64(c.BankBytes) }
+
+// BanksFor returns how many banks are needed to hold n bytes.
+func (c Config) BanksFor(n int64) int {
+	if n <= 0 {
+		return 0
+	}
+	return int((n + int64(c.BankBytes) - 1) / int64(c.BankBytes))
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.NumBanks <= 0 {
+		return fmt.Errorf("sram: NumBanks must be positive, got %d", c.NumBanks)
+	}
+	if c.BankBytes <= 0 {
+		return fmt.Errorf("sram: BankBytes must be positive, got %d", c.BankBytes)
+	}
+	return nil
+}
+
+// Buffer is a logical buffer: an ordered list of banks holding one
+// feature map (or a retained prefix of one). Buffers are created and
+// owned by a Pool; the zero value is not usable.
+type Buffer struct {
+	pool   *Pool
+	id     int
+	role   Role
+	tag    string
+	banks  []int
+	bytes  int64 // valid payload bytes, ≤ capacity
+	pinned bool
+	freed  bool
+
+	// Payload is an optional opaque value the functional-verification
+	// mode attaches to prove that role switches and retention preserve
+	// data identity without copies. The pool never touches it beyond
+	// clearing it on Free.
+	Payload any
+}
+
+// ID returns the buffer's pool-unique identity.
+func (b *Buffer) ID() int { return b.id }
+
+// Role returns the buffer's current role.
+func (b *Buffer) Role() Role { return b.role }
+
+// Tag returns the caller-provided identity (typically the producing
+// layer's name).
+func (b *Buffer) Tag() string { return b.tag }
+
+// Banks returns the buffer's bank indices in layout order. The slice
+// is a copy.
+func (b *Buffer) Banks() []int { return append([]int(nil), b.banks...) }
+
+// NumBanks returns how many banks the buffer currently occupies.
+func (b *Buffer) NumBanks() int { return len(b.banks) }
+
+// Bytes returns the valid payload byte count.
+func (b *Buffer) Bytes() int64 { return b.bytes }
+
+// CapacityBytes returns the total capacity of the buffer's banks.
+func (b *Buffer) CapacityBytes() int64 {
+	return int64(len(b.banks)) * int64(b.pool.cfg.BankBytes)
+}
+
+// Pinned reports whether the buffer is pinned.
+func (b *Buffer) Pinned() bool { return b.pinned }
+
+// Freed reports whether the buffer has been returned to the pool.
+func (b *Buffer) Freed() bool { return b.freed }
+
+// Pool is a physical bank pool. It is not safe for concurrent use; the
+// schedulers are single-threaded per accelerator instance, matching
+// the single control FSM of the hardware.
+type Pool struct {
+	cfg     Config
+	owner   []int // bank -> buffer id, or -1 when free
+	free    []int // free bank indices, LIFO
+	buffers map[int]*Buffer
+	nextID  int
+
+	stats Stats
+}
+
+// Stats accumulates pool telemetry for the experiments.
+type Stats struct {
+	Allocs        int64
+	PartialAllocs int64
+	Frees         int64
+	RoleSwitches  int64
+	Pins          int64
+	BanksRecycled int64 // banks moved by ReleaseBanks (P4)
+	BanksEvicted  int64 // banks moved by ReleaseTailBanks (eviction policies)
+
+	PeakUsedBanks   int
+	PeakPinnedBanks int
+}
+
+// NewPool builds a pool; all banks start free.
+func NewPool(cfg Config) (*Pool, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Pool{
+		cfg:     cfg,
+		owner:   make([]int, cfg.NumBanks),
+		free:    make([]int, cfg.NumBanks),
+		buffers: make(map[int]*Buffer),
+	}
+	for i := range p.owner {
+		p.owner[i] = -1
+		// Pop order low→high keeps layouts deterministic for tests.
+		p.free[i] = cfg.NumBanks - 1 - i
+	}
+	return p, nil
+}
+
+// Config returns the pool configuration.
+func (p *Pool) Config() Config { return p.cfg }
+
+// FreeBanks returns the number of unowned banks.
+func (p *Pool) FreeBanks() int { return len(p.free) }
+
+// UsedBanks returns the number of owned banks.
+func (p *Pool) UsedBanks() int { return p.cfg.NumBanks - len(p.free) }
+
+// FreeBytes returns the free capacity.
+func (p *Pool) FreeBytes() int64 { return int64(len(p.free)) * int64(p.cfg.BankBytes) }
+
+// PinnedBanks returns the number of banks owned by pinned buffers.
+func (p *Pool) PinnedBanks() int {
+	n := 0
+	for _, b := range p.buffers {
+		if b.pinned {
+			n += len(b.banks)
+		}
+	}
+	return n
+}
+
+// Stats returns a copy of the accumulated telemetry.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// Buffers returns the live buffers sorted by ID (deterministic; used
+// by traces and invariant checks).
+func (p *Pool) Buffers() []*Buffer {
+	out := make([]*Buffer, 0, len(p.buffers))
+	for _, b := range p.buffers {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+func (p *Pool) grab(n int) []int {
+	banks := make([]int, n)
+	for i := 0; i < n; i++ {
+		bank := p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+		banks[i] = bank
+	}
+	return banks
+}
+
+func (p *Pool) noteUsage() {
+	if used := p.UsedBanks(); used > p.stats.PeakUsedBanks {
+		p.stats.PeakUsedBanks = used
+	}
+	if pinned := p.PinnedBanks(); pinned > p.stats.PeakPinnedBanks {
+		p.stats.PeakPinnedBanks = pinned
+	}
+}
+
+// Alloc forms a logical buffer of exactly `bytes` payload bytes
+// (procedure P1). It fails with ErrInsufficient when the pool lacks
+// free banks, leaving the pool unchanged.
+func (p *Pool) Alloc(role Role, tag string, bytes int64) (*Buffer, error) {
+	if bytes <= 0 {
+		return nil, fmt.Errorf("sram: alloc of %d bytes for %q", bytes, tag)
+	}
+	need := p.cfg.BanksFor(bytes)
+	if need > len(p.free) {
+		return nil, fmt.Errorf("%w: need %d banks for %q, have %d", ErrInsufficient, need, tag, len(p.free))
+	}
+	b := &Buffer{pool: p, id: p.nextID, role: role, tag: tag, banks: p.grab(need), bytes: bytes}
+	p.nextID++
+	for _, bank := range b.banks {
+		p.owner[bank] = b.id
+	}
+	p.buffers[b.id] = b
+	p.stats.Allocs++
+	p.noteUsage()
+	return b, nil
+}
+
+// AllocUpTo forms a logical buffer covering as much of `bytes` as the
+// free banks allow (procedure P5, partial retention). It returns the
+// buffer (nil when the pool is completely full) and the payload bytes
+// actually covered; the caller spills the remainder to DRAM.
+func (p *Pool) AllocUpTo(role Role, tag string, bytes int64) (*Buffer, int64) {
+	if bytes <= 0 {
+		return nil, 0
+	}
+	need := p.cfg.BanksFor(bytes)
+	if need <= len(p.free) {
+		b, err := p.Alloc(role, tag, bytes)
+		if err != nil {
+			// Unreachable: capacity was just checked.
+			panic(err)
+		}
+		return b, bytes
+	}
+	n := len(p.free)
+	if n == 0 {
+		return nil, 0
+	}
+	got := int64(n) * int64(p.cfg.BankBytes)
+	if got > bytes {
+		got = bytes
+	}
+	b := &Buffer{pool: p, id: p.nextID, role: role, tag: tag, banks: p.grab(n), bytes: got}
+	p.nextID++
+	for _, bank := range b.banks {
+		p.owner[bank] = b.id
+	}
+	p.buffers[b.id] = b
+	p.stats.Allocs++
+	p.stats.PartialAllocs++
+	p.noteUsage()
+	return b, got
+}
+
+// Free returns the buffer's banks to the pool. Pinned buffers must be
+// unpinned first — the scheduler, not the pool, decides when retained
+// data is dead.
+func (p *Pool) Free(b *Buffer) error {
+	if b.freed {
+		return fmt.Errorf("%w: %q", ErrReleased, b.tag)
+	}
+	if b.pinned {
+		return fmt.Errorf("%w: cannot free %q", ErrPinned, b.tag)
+	}
+	for _, bank := range b.banks {
+		p.owner[bank] = -1
+		p.free = append(p.free, bank)
+	}
+	b.banks = nil
+	b.bytes = 0
+	b.freed = true
+	b.Payload = nil
+	delete(p.buffers, b.id)
+	p.stats.Frees++
+	return nil
+}
+
+// SetRole renames the buffer's role — the zero-copy buffer switching
+// of procedure P2. The banks, payload bytes and Payload are untouched.
+func (p *Pool) SetRole(b *Buffer, role Role) error {
+	if b.freed {
+		return fmt.Errorf("%w: %q", ErrReleased, b.tag)
+	}
+	if b.role != role {
+		b.role = role
+		p.stats.RoleSwitches++
+	}
+	return nil
+}
+
+// Retag renames the buffer's feature-map identity (used when an
+// in-place consumer such as pooling reuses its input banks).
+func (p *Pool) Retag(b *Buffer, tag string) error {
+	if b.freed {
+		return fmt.Errorf("%w: %q", ErrReleased, b.tag)
+	}
+	b.tag = tag
+	return nil
+}
+
+// Pin marks the buffer as retained shortcut data (procedure P3): it
+// cannot be freed or have banks released until Unpin.
+func (p *Pool) Pin(b *Buffer) error {
+	if b.freed {
+		return fmt.Errorf("%w: %q", ErrReleased, b.tag)
+	}
+	if !b.pinned {
+		b.pinned = true
+		p.stats.Pins++
+		p.noteUsage()
+	}
+	return nil
+}
+
+// Unpin clears the retention mark.
+func (p *Pool) Unpin(b *Buffer) error {
+	if b.freed {
+		return fmt.Errorf("%w: %q", ErrReleased, b.tag)
+	}
+	b.pinned = false
+	return nil
+}
+
+// ReleaseBanks returns the first n banks of the buffer to the pool —
+// the incremental recycling of procedure P4: as the element-wise add
+// consumes the retained shortcut prefix, those banks immediately
+// become available for the add's own output. The buffer's payload
+// shrinks by the released capacity. Releasing every bank frees the
+// buffer.
+func (p *Pool) ReleaseBanks(b *Buffer, n int) error {
+	if b.freed {
+		return fmt.Errorf("%w: %q", ErrReleased, b.tag)
+	}
+	if b.pinned {
+		return fmt.Errorf("%w: cannot release banks of %q", ErrPinned, b.tag)
+	}
+	if n < 0 || n > len(b.banks) {
+		return fmt.Errorf("sram: release %d of %d banks of %q", n, len(b.banks), b.tag)
+	}
+	for _, bank := range b.banks[:n] {
+		p.owner[bank] = -1
+		p.free = append(p.free, bank)
+	}
+	b.banks = append([]int(nil), b.banks[n:]...)
+	released := int64(n) * int64(p.cfg.BankBytes)
+	if b.bytes > released {
+		b.bytes -= released
+	} else {
+		b.bytes = 0
+	}
+	p.stats.BanksRecycled += int64(n)
+	if len(b.banks) == 0 {
+		b.freed = true
+		b.Payload = nil
+		delete(p.buffers, b.id)
+		p.stats.Frees++
+	}
+	return nil
+}
+
+// ReleaseTailBanks returns the LAST n banks of the buffer to the pool,
+// keeping the payload prefix intact — the eviction primitive: a
+// retained feature map shrinks from its tail, whose bytes the caller
+// spills to DRAM. Releasing every bank frees the buffer.
+func (p *Pool) ReleaseTailBanks(b *Buffer, n int) error {
+	if b.freed {
+		return fmt.Errorf("%w: %q", ErrReleased, b.tag)
+	}
+	if b.pinned {
+		return fmt.Errorf("%w: cannot release banks of %q", ErrPinned, b.tag)
+	}
+	if n < 0 || n > len(b.banks) {
+		return fmt.Errorf("sram: release %d of %d tail banks of %q", n, len(b.banks), b.tag)
+	}
+	keep := len(b.banks) - n
+	for _, bank := range b.banks[keep:] {
+		p.owner[bank] = -1
+		p.free = append(p.free, bank)
+	}
+	b.banks = append([]int(nil), b.banks[:keep]...)
+	if c := b.CapacityBytes(); b.bytes > c {
+		b.bytes = c
+	}
+	p.stats.BanksEvicted += int64(n)
+	if len(b.banks) == 0 {
+		b.freed = true
+		b.Payload = nil
+		delete(p.buffers, b.id)
+		p.stats.Frees++
+	}
+	return nil
+}
+
+// Grow appends free banks to the buffer until it covers `bytes` more
+// payload, returning the payload bytes actually added (bounded by the
+// free banks and by existing spare capacity in the last bank). Growing
+// is how the add layer's output expands into banks recycled from the
+// consumed shortcut operand (P4).
+func (p *Pool) Grow(b *Buffer, bytes int64) (int64, error) {
+	if b.freed {
+		return 0, fmt.Errorf("%w: %q", ErrReleased, b.tag)
+	}
+	if bytes <= 0 {
+		return 0, nil
+	}
+	added := int64(0)
+	// Spare capacity in already-owned banks absorbs payload first.
+	if spare := b.CapacityBytes() - b.bytes; spare > 0 {
+		if spare > bytes {
+			spare = bytes
+		}
+		b.bytes += spare
+		added += spare
+		bytes -= spare
+	}
+	for bytes > 0 && len(p.free) > 0 {
+		bank := p.grab(1)[0]
+		p.owner[bank] = b.id
+		b.banks = append(b.banks, bank)
+		chunk := int64(p.cfg.BankBytes)
+		if chunk > bytes {
+			chunk = bytes
+		}
+		b.bytes += chunk
+		added += chunk
+		bytes -= chunk
+	}
+	p.noteUsage()
+	return added, nil
+}
+
+// Merge absorbs the given buffers into a single new logical buffer
+// whose banks are the concatenation of theirs — how a hardware concat
+// forms its output without moving a byte. The analytical scheduler in
+// internal/core models concatenation transparently (consumers read the
+// parts directly), so Merge is the hardware-faithful primitive kept
+// for alternative schedulers; the source buffers are consumed (they
+// read as freed afterwards) and none may be pinned, since their
+// retention obligation would transfer to the merged buffer.
+func (p *Pool) Merge(role Role, tag string, bufs ...*Buffer) (*Buffer, error) {
+	if len(bufs) == 0 {
+		return nil, fmt.Errorf("sram: merge of zero buffers for %q", tag)
+	}
+	for _, b := range bufs {
+		if b.freed {
+			return nil, fmt.Errorf("%w: merge source %q", ErrReleased, b.tag)
+		}
+		if b.pinned {
+			return nil, fmt.Errorf("%w: merge source %q", ErrPinned, b.tag)
+		}
+	}
+	m := &Buffer{pool: p, id: p.nextID, role: role, tag: tag}
+	p.nextID++
+	for _, b := range bufs {
+		m.banks = append(m.banks, b.banks...)
+		m.bytes += b.bytes
+		for _, bank := range b.banks {
+			p.owner[bank] = m.id
+		}
+		b.banks = nil
+		b.bytes = 0
+		b.freed = true
+		b.Payload = nil
+		delete(p.buffers, b.id)
+	}
+	p.buffers[m.id] = m
+	p.stats.Allocs++
+	p.noteUsage()
+	return m, nil
+}
+
+// CheckInvariants verifies bank conservation: every bank is either on
+// the free list or owned by exactly one live buffer, free-list entries
+// are unique, and every buffer's payload fits its banks.
+func (p *Pool) CheckInvariants() error {
+	seen := make(map[int]string, p.cfg.NumBanks)
+	for _, bank := range p.free {
+		if bank < 0 || bank >= p.cfg.NumBanks {
+			return fmt.Errorf("sram: free list has out-of-range bank %d", bank)
+		}
+		if who, dup := seen[bank]; dup {
+			return fmt.Errorf("sram: bank %d on free list and %s", bank, who)
+		}
+		seen[bank] = "free list"
+		if p.owner[bank] != -1 {
+			return fmt.Errorf("sram: free bank %d has owner %d", bank, p.owner[bank])
+		}
+	}
+	for id, b := range p.buffers {
+		if b.freed {
+			return fmt.Errorf("sram: freed buffer %q still registered", b.tag)
+		}
+		if b.id != id {
+			return fmt.Errorf("sram: buffer id mismatch %d vs %d", b.id, id)
+		}
+		for _, bank := range b.banks {
+			if bank < 0 || bank >= p.cfg.NumBanks {
+				return fmt.Errorf("sram: buffer %q has out-of-range bank %d", b.tag, bank)
+			}
+			if who, dup := seen[bank]; dup {
+				return fmt.Errorf("sram: bank %d owned by %q and %s", bank, b.tag, who)
+			}
+			seen[bank] = fmt.Sprintf("buffer %q", b.tag)
+			if p.owner[bank] != b.id {
+				return fmt.Errorf("sram: bank %d owner map says %d, buffer is %d", bank, p.owner[bank], b.id)
+			}
+		}
+		if b.bytes > b.CapacityBytes() {
+			return fmt.Errorf("sram: buffer %q payload %d exceeds capacity %d", b.tag, b.bytes, b.CapacityBytes())
+		}
+		if b.bytes < 0 {
+			return fmt.Errorf("sram: buffer %q negative payload", b.tag)
+		}
+	}
+	if len(seen) != p.cfg.NumBanks {
+		return fmt.Errorf("sram: %d banks accounted for, pool has %d", len(seen), p.cfg.NumBanks)
+	}
+	return nil
+}

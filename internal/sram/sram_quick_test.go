@@ -1,0 +1,217 @@
+package sram
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// opCode drives the randomized pool exerciser. Each byte of the quick
+// input decodes into one pool operation applied to a live buffer (or an
+// allocation when none applies).
+type opCode byte
+
+const (
+	opAlloc opCode = iota
+	opAllocUpTo
+	opFree
+	opSwitch
+	opPin
+	opUnpin
+	opRelease
+	opCount
+)
+
+// applyOps replays a random operation tape against a fresh pool and
+// checks invariants after every step. It returns an error describing
+// the first violation.
+func applyOps(numBanks, bankBytes int, tape []byte) error {
+	p, err := NewPool(Config{NumBanks: numBanks, BankBytes: bankBytes})
+	if err != nil {
+		return err
+	}
+	var live []*Buffer
+	pick := func(b byte) *Buffer {
+		if len(live) == 0 {
+			return nil
+		}
+		return live[int(b)%len(live)]
+	}
+	drop := func(target *Buffer) {
+		for i, b := range live {
+			if b == target {
+				live = append(live[:i], live[i+1:]...)
+				return
+			}
+		}
+	}
+	for i := 0; i+1 < len(tape); i += 2 {
+		op, arg := opCode(tape[i])%opCount, tape[i+1]
+		switch op {
+		case opAlloc:
+			bytes := int64(arg%7+1) * int64(bankBytes) / 2
+			if bytes == 0 {
+				bytes = 1
+			}
+			b, err := p.Alloc(Role(arg%4), fmt.Sprintf("fm%d", i), bytes)
+			if err == nil {
+				live = append(live, b)
+			}
+		case opAllocUpTo:
+			bytes := int64(arg%9+1) * int64(bankBytes)
+			if b, got := p.AllocUpTo(RoleRetained, fmt.Sprintf("sc%d", i), bytes); b != nil {
+				if got <= 0 || got > bytes {
+					return fmt.Errorf("step %d: AllocUpTo returned %d of %d", i, got, bytes)
+				}
+				live = append(live, b)
+			}
+		case opFree:
+			if b := pick(arg); b != nil && !b.Pinned() {
+				if err := p.Free(b); err != nil {
+					return fmt.Errorf("step %d: %v", i, err)
+				}
+				drop(b)
+			}
+		case opSwitch:
+			if b := pick(arg); b != nil {
+				if err := p.SetRole(b, Role(arg%4)); err != nil {
+					return fmt.Errorf("step %d: %v", i, err)
+				}
+			}
+		case opPin:
+			if b := pick(arg); b != nil {
+				if err := p.Pin(b); err != nil {
+					return fmt.Errorf("step %d: %v", i, err)
+				}
+			}
+		case opUnpin:
+			if b := pick(arg); b != nil {
+				if err := p.Unpin(b); err != nil {
+					return fmt.Errorf("step %d: %v", i, err)
+				}
+			}
+		case opRelease:
+			if b := pick(arg); b != nil && !b.Pinned() {
+				n := int(arg) % (b.NumBanks() + 1)
+				if err := p.ReleaseBanks(b, n); err != nil {
+					return fmt.Errorf("step %d: %v", i, err)
+				}
+				if b.Freed() {
+					drop(b)
+				}
+			}
+		}
+		if err := p.CheckInvariants(); err != nil {
+			return fmt.Errorf("step %d (op %d): %v", i, op, err)
+		}
+		if p.FreeBanks()+p.UsedBanks() != numBanks {
+			return fmt.Errorf("step %d: bank conservation broken: %d+%d != %d",
+				i, p.FreeBanks(), p.UsedBanks(), numBanks)
+		}
+	}
+	// Drain: everything must be freeable and the pool must return to
+	// its initial state.
+	for _, b := range live {
+		if b.Pinned() {
+			if err := p.Unpin(b); err != nil {
+				return err
+			}
+		}
+		if err := p.Free(b); err != nil {
+			return err
+		}
+	}
+	if p.FreeBanks() != numBanks {
+		return fmt.Errorf("drain left %d of %d banks free", p.FreeBanks(), numBanks)
+	}
+	return p.CheckInvariants()
+}
+
+func TestQuickPoolInvariants(t *testing.T) {
+	f := func(tape []byte, banks, bankKB uint8) bool {
+		nb := int(banks%32) + 1
+		bb := (int(bankKB%8) + 1) * 256
+		if err := applyOps(nb, bb, tape); err != nil {
+			t.Logf("banks=%d bankBytes=%d: %v", nb, bb, err)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAllocNeverOverlaps(t *testing.T) {
+	// Property: any sequence of full allocations yields disjoint bank
+	// sets whose union size equals the used-bank count.
+	f := func(sizes []uint16) bool {
+		p, err := NewPool(Config{NumBanks: 64, BankBytes: 512})
+		if err != nil {
+			return false
+		}
+		owned := map[int]bool{}
+		total := 0
+		for i, s := range sizes {
+			bytes := int64(s%4096) + 1
+			b, err := p.Alloc(RoleInput, fmt.Sprintf("f%d", i), bytes)
+			if err != nil {
+				break
+			}
+			for _, bank := range b.Banks() {
+				if owned[bank] {
+					return false
+				}
+				owned[bank] = true
+			}
+			total += b.NumBanks()
+		}
+		return total == p.UsedBanks() && len(owned) == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickReleasePreservesSuffix(t *testing.T) {
+	// Property: ReleaseBanks(n) leaves exactly the bank suffix and the
+	// payload shrinks by the released capacity (clamped at zero).
+	f := func(nBanks, rel uint8) bool {
+		p, err := NewPool(Config{NumBanks: 32, BankBytes: 1024})
+		if err != nil {
+			return false
+		}
+		n := int(nBanks%16) + 1
+		payload := int64(n)*1024 - 100
+		b, err := p.Alloc(RoleRetained, "sc", payload)
+		if err != nil {
+			return false
+		}
+		before := b.Banks()
+		r := int(rel) % (n + 1)
+		if err := p.ReleaseBanks(b, r); err != nil {
+			return false
+		}
+		if r == n {
+			return b.Freed() && p.FreeBanks() == 32
+		}
+		after := b.Banks()
+		if len(after) != n-r {
+			return false
+		}
+		for i := range after {
+			if after[i] != before[r+i] {
+				return false
+			}
+		}
+		wantBytes := payload - int64(r)*1024
+		if wantBytes < 0 {
+			wantBytes = 0
+		}
+		return b.Bytes() == wantBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,237 @@
+// Package stats defines the result types produced by the accelerator
+// schedulers and the table rendering used by the experiment harness,
+// the CLIs, and EXPERIMENTS.md.
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"shortcutmining/internal/dram"
+	"shortcutmining/internal/energy"
+)
+
+// LayerStats is the outcome of executing one layer.
+type LayerStats struct {
+	Name  string
+	Kind  string
+	Stage string
+
+	ComputeCycles int64
+	MemCycles     int64
+	Cycles        int64 // max(compute, mem) + control overhead
+
+	Traffic   dram.Traffic // off-chip bytes by class (burst-rounded)
+	SRAMBytes int64        // on-chip buffer touches
+
+	// Shortcut Mining bookkeeping (zero under the baseline).
+	ReusedInputBytes int64 // input served by role switching (P2)
+	RetainedBytes    int64 // shortcut bytes pinned on chip (P3)
+	SpilledBytes     int64 // shortcut/fmap bytes spilled (P5)
+	RecycledBanks    int64 // banks recycled during the add (P4)
+}
+
+// FmapBytes is the layer's off-chip feature-map traffic.
+func (l LayerStats) FmapBytes() int64 { return l.Traffic.FeatureMap() }
+
+// RunStats is the outcome of executing a network.
+type RunStats struct {
+	Network  string
+	Strategy string
+	Batch    int
+	ClockMHz float64
+
+	Layers []LayerStats
+
+	Traffic       dram.Traffic
+	ComputeCycles int64
+	MemCycles     int64
+	TotalCycles   int64
+	SRAMBytes     int64
+	MACs          int64
+
+	PeakUsedBanks   int
+	PeakPinnedBanks int
+	RoleSwitches    int64
+	BanksRecycled   int64
+	BanksEvicted    int64
+
+	Energy energy.Breakdown
+}
+
+// FmapTrafficBytes is the run's off-chip feature-map traffic — the
+// paper's headline metric.
+func (r RunStats) FmapTrafficBytes() int64 { return r.Traffic.FeatureMap() }
+
+// TotalTrafficBytes includes weights.
+func (r RunStats) TotalTrafficBytes() int64 { return r.Traffic.Total() }
+
+// LatencySeconds is the batch latency at the configured clock.
+func (r RunStats) LatencySeconds() float64 {
+	return float64(r.TotalCycles) / (r.ClockMHz * 1e6)
+}
+
+// Throughput is images per second.
+func (r RunStats) Throughput() float64 {
+	if r.TotalCycles == 0 {
+		return 0
+	}
+	return float64(r.Batch) / r.LatencySeconds()
+}
+
+// GOPS is billions of operations per second, counting each MAC as two
+// operations (the convention of the paper's comparison class).
+func (r RunStats) GOPS() float64 {
+	if r.TotalCycles == 0 {
+		return 0
+	}
+	return 2 * float64(r.MACs) / r.LatencySeconds() / 1e9
+}
+
+// StageTraffic aggregates feature-map traffic by stage label, in the
+// order the stages first appear.
+func (r RunStats) StageTraffic() ([]string, map[string]int64) {
+	var order []string
+	agg := make(map[string]int64)
+	for _, l := range r.Layers {
+		stage := l.Stage
+		if stage == "" {
+			stage = "(none)"
+		}
+		if _, ok := agg[stage]; !ok {
+			order = append(order, stage)
+		}
+		agg[stage] += l.FmapBytes()
+	}
+	return order, agg
+}
+
+// TrafficReductionVs returns the fractional feature-map traffic
+// reduction of r relative to a baseline run (positive = r moves fewer
+// bytes).
+func (r RunStats) TrafficReductionVs(base RunStats) float64 {
+	b := base.FmapTrafficBytes()
+	if b == 0 {
+		return 0
+	}
+	return 1 - float64(r.FmapTrafficBytes())/float64(b)
+}
+
+// SpeedupVs returns r's throughput relative to a baseline run.
+func (r RunStats) SpeedupVs(base RunStats) float64 {
+	bt := base.Throughput()
+	if bt == 0 {
+		return 0
+	}
+	return r.Throughput() / bt
+}
+
+// Table is a small render helper for experiment output: markdown for
+// EXPERIMENTS.md, CSV for downstream plotting.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable builds a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// Add appends one row. Short rows are padded so ragged callers cannot
+// corrupt the rendering.
+func (t *Table) Add(cells ...string) {
+	for len(cells) < len(t.Header) {
+		cells = append(cells, "")
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "### %s\n\n", t.Title)
+	}
+	sb.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	sb.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, row := range t.Rows {
+		sb.WriteString("| " + strings.Join(row[:len(t.Header)], " | ") + " |\n")
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values (cells containing
+// commas or quotes are quoted).
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(esc(c))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row[:len(t.Header)])
+	}
+	return sb.String()
+}
+
+// Chart renders a horizontal ASCII bar chart with one bar per label,
+// scaled to the maximum value — sweep output for terminals (scm-exp
+// -chart, examples/buffer_sweep).
+func Chart(title string, labels []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title + "\n")
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for i, v := range values {
+		if v > maxVal {
+			maxVal = v
+		}
+		if i < len(labels) && len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	for i, v := range values {
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		bars := 0
+		if maxVal > 0 && v > 0 {
+			bars = int(v/maxVal*float64(width) + 0.5)
+		}
+		fmt.Fprintf(&sb, "%-*s |%-*s| %.3g\n", maxLabel, label, width, strings.Repeat("#", bars), v)
+	}
+	return sb.String()
+}
+
+// Pct formats a fraction as a percentage with one decimal.
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// F2 formats a float with two decimals.
+func F2(f float64) string { return fmt.Sprintf("%.2f", f) }
+
+// MB formats a byte count in binary megabytes with two decimals.
+func MB(b int64) string { return fmt.Sprintf("%.2f", float64(b)/(1<<20)) }

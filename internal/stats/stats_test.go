@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"shortcutmining/internal/dram"
+)
+
+func sampleRun() RunStats {
+	var tr dram.Traffic
+	tr[dram.ClassIFMRead] = 1000
+	tr[dram.ClassOFMWrite] = 500
+	tr[dram.ClassWeightRead] = 2000
+	tr[dram.ClassShortcutRead] = 100
+	return RunStats{
+		Network: "net", Strategy: "baseline", Batch: 2, ClockMHz: 200,
+		Traffic: tr, TotalCycles: 4_000_000, MACs: 1_000_000_000,
+	}
+}
+
+func TestFmapVsTotalTraffic(t *testing.T) {
+	r := sampleRun()
+	if got := r.FmapTrafficBytes(); got != 1600 {
+		t.Errorf("fmap traffic = %d, want 1600", got)
+	}
+	if got := r.TotalTrafficBytes(); got != 3600 {
+		t.Errorf("total traffic = %d, want 3600", got)
+	}
+}
+
+func TestLatencyThroughputGOPS(t *testing.T) {
+	r := sampleRun()
+	// 4M cycles at 200 MHz = 20 ms for a batch of 2 → 100 img/s.
+	if got := r.LatencySeconds(); got != 0.02 {
+		t.Errorf("latency = %g", got)
+	}
+	if got := r.Throughput(); got != 100 {
+		t.Errorf("throughput = %g", got)
+	}
+	// 2*1e9 ops / 0.02 s = 1e11 ops/s = 100 GOPS.
+	if got := r.GOPS(); got != 100 {
+		t.Errorf("gops = %g", got)
+	}
+	var zero RunStats
+	if zero.Throughput() != 0 || zero.GOPS() != 0 {
+		t.Error("zero-cycle run should report 0")
+	}
+}
+
+func TestReductionAndSpeedup(t *testing.T) {
+	base := sampleRun()
+	improved := sampleRun()
+	improved.Traffic[dram.ClassIFMRead] = 200
+	improved.Traffic[dram.ClassShortcutRead] = 0
+	improved.TotalCycles = 2_000_000
+	// fmap: base 1600, improved 700 → reduction 56.25%.
+	if got := improved.TrafficReductionVs(base); got != 1-700.0/1600 {
+		t.Errorf("reduction = %g", got)
+	}
+	if got := improved.SpeedupVs(base); got != 2 {
+		t.Errorf("speedup = %g", got)
+	}
+	var zero RunStats
+	if improved.TrafficReductionVs(zero) != 0 || improved.SpeedupVs(zero) != 0 {
+		t.Error("degenerate baseline should report 0")
+	}
+}
+
+func TestLayerStatsFmapBytes(t *testing.T) {
+	var l LayerStats
+	l.Traffic[dram.ClassIFMRead] = 10
+	l.Traffic[dram.ClassWeightRead] = 100
+	l.Traffic[dram.ClassSpillWrite] = 5
+	if got := l.FmapBytes(); got != 15 {
+		t.Errorf("fmap bytes = %d", got)
+	}
+}
+
+func TestStageTraffic(t *testing.T) {
+	r := RunStats{Layers: []LayerStats{
+		{Name: "a", Stage: "stem"},
+		{Name: "b", Stage: "layer1"},
+		{Name: "c", Stage: "layer1"},
+		{Name: "d"},
+	}}
+	r.Layers[0].Traffic[dram.ClassIFMRead] = 10
+	r.Layers[1].Traffic[dram.ClassIFMRead] = 20
+	r.Layers[2].Traffic[dram.ClassOFMWrite] = 30
+	r.Layers[3].Traffic[dram.ClassOFMWrite] = 40
+	order, agg := r.StageTraffic()
+	if len(order) != 3 || order[0] != "stem" || order[1] != "layer1" || order[2] != "(none)" {
+		t.Errorf("order = %v", order)
+	}
+	if agg["stem"] != 10 || agg["layer1"] != 50 || agg["(none)"] != 40 {
+		t.Errorf("agg = %v", agg)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("Demo", "net", "traffic")
+	tb.Add("resnet34", "42")
+	tb.Add("short") // padded
+	md := tb.Markdown()
+	for _, want := range []string{"### Demo", "| net | traffic |", "| --- | --- |", "| resnet34 | 42 |", "| short |  |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	// No title → no heading line.
+	tb2 := NewTable("", "a")
+	tb2.Add("1")
+	if strings.Contains(tb2.Markdown(), "###") {
+		t.Error("untitled table rendered a heading")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	tb.Add(`quote"inside`, "with,comma")
+	csv := tb.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != `"quote""inside","with,comma"` {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Pct(0.5333); got != "53.3%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := F2(1.927); got != "1.93" {
+		t.Errorf("F2 = %q", got)
+	}
+	if got := MB(3 << 20); got != "3.00" {
+		t.Errorf("MB = %q", got)
+	}
+}
+
+func TestChart(t *testing.T) {
+	out := Chart("demo", []string{"a", "bb"}, []float64{1, 2}, 10)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 || lines[0] != "demo" {
+		t.Fatalf("chart = %q", out)
+	}
+	if !strings.Contains(lines[2], "##########") {
+		t.Errorf("max bar not full width: %q", lines[2])
+	}
+	if !strings.Contains(lines[1], "#####") || strings.Contains(lines[1], "######") {
+		t.Errorf("half bar wrong: %q", lines[1])
+	}
+	// Zero and negative values render as empty bars, no panic.
+	out = Chart("", []string{"z"}, []float64{0}, 5)
+	if strings.Contains(out, "#") {
+		t.Errorf("zero value drew bars: %q", out)
+	}
+	if got := Chart("", nil, []float64{3}, 0); !strings.Contains(got, "#") {
+		t.Errorf("default width broken: %q", got)
+	}
+}

@@ -1,0 +1,136 @@
+// Package tensor provides the shape and data-type vocabulary shared by
+// the network IR, the tiling engine, and the accelerator models.
+//
+// The simulator is architecture-accurate rather than value-accurate in
+// its default mode, so the central objects here are shapes and byte
+// counts; actual element storage lives in package tensorops and is used
+// only by the functional-verification mode.
+package tensor
+
+import "fmt"
+
+// DataType is the numeric representation of feature-map and weight
+// elements. The paper's FPGA prototype uses 16-bit fixed point; 8- and
+// 32-bit variants are provided for the precision-sensitivity study
+// (experiment E12).
+type DataType int
+
+const (
+	// Fixed8 is 8-bit fixed point (1 byte/element).
+	Fixed8 DataType = iota
+	// Fixed16 is 16-bit fixed point (2 bytes/element), the paper's
+	// default precision.
+	Fixed16
+	// Float32 is IEEE-754 single precision (4 bytes/element).
+	Float32
+)
+
+// Bytes returns the storage size of one element.
+func (d DataType) Bytes() int {
+	switch d {
+	case Fixed8:
+		return 1
+	case Fixed16:
+		return 2
+	case Float32:
+		return 4
+	}
+	panic(fmt.Sprintf("tensor: unknown DataType %d", int(d)))
+}
+
+// String implements fmt.Stringer.
+func (d DataType) String() string {
+	switch d {
+	case Fixed8:
+		return "fixed8"
+	case Fixed16:
+		return "fixed16"
+	case Float32:
+		return "float32"
+	}
+	return fmt.Sprintf("DataType(%d)", int(d))
+}
+
+// MarshalJSON encodes the data type as its canonical string, keeping
+// configuration files human-editable.
+func (d DataType) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + d.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts any spelling ParseDataType does.
+func (d *DataType) UnmarshalJSON(b []byte) error {
+	if len(b) < 2 || b[0] != '"' || b[len(b)-1] != '"' {
+		return fmt.Errorf("tensor: data type must be a JSON string, got %s", b)
+	}
+	parsed, err := ParseDataType(string(b[1 : len(b)-1]))
+	if err != nil {
+		return err
+	}
+	*d = parsed
+	return nil
+}
+
+// ParseDataType converts a configuration string ("fixed8", "fixed16",
+// "float32") to a DataType.
+func ParseDataType(s string) (DataType, error) {
+	switch s {
+	case "fixed8", "int8", "8":
+		return Fixed8, nil
+	case "fixed16", "int16", "16":
+		return Fixed16, nil
+	case "float32", "fp32", "32":
+		return Float32, nil
+	}
+	return Fixed16, fmt.Errorf("tensor: unknown data type %q", s)
+}
+
+// Shape describes one feature map in C×H×W layout. The batch dimension
+// is carried separately by the schedulers because batching replicates
+// traffic without changing per-image buffer management.
+type Shape struct {
+	C int // channels
+	H int // rows
+	W int // columns
+}
+
+// Elems returns C*H*W.
+func (s Shape) Elems() int { return s.C * s.H * s.W }
+
+// Bytes returns the storage footprint of the feature map at dtype d.
+func (s Shape) Bytes(d DataType) int64 { return int64(s.Elems()) * int64(d.Bytes()) }
+
+// Valid reports whether every dimension is positive.
+func (s Shape) Valid() bool { return s.C > 0 && s.H > 0 && s.W > 0 }
+
+// String implements fmt.Stringer.
+func (s Shape) String() string { return fmt.Sprintf("%dx%dx%d", s.C, s.H, s.W) }
+
+// ConvOut computes the spatial output size of a convolution or pooling
+// window of size k with the given stride and symmetric padding applied
+// to an input extent in. It mirrors the floor-mode arithmetic used by
+// standard frameworks.
+func ConvOut(in, k, stride, pad int) int {
+	if stride <= 0 {
+		panic("tensor: stride must be positive")
+	}
+	out := (in+2*pad-k)/stride + 1
+	if out < 0 {
+		return 0
+	}
+	return out
+}
+
+// HumanBytes renders a byte count with a binary-prefix unit, used by
+// the reporting helpers ("1.50 MiB").
+func HumanBytes(b int64) string {
+	const unit = 1024
+	if b < unit {
+		return fmt.Sprintf("%d B", b)
+	}
+	div, exp := int64(unit), 0
+	for n := b / unit; n >= unit; n /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.2f %ciB", float64(b)/float64(div), "KMGTPE"[exp])
+}

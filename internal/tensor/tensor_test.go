@@ -1,0 +1,213 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDataTypeBytes(t *testing.T) {
+	cases := []struct {
+		d    DataType
+		want int
+	}{
+		{Fixed8, 1},
+		{Fixed16, 2},
+		{Float32, 4},
+	}
+	for _, c := range cases {
+		if got := c.d.Bytes(); got != c.want {
+			t.Errorf("%v.Bytes() = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestDataTypeString(t *testing.T) {
+	if Fixed16.String() != "fixed16" {
+		t.Errorf("Fixed16.String() = %q", Fixed16.String())
+	}
+	if Fixed8.String() != "fixed8" {
+		t.Errorf("Fixed8.String() = %q", Fixed8.String())
+	}
+	if Float32.String() != "float32" {
+		t.Errorf("Float32.String() = %q", Float32.String())
+	}
+	if DataType(99).String() != "DataType(99)" {
+		t.Errorf("unknown DataType String = %q", DataType(99).String())
+	}
+}
+
+func TestDataTypeBytesPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bytes on unknown DataType did not panic")
+		}
+	}()
+	_ = DataType(42).Bytes()
+}
+
+func TestParseDataType(t *testing.T) {
+	cases := []struct {
+		in   string
+		want DataType
+		ok   bool
+	}{
+		{"fixed8", Fixed8, true},
+		{"int8", Fixed8, true},
+		{"8", Fixed8, true},
+		{"fixed16", Fixed16, true},
+		{"int16", Fixed16, true},
+		{"16", Fixed16, true},
+		{"float32", Float32, true},
+		{"fp32", Float32, true},
+		{"32", Float32, true},
+		{"bf16", Fixed16, false},
+		{"", Fixed16, false},
+	}
+	for _, c := range cases {
+		got, err := ParseDataType(c.in)
+		if c.ok && err != nil {
+			t.Errorf("ParseDataType(%q) error: %v", c.in, err)
+			continue
+		}
+		if !c.ok {
+			if err == nil {
+				t.Errorf("ParseDataType(%q) expected error", c.in)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseDataType(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestShapeElemsAndBytes(t *testing.T) {
+	s := Shape{C: 64, H: 56, W: 56}
+	if got := s.Elems(); got != 64*56*56 {
+		t.Errorf("Elems = %d", got)
+	}
+	if got := s.Bytes(Fixed16); got != int64(64*56*56*2) {
+		t.Errorf("Bytes(Fixed16) = %d", got)
+	}
+	if got := s.Bytes(Float32); got != int64(64*56*56*4) {
+		t.Errorf("Bytes(Float32) = %d", got)
+	}
+}
+
+func TestShapeValid(t *testing.T) {
+	if !(Shape{1, 1, 1}).Valid() {
+		t.Error("1x1x1 should be valid")
+	}
+	for _, s := range []Shape{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}, {-1, 2, 2}} {
+		if s.Valid() {
+			t.Errorf("%v should be invalid", s)
+		}
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if got := (Shape{3, 224, 224}).String(); got != "3x224x224" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestConvOut(t *testing.T) {
+	cases := []struct {
+		in, k, stride, pad, want int
+	}{
+		{224, 7, 2, 3, 112}, // ResNet stem
+		{112, 3, 2, 1, 56},  // ResNet max pool
+		{56, 3, 1, 1, 56},   // same-padded 3x3
+		{56, 1, 1, 0, 56},   // pointwise
+		{56, 1, 2, 0, 28},   // strided projection
+		{7, 7, 1, 0, 1},     // global-style pool
+		{5, 7, 1, 0, 0},     // window larger than input, no pad
+	}
+	for _, c := range cases {
+		if got := ConvOut(c.in, c.k, c.stride, c.pad); got != c.want {
+			t.Errorf("ConvOut(%d,%d,%d,%d) = %d, want %d", c.in, c.k, c.stride, c.pad, got, c.want)
+		}
+	}
+}
+
+func TestConvOutPanicsOnZeroStride(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ConvOut with stride 0 did not panic")
+		}
+	}()
+	ConvOut(10, 3, 0, 1)
+}
+
+func TestConvOutIdentityProperty(t *testing.T) {
+	// Property: a same-padded stride-1 odd window preserves extent.
+	f := func(in uint8, half uint8) bool {
+		n := int(in%200) + 1
+		k := 2*int(half%4) + 1
+		return ConvOut(n, k, 1, k/2) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConvOutMonotoneInInput(t *testing.T) {
+	// Property: output extent is non-decreasing in input extent.
+	f := func(in uint8, k uint8, s uint8, p uint8) bool {
+		n := int(in%128) + 8
+		kk := int(k%5) + 1
+		ss := int(s%3) + 1
+		pp := int(p % 3)
+		return ConvOut(n+1, kk, ss, pp) >= ConvOut(n, kk, ss, pp)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{0, "0 B"},
+		{512, "512 B"},
+		{2048, "2.00 KiB"},
+		{3 << 20, "3.00 MiB"},
+		{int64(5) << 30, "5.00 GiB"},
+	}
+	for _, c := range cases {
+		if got := HumanBytes(c.in); got != c.want {
+			t.Errorf("HumanBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDataTypeJSONRoundTrip(t *testing.T) {
+	for _, d := range []DataType{Fixed8, Fixed16, Float32} {
+		b, err := d.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back DataType
+		if err := back.UnmarshalJSON(b); err != nil {
+			t.Fatal(err)
+		}
+		if back != d {
+			t.Errorf("round trip %v → %v", d, back)
+		}
+	}
+}
+
+func TestDataTypeUnmarshalErrors(t *testing.T) {
+	var d DataType
+	if err := d.UnmarshalJSON([]byte(`16`)); err == nil {
+		t.Error("numeric accepted")
+	}
+	if err := d.UnmarshalJSON([]byte(`"bf16"`)); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if err := d.UnmarshalJSON([]byte(`"`)); err == nil {
+		t.Error("malformed string accepted")
+	}
+}

@@ -1,0 +1,246 @@
+// Package tensorops provides naive, obviously-correct reference
+// implementations of the network operators on float32 data. The
+// functional-verification mode of the core scheduler pushes real
+// activations through the logical-buffer machinery and checks them
+// bit-exactly against this package, proving that role switching,
+// retention, spilling and bank recycling never lose or corrupt data.
+//
+// Layout is C-major (channel, row, column), matching tensor.Shape.
+// Activation functions are identity: the buffer procedures are
+// oblivious to element values, so verification needs determinism, not
+// nonlinearities.
+package tensorops
+
+import (
+	"fmt"
+	"math/rand"
+
+	"shortcutmining/internal/tensor"
+)
+
+// index returns the flat offset of (c, y, x) in shape s.
+func index(s tensor.Shape, c, y, x int) int {
+	return (c*s.H+y)*s.W + x
+}
+
+// Conv2D computes a dense 2-D convolution. weights is laid out
+// [outC][inC][k][k]. The output shape follows tensor.ConvOut.
+func Conv2D(in []float32, inShape tensor.Shape, weights []float32, outC, k, stride, pad int) ([]float32, tensor.Shape, error) {
+	return GroupedConv2D(in, inShape, weights, outC, k, stride, pad, 1)
+}
+
+// GroupedConv2D computes a grouped 2-D convolution (groups = inShape.C
+// is depthwise). weights is laid out [outC][inC/groups][k][k]; output
+// channel oc reads input channels of its group only.
+func GroupedConv2D(in []float32, inShape tensor.Shape, weights []float32, outC, k, stride, pad, groups int) ([]float32, tensor.Shape, error) {
+	if len(in) != inShape.Elems() {
+		return nil, tensor.Shape{}, fmt.Errorf("tensorops: input length %d != shape %v", len(in), inShape)
+	}
+	if groups < 1 || inShape.C%groups != 0 || outC%groups != 0 {
+		return nil, tensor.Shape{}, fmt.Errorf("tensorops: groups %d does not divide channels %d→%d", groups, inShape.C, outC)
+	}
+	icg := inShape.C / groups
+	ocg := outC / groups
+	if want := outC * icg * k * k; len(weights) != want {
+		return nil, tensor.Shape{}, fmt.Errorf("tensorops: weight length %d, want %d", len(weights), want)
+	}
+	outShape := tensor.Shape{
+		C: outC,
+		H: tensor.ConvOut(inShape.H, k, stride, pad),
+		W: tensor.ConvOut(inShape.W, k, stride, pad),
+	}
+	if !outShape.Valid() {
+		return nil, tensor.Shape{}, fmt.Errorf("tensorops: degenerate conv output %v", outShape)
+	}
+	out := make([]float32, outShape.Elems())
+	for oc := 0; oc < outC; oc++ {
+		icBase := (oc / ocg) * icg
+		for oy := 0; oy < outShape.H; oy++ {
+			for ox := 0; ox < outShape.W; ox++ {
+				var acc float32
+				for ic := 0; ic < icg; ic++ {
+					for ky := 0; ky < k; ky++ {
+						iy := oy*stride - pad + ky
+						if iy < 0 || iy >= inShape.H {
+							continue
+						}
+						for kx := 0; kx < k; kx++ {
+							ix := ox*stride - pad + kx
+							if ix < 0 || ix >= inShape.W {
+								continue
+							}
+							w := weights[((oc*icg+ic)*k+ky)*k+kx]
+							acc += w * in[index(inShape, icBase+ic, iy, ix)]
+						}
+					}
+				}
+				out[index(outShape, oc, oy, ox)] = acc
+			}
+		}
+	}
+	return out, outShape, nil
+}
+
+// MaxPool computes max pooling with the given window geometry.
+// Padding positions contribute nothing (they are skipped, not treated
+// as zero, matching framework semantics for max pooling).
+func MaxPool(in []float32, inShape tensor.Shape, k, stride, pad int) ([]float32, tensor.Shape, error) {
+	return pool(in, inShape, k, stride, pad, true)
+}
+
+// AvgPool computes average pooling; the divisor is the count of valid
+// (in-bounds) window positions.
+func AvgPool(in []float32, inShape tensor.Shape, k, stride, pad int) ([]float32, tensor.Shape, error) {
+	return pool(in, inShape, k, stride, pad, false)
+}
+
+func pool(in []float32, inShape tensor.Shape, k, stride, pad int, max bool) ([]float32, tensor.Shape, error) {
+	if len(in) != inShape.Elems() {
+		return nil, tensor.Shape{}, fmt.Errorf("tensorops: input length %d != shape %v", len(in), inShape)
+	}
+	outShape := tensor.Shape{
+		C: inShape.C,
+		H: tensor.ConvOut(inShape.H, k, stride, pad),
+		W: tensor.ConvOut(inShape.W, k, stride, pad),
+	}
+	if !outShape.Valid() {
+		return nil, tensor.Shape{}, fmt.Errorf("tensorops: degenerate pool output %v", outShape)
+	}
+	out := make([]float32, outShape.Elems())
+	for c := 0; c < inShape.C; c++ {
+		for oy := 0; oy < outShape.H; oy++ {
+			for ox := 0; ox < outShape.W; ox++ {
+				var acc float32
+				count := 0
+				for ky := 0; ky < k; ky++ {
+					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= inShape.H {
+						continue
+					}
+					for kx := 0; kx < k; kx++ {
+						ix := ox*stride - pad + kx
+						if ix < 0 || ix >= inShape.W {
+							continue
+						}
+						v := in[index(inShape, c, iy, ix)]
+						if count == 0 {
+							acc = v
+						} else if max {
+							if v > acc {
+								acc = v
+							}
+						} else {
+							acc += v
+						}
+						count++
+					}
+				}
+				if !max && count > 0 {
+					acc /= float32(count)
+				}
+				out[index(outShape, c, oy, ox)] = acc
+			}
+		}
+	}
+	return out, outShape, nil
+}
+
+// GlobalAvgPool reduces each channel to its mean.
+func GlobalAvgPool(in []float32, inShape tensor.Shape) ([]float32, tensor.Shape, error) {
+	if len(in) != inShape.Elems() {
+		return nil, tensor.Shape{}, fmt.Errorf("tensorops: input length %d != shape %v", len(in), inShape)
+	}
+	out := make([]float32, inShape.C)
+	per := inShape.H * inShape.W
+	for c := 0; c < inShape.C; c++ {
+		var sum float32
+		for i := 0; i < per; i++ {
+			sum += in[c*per+i]
+		}
+		out[c] = sum / float32(per)
+	}
+	return out, tensor.Shape{C: inShape.C, H: 1, W: 1}, nil
+}
+
+// FC computes a fully connected layer; weights is [outC][inElems].
+func FC(in []float32, weights []float32, outC int) ([]float32, tensor.Shape, error) {
+	if outC <= 0 || len(in) == 0 {
+		return nil, tensor.Shape{}, fmt.Errorf("tensorops: bad FC geometry in=%d out=%d", len(in), outC)
+	}
+	if len(weights) != outC*len(in) {
+		return nil, tensor.Shape{}, fmt.Errorf("tensorops: FC weight length %d, want %d", len(weights), outC*len(in))
+	}
+	out := make([]float32, outC)
+	for o := 0; o < outC; o++ {
+		var acc float32
+		row := weights[o*len(in) : (o+1)*len(in)]
+		for i, v := range in {
+			acc += row[i] * v
+		}
+		out[o] = acc
+	}
+	return out, tensor.Shape{C: outC, H: 1, W: 1}, nil
+}
+
+// Add sums equally shaped operands element-wise.
+func Add(operands ...[]float32) ([]float32, error) {
+	if len(operands) < 2 {
+		return nil, fmt.Errorf("tensorops: add needs at least two operands")
+	}
+	n := len(operands[0])
+	out := make([]float32, n)
+	copy(out, operands[0])
+	for _, op := range operands[1:] {
+		if len(op) != n {
+			return nil, fmt.Errorf("tensorops: add length mismatch %d vs %d", len(op), n)
+		}
+		for i, v := range op {
+			out[i] += v
+		}
+	}
+	return out, nil
+}
+
+// Concat concatenates along the channel dimension (a plain append in
+// C-major layout when spatial sizes match, which the IR guarantees).
+func Concat(operands ...[]float32) []float32 {
+	var out []float32
+	for _, op := range operands {
+		out = append(out, op...)
+	}
+	return out
+}
+
+// ChannelShuffle permutes channels the ShuffleNet way: viewing the C
+// channels as a groups×(C/groups) matrix and transposing it, so output
+// channel o*groups+g reads input channel g*(C/groups)+o.
+func ChannelShuffle(in []float32, inShape tensor.Shape, groups int) ([]float32, error) {
+	if len(in) != inShape.Elems() {
+		return nil, fmt.Errorf("tensorops: input length %d != shape %v", len(in), inShape)
+	}
+	if groups < 2 || inShape.C%groups != 0 {
+		return nil, fmt.Errorf("tensorops: shuffle groups %d must divide channels %d", groups, inShape.C)
+	}
+	per := inShape.C / groups
+	hw := inShape.H * inShape.W
+	out := make([]float32, len(in))
+	for g := 0; g < groups; g++ {
+		for o := 0; o < per; o++ {
+			src := (g*per + o) * hw
+			dst := (o*groups + g) * hw
+			copy(out[dst:dst+hw], in[src:src+hw])
+		}
+	}
+	return out, nil
+}
+
+// RandomTensor generates a deterministic pseudo-random tensor for the
+// given seed, in [-1, 1).
+func RandomTensor(seed int64, n int) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = rng.Float32()*2 - 1
+	}
+	return out
+}

@@ -1,0 +1,363 @@
+package tensorops
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"shortcutmining/internal/tensor"
+)
+
+func almostEqual(a, b float32) bool {
+	return math.Abs(float64(a-b)) < 1e-5
+}
+
+func TestConv2DIdentityKernel(t *testing.T) {
+	// 1x1 kernel with weight 1 on one channel is the identity.
+	in := []float32{1, 2, 3, 4}
+	out, shape, err := Conv2D(in, tensor.Shape{C: 1, H: 2, W: 2}, []float32{1}, 1, 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shape != (tensor.Shape{C: 1, H: 2, W: 2}) {
+		t.Fatalf("shape = %v", shape)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("out[%d] = %f", i, out[i])
+		}
+	}
+}
+
+func TestConv2DHandComputed(t *testing.T) {
+	// 3x3 all-ones kernel over a 3x3 all-ones image with pad 1: each
+	// output equals the count of valid positions.
+	in := make([]float32, 9)
+	for i := range in {
+		in[i] = 1
+	}
+	w := make([]float32, 9)
+	for i := range w {
+		w[i] = 1
+	}
+	out, shape, err := Conv2D(in, tensor.Shape{C: 1, H: 3, W: 3}, w, 1, 3, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{4, 6, 4, 6, 9, 6, 4, 6, 4}
+	_ = shape
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %f, want %f", i, out[i], want[i])
+		}
+	}
+}
+
+func TestConv2DStride(t *testing.T) {
+	// 1x1 stride-2 conv picks the even grid.
+	in := []float32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	out, shape, err := Conv2D(in, tensor.Shape{C: 1, H: 4, W: 4}, []float32{1}, 1, 1, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shape != (tensor.Shape{C: 1, H: 2, W: 2}) {
+		t.Fatalf("shape = %v", shape)
+	}
+	want := []float32{1, 3, 9, 11}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %f, want %f", i, out[i], want[i])
+		}
+	}
+}
+
+func TestConv2DMultiChannel(t *testing.T) {
+	// Two input channels, pointwise sum via weights {1,1}.
+	in := []float32{1, 2, 10, 20} // ch0: [1 2], ch1: [10 20]
+	out, _, err := Conv2D(in, tensor.Shape{C: 2, H: 1, W: 2}, []float32{1, 1}, 1, 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 11 || out[1] != 22 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestConv2DErrors(t *testing.T) {
+	if _, _, err := Conv2D([]float32{1}, tensor.Shape{C: 1, H: 2, W: 2}, []float32{1}, 1, 1, 1, 0); err == nil {
+		t.Error("short input accepted")
+	}
+	if _, _, err := Conv2D(make([]float32, 4), tensor.Shape{C: 1, H: 2, W: 2}, []float32{1, 1}, 1, 1, 1, 0); err == nil {
+		t.Error("bad weight length accepted")
+	}
+	if _, _, err := Conv2D(make([]float32, 4), tensor.Shape{C: 1, H: 2, W: 2}, make([]float32, 25), 1, 5, 1, 0); err == nil {
+		t.Error("degenerate output accepted")
+	}
+}
+
+func TestMaxPool(t *testing.T) {
+	in := []float32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	out, shape, err := MaxPool(in, tensor.Shape{C: 1, H: 4, W: 4}, 2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shape != (tensor.Shape{C: 1, H: 2, W: 2}) {
+		t.Fatalf("shape = %v", shape)
+	}
+	want := []float32{6, 8, 14, 16}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %f, want %f", i, out[i], want[i])
+		}
+	}
+}
+
+func TestAvgPoolPaddingDivisor(t *testing.T) {
+	// 2x2 avg pool with pad 1 on a 2x2 image: the corner window covers
+	// exactly one valid element.
+	in := []float32{4, 8, 12, 16}
+	out, shape, err := AvgPool(in, tensor.Shape{C: 1, H: 2, W: 2}, 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shape != (tensor.Shape{C: 1, H: 2, W: 2}) {
+		t.Fatalf("shape = %v", shape)
+	}
+	want := []float32{4, 8, 12, 16} // each window sees one element
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %f, want %f", i, out[i], want[i])
+		}
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	in := []float32{1, 2, 3, 4, 10, 20, 30, 40}
+	out, shape, err := GlobalAvgPool(in, tensor.Shape{C: 2, H: 2, W: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shape != (tensor.Shape{C: 2, H: 1, W: 1}) {
+		t.Fatalf("shape = %v", shape)
+	}
+	if out[0] != 2.5 || out[1] != 25 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestFC(t *testing.T) {
+	in := []float32{1, 2, 3}
+	w := []float32{
+		1, 0, 0,
+		0, 1, 1,
+	}
+	out, shape, err := FC(in, w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shape != (tensor.Shape{C: 2, H: 1, W: 1}) {
+		t.Fatalf("shape = %v", shape)
+	}
+	if out[0] != 1 || out[1] != 5 {
+		t.Errorf("out = %v", out)
+	}
+	if _, _, err := FC(in, w, 5); err == nil {
+		t.Error("bad weight length accepted")
+	}
+	if _, _, err := FC(nil, nil, 1); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestAddAndConcat(t *testing.T) {
+	sum, err := Add([]float32{1, 2}, []float32{10, 20}, []float32{100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum[0] != 111 || sum[1] != 222 {
+		t.Errorf("sum = %v", sum)
+	}
+	if _, err := Add([]float32{1}); err == nil {
+		t.Error("single-operand add accepted")
+	}
+	if _, err := Add([]float32{1}, []float32{1, 2}); err == nil {
+		t.Error("mismatched add accepted")
+	}
+	cat := Concat([]float32{1, 2}, []float32{3})
+	if len(cat) != 3 || cat[2] != 3 {
+		t.Errorf("concat = %v", cat)
+	}
+}
+
+func TestRandomTensorDeterministic(t *testing.T) {
+	a := RandomTensor(42, 100)
+	b := RandomTensor(42, 100)
+	c := RandomTensor(43, 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed differs")
+		}
+		if a[i] < -1 || a[i] >= 1 {
+			t.Fatalf("value %f out of range", a[i])
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical tensors")
+	}
+}
+
+func TestQuickConvLinearity(t *testing.T) {
+	// Property: convolution is linear — conv(a+b) = conv(a)+conv(b).
+	shape := tensor.Shape{C: 2, H: 5, W: 5}
+	w := RandomTensor(7, 3*2*3*3)
+	f := func(seedA, seedB int64) bool {
+		a := RandomTensor(seedA, shape.Elems())
+		b := RandomTensor(seedB, shape.Elems())
+		ab, err := Add(a, b)
+		if err != nil {
+			return false
+		}
+		ca, _, err := Conv2D(a, shape, w, 3, 3, 1, 1)
+		if err != nil {
+			return false
+		}
+		cb, _, _ := Conv2D(b, shape, w, 3, 3, 1, 1)
+		cab, _, _ := Conv2D(ab, shape, w, 3, 3, 1, 1)
+		sum, _ := Add(ca, cb)
+		for i := range cab {
+			if !almostEqual(cab[i], sum[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMaxPoolBounds(t *testing.T) {
+	// Property: every pooled value appears in the input.
+	shape := tensor.Shape{C: 1, H: 8, W: 8}
+	f := func(seed int64) bool {
+		in := RandomTensor(seed, shape.Elems())
+		out, _, err := MaxPool(in, shape, 3, 2, 1)
+		if err != nil {
+			return false
+		}
+		present := make(map[float32]bool, len(in))
+		for _, v := range in {
+			present[v] = true
+		}
+		for _, v := range out {
+			if !present[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupedConv2DDepthwiseIdentity(t *testing.T) {
+	// Depthwise 1x1 conv with unit weights is the identity per channel.
+	shape := tensor.Shape{C: 4, H: 3, W: 3}
+	in := RandomTensor(11, shape.Elems())
+	w := []float32{1, 1, 1, 1} // one 1x1 weight per channel
+	out, outShape, err := GroupedConv2D(in, shape, w, 4, 1, 1, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outShape != shape {
+		t.Fatalf("shape = %v", outShape)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("out[%d] = %f, want %f", i, out[i], in[i])
+		}
+	}
+}
+
+func TestGroupedConv2DMatchesBlockDiagonalDense(t *testing.T) {
+	// A 2-group conv equals a dense conv whose cross-group weights are
+	// zero.
+	shape := tensor.Shape{C: 4, H: 5, W: 5}
+	in := RandomTensor(21, shape.Elems())
+	gw := RandomTensor(22, 4*2*9) // [4 out][2 in/group][3x3]
+	got, _, err := GroupedConv2D(in, shape, gw, 4, 3, 1, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expand to dense block-diagonal weights [4][4][3][3].
+	dense := make([]float32, 4*4*9)
+	for oc := 0; oc < 4; oc++ {
+		gBase := (oc / 2) * 2 // first input channel of oc's group
+		for ic := 0; ic < 2; ic++ {
+			for kk := 0; kk < 9; kk++ {
+				dense[(oc*4+gBase+ic)*9+kk] = gw[(oc*2+ic)*9+kk]
+			}
+		}
+	}
+	want, _, err := Conv2D(in, shape, dense, 4, 3, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !almostEqual(got[i], want[i]) {
+			t.Fatalf("elem %d: grouped %f vs dense %f", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGroupedConv2DErrors(t *testing.T) {
+	shape := tensor.Shape{C: 4, H: 3, W: 3}
+	in := make([]float32, shape.Elems())
+	if _, _, err := GroupedConv2D(in, shape, make([]float32, 8), 8, 1, 1, 0, 3); err == nil {
+		t.Error("indivisible groups accepted")
+	}
+	if _, _, err := GroupedConv2D(in, shape, make([]float32, 3), 4, 1, 1, 0, 4); err == nil {
+		t.Error("bad weight length accepted")
+	}
+}
+
+func TestChannelShuffle(t *testing.T) {
+	// C=6, groups=2: channels [0 1 2 | 3 4 5] transpose to
+	// [0 3 1 4 2 5].
+	shape := tensor.Shape{C: 6, H: 1, W: 2}
+	in := []float32{0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5}
+	out, err := ChannelShuffle(in, shape, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := []float32{0, 3, 1, 4, 2, 5}
+	for c, w := range wantOrder {
+		if out[c*2] != w || out[c*2+1] != w {
+			t.Errorf("out channel %d = %v, want %v", c, out[c*2], w)
+		}
+	}
+	// Shuffle by g then by C/g is the identity.
+	back, err := ChannelShuffle(out, shape, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if back[i] != in[i] {
+			t.Fatalf("double shuffle not identity at %d", i)
+		}
+	}
+	if _, err := ChannelShuffle(in[:5], shape, 2); err == nil {
+		t.Error("short input accepted")
+	}
+	if _, err := ChannelShuffle(in, shape, 4); err == nil {
+		t.Error("indivisible groups accepted")
+	}
+}

@@ -1,0 +1,136 @@
+package tiling
+
+import (
+	"shortcutmining/internal/nn"
+	"shortcutmining/internal/tensor"
+)
+
+// Tile is one unit of the double-buffered execution pipeline: the
+// input stripe and weights it loads, the output rows it produces and
+// stores, and its share of the layer's output work (used by the
+// detailed timing model to apportion compute cycles).
+type Tile struct {
+	Rows        int   // output rows this tile produces
+	LoadBytes   int64 // input-stripe bytes entering on the fmap channel
+	WeightBytes int64 // weight bytes entering on the weight channel
+	StoreBytes  int64 // output bytes leaving on the fmap channel
+}
+
+// Tiles expands the plan into its per-tile transfer sequence, in
+// execution order. The sum of tile fields equals the plan's aggregate
+// traffic (weights may differ by integer-division crumbs of at most
+// one byte per tile), so schedulers can scale the per-tile numbers to
+// whatever portion of the plan actually touches DRAM.
+func (p Plan) Tiles(d tensor.DataType) []Tile {
+	l := p.Layer
+	if l == nil {
+		return nil
+	}
+	switch l.Kind {
+	case nn.OpConv, nn.OpPool:
+		return p.windowedTiles(d)
+	case nn.OpInput, nn.OpConcat:
+		return nil
+	default:
+		// Single-shot layers: one tile carrying everything.
+		return []Tile{{
+			Rows:        l.Out.H,
+			LoadBytes:   p.IFMReadBytes,
+			WeightBytes: p.WeightReadBytes,
+			StoreBytes:  p.OFMWriteBytes,
+		}}
+	}
+}
+
+func (p Plan) windowedTiles(d tensor.DataType) []Tile {
+	l := p.Layer
+	in := l.In[0]
+	e := int64(d.Bytes())
+	rowBytes := int64(in.W) * int64(in.C) * e
+
+	groups := p.OutGroups
+	if groups < 1 {
+		groups = 1
+	}
+	// Exact per-group channel split (first outC%groups groups carry
+	// one extra channel) keeps Σ StoreBytes == OFMWriteBytes.
+	groupChans := func(g int) int64 {
+		c := int64(l.Out.C / groups)
+		if g < l.Out.C%groups {
+			c++
+		}
+		return c
+	}
+	var tiles []Tile
+	for g := 0; g < groups; g++ {
+		for r0 := 0; r0 < l.Out.H; r0 += p.TileRows {
+			r1 := r0 + p.TileRows
+			if r1 > l.Out.H {
+				r1 = l.Out.H
+			}
+			t := Tile{Rows: r1 - r0}
+			// Input rows this stripe touches (strided DMA semantics,
+			// matching stripeReadBytes), divided by nothing: each
+			// group pass re-reads its stripe.
+			covered := -1 << 30
+			var rows int64
+			for r := r0; r < r1; r++ {
+				lo := r*l.Stride - l.Pad
+				hi := lo + l.K
+				if lo < covered {
+					lo = covered
+				}
+				if lo < 0 {
+					lo = 0
+				}
+				if hi > in.H {
+					hi = in.H
+				}
+				if hi > lo {
+					rows += int64(hi - lo)
+				}
+				if hi > covered {
+					covered = hi
+				}
+			}
+			t.LoadBytes = rows * rowBytes // raw; rescaled to the plan total below
+			t.StoreBytes = int64(t.Rows) * int64(l.Out.W) * groupChans(g) * e
+			tiles = append(tiles, t)
+		}
+	}
+	// Rescale raw stripe loads to the plan's aggregate IFM traffic
+	// (grouped convolutions read only their input slice per pass), and
+	// give the last tile the rounding remainder so the sum is exact.
+	var rawTotal int64
+	for _, t := range tiles {
+		rawTotal += t.LoadBytes
+	}
+	if rawTotal > 0 && rawTotal != p.IFMReadBytes {
+		var assigned int64
+		for i := range tiles {
+			if i == len(tiles)-1 {
+				tiles[i].LoadBytes = p.IFMReadBytes - assigned
+				break
+			}
+			tiles[i].LoadBytes = tiles[i].LoadBytes * p.IFMReadBytes / rawTotal
+			assigned += tiles[i].LoadBytes
+		}
+	}
+	// Distribute weights: stationary weights arrive once per group (on
+	// its first tile); otherwise they re-arrive on every row tile.
+	if p.WeightReadBytes > 0 {
+		if p.WeightStationary {
+			perGroup := p.WeightReadBytes / int64(groups)
+			tilesPerGroup := len(tiles) / groups
+			for g := 0; g < groups; g++ {
+				tiles[g*tilesPerGroup].WeightBytes = perGroup
+			}
+		} else {
+			per := p.WeightReadBytes / int64(len(tiles))
+			for i := range tiles {
+				tiles[i].WeightBytes = per
+			}
+		}
+	}
+	return tiles
+}

@@ -1,0 +1,150 @@
+package tiling
+
+import (
+	"testing"
+	"testing/quick"
+
+	"shortcutmining/internal/nn"
+	"shortcutmining/internal/tensor"
+)
+
+func mustPlan(t *testing.T, l *nn.Layer, bud Budget) Plan {
+	t.Helper()
+	p, err := ForLayer(l, tensor.Fixed16, bud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTilesConserveAggregateTraffic(t *testing.T) {
+	n := nn.MustResNet(34)
+	buds := []Budget{
+		big(),
+		{IBuf: 32 << 10, OBuf: 32 << 10, WBuf: 64 << 10},
+		{IBuf: 4 << 10, OBuf: 4 << 10, WBuf: 16 << 10},
+	}
+	for _, l := range n.Layers {
+		for _, bud := range buds {
+			p, err := ForLayer(l, tensor.Fixed16, bud)
+			if err != nil {
+				continue // infeasible tiny budget for this layer
+			}
+			tiles := p.Tiles(tensor.Fixed16)
+			var load, weights, store int64
+			var rows int
+			for _, tile := range tiles {
+				load += tile.LoadBytes
+				weights += tile.WeightBytes
+				store += tile.StoreBytes
+				rows += tile.Rows
+			}
+			if l.Kind == nn.OpInput || l.Kind == nn.OpConcat {
+				if tiles != nil {
+					t.Errorf("%s: layout op produced tiles", l.Name)
+				}
+				continue
+			}
+			if load != p.IFMReadBytes {
+				t.Errorf("%s: Σload = %d, plan %d", l.Name, load, p.IFMReadBytes)
+			}
+			if store != p.OFMWriteBytes {
+				t.Errorf("%s: Σstore = %d, plan %d", l.Name, store, p.OFMWriteBytes)
+			}
+			// Weight crumbs: at most one byte per tile.
+			if diff := p.WeightReadBytes - weights; diff < 0 || diff > int64(len(tiles)) {
+				t.Errorf("%s: Σweights = %d, plan %d", l.Name, weights, p.WeightReadBytes)
+			}
+			if l.Kind == nn.OpConv || l.Kind == nn.OpPool {
+				if rows != l.Out.H*p.OutGroups {
+					t.Errorf("%s: Σrows = %d, want %d", l.Name, rows, l.Out.H*p.OutGroups)
+				}
+			}
+		}
+	}
+}
+
+func TestTilesWeightPlacement(t *testing.T) {
+	b := nn.NewBuilder("t", tensor.Shape{C: 64, H: 16, W: 16})
+	b.Conv("c", b.InputName(), 64, 3, 1, 1)
+	n, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := n.Layer("c")
+	// Weight-stationary with grouping: weights land on each group's
+	// first tile only.
+	p := mustPlan(t, l, Budget{IBuf: 8 << 10, OBuf: 2 << 10, WBuf: 1 << 20})
+	if !p.WeightStationary || p.OutGroups < 2 {
+		t.Skipf("plan not in the grouped weight-stationary regime: %+v", p)
+	}
+	tiles := p.Tiles(tensor.Fixed16)
+	perGroup := len(tiles) / p.OutGroups
+	for i, tile := range tiles {
+		first := i%perGroup == 0
+		if first && tile.WeightBytes == 0 {
+			t.Errorf("tile %d: group-leading tile has no weights", i)
+		}
+		if !first && tile.WeightBytes != 0 {
+			t.Errorf("tile %d: non-leading tile has weights", i)
+		}
+	}
+}
+
+func TestTilesSingleShotOps(t *testing.T) {
+	b := nn.NewBuilder("t", tensor.Shape{C: 8, H: 8, W: 8})
+	x := b.Conv("c", b.InputName(), 8, 3, 1, 1)
+	g := b.GlobalPool("g", x)
+	b.FC("fc", g, 10)
+	n, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"g", "fc"} {
+		p := mustPlan(t, n.Layer(name), big())
+		tiles := p.Tiles(tensor.Fixed16)
+		if len(tiles) != 1 {
+			t.Fatalf("%s: %d tiles, want 1", name, len(tiles))
+		}
+		if tiles[0].LoadBytes != p.IFMReadBytes || tiles[0].StoreBytes != p.OFMWriteBytes {
+			t.Errorf("%s: tile %+v does not match plan", name, tiles[0])
+		}
+	}
+}
+
+func TestTilesNilPlan(t *testing.T) {
+	var p Plan
+	if p.Tiles(tensor.Fixed16) != nil {
+		t.Error("zero plan produced tiles")
+	}
+}
+
+func TestQuickTilesConservation(t *testing.T) {
+	n := nn.MustResNet(18)
+	var convs []*nn.Layer
+	for _, l := range n.Layers {
+		if l.Kind == nn.OpConv {
+			convs = append(convs, l)
+		}
+	}
+	f := func(li, budKB uint8) bool {
+		l := convs[int(li)%len(convs)]
+		base := int64(int(budKB%96)+4) << 10
+		p, err := ForLayer(l, tensor.Fixed16, Budget{IBuf: base, OBuf: base, WBuf: base * 4})
+		if err != nil {
+			return true
+		}
+		var load, store int64
+		for _, tile := range p.Tiles(tensor.Fixed16) {
+			load += tile.LoadBytes
+			store += tile.StoreBytes
+			if tile.Rows <= 0 || tile.LoadBytes < 0 || tile.StoreBytes < 0 {
+				return false
+			}
+		}
+		return load == p.IFMReadBytes && store == p.OFMWriteBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,300 @@
+// Package tiling plans how a layer executes under finite buffer
+// capacity and derives the off-chip traffic that plan implies. The
+// policy models the tiled accelerators of the paper's comparison class
+// (Zhang et al. FPGA'15 family): output feature maps are produced in
+// row stripes, channels are grouped when a stripe of all channels does
+// not fit, and the loop order is chosen to minimize total traffic
+// (weight-stationary across row tiles when output channels are
+// grouped, input-stationary when weights fit on chip).
+//
+// The same planner serves both designs: the baseline calls it with its
+// static ping-pong budgets, Shortcut Mining calls it with whatever
+// capacity the bank pool has left after retention.
+package tiling
+
+import (
+	"fmt"
+
+	"shortcutmining/internal/nn"
+	"shortcutmining/internal/tensor"
+)
+
+// Budget is the on-chip capacity available to one layer invocation.
+type Budget struct {
+	IBuf int64 // input feature-map buffer bytes
+	OBuf int64 // output feature-map buffer bytes
+	WBuf int64 // weight buffer bytes
+}
+
+// Plan describes the chosen tiling and the DRAM traffic it implies
+// when the layer's input is streamed from DRAM (the baseline case;
+// schedulers that hold the input on chip discount IFMReadBytes
+// themselves).
+type Plan struct {
+	Layer *nn.Layer
+
+	RowTiles  int // output row stripes
+	TileRows  int // output rows per stripe (last stripe may be short)
+	OutGroups int // output-channel groups (input re-streamed per group)
+	InGroups  int // input-channel groups within a stripe pass
+
+	IFMReadBytes    int64 // input streaming incl. halo re-reads and group passes
+	WeightReadBytes int64
+	OFMWriteBytes   int64
+	// WeightStationary reports the chosen loop order: true when
+	// weights stay resident per output group while row stripes stream.
+	WeightStationary bool
+}
+
+// TotalBytes is the plan's aggregate DRAM traffic.
+func (p Plan) TotalBytes() int64 {
+	return p.IFMReadBytes + p.WeightReadBytes + p.OFMWriteBytes
+}
+
+func ceilDiv(a, b int64) int64 {
+	return (a + b - 1) / b
+}
+
+// stripeReadBytes sums the input bytes needed to produce all output
+// row stripes of height tileRows, accounting for the halo rows
+// adjacent stripes re-read. One full pass over all input channels. The
+// DMA is strided: rows the window never touches (stride > kernel, e.g.
+// 1x1/s2 projection shortcuts) are not fetched.
+func stripeReadBytes(l *nn.Layer, d tensor.DataType, tileRows int) int64 {
+	in := l.In[0]
+	e := int64(d.Bytes())
+	rowBytes := int64(in.W) * int64(in.C) * e
+	var totalRows int64
+	for r0 := 0; r0 < l.Out.H; r0 += tileRows {
+		r1 := r0 + tileRows
+		if r1 > l.Out.H {
+			r1 = l.Out.H
+		}
+		covered := -1 << 30 // highest input row already counted, +1
+		for r := r0; r < r1; r++ {
+			lo := r*l.Stride - l.Pad
+			hi := lo + l.K
+			if lo < covered {
+				lo = covered
+			}
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > in.H {
+				hi = in.H
+			}
+			if hi > lo {
+				totalRows += int64(hi - lo)
+			}
+			if hi > covered {
+				covered = hi
+			}
+		}
+	}
+	return totalRows * rowBytes
+}
+
+// usedStripeRows is the number of distinct input rows one interior
+// stripe of tileRows output rows touches: k + (t-1)·s when windows
+// overlap or abut, t·k when the stride skips rows, clamped to the
+// input height.
+func usedStripeRows(l *nn.Layer, tileRows int) int {
+	var rows int
+	if l.Stride >= l.K {
+		rows = tileRows * l.K
+	} else {
+		rows = l.K + (tileRows-1)*l.Stride
+	}
+	if rows > l.In[0].H {
+		rows = l.In[0].H
+	}
+	return rows
+}
+
+// inStripeBytes is the buffer footprint of the input stripe that
+// produces tileRows output rows (full width, inChans channels).
+func inStripeBytes(l *nn.Layer, d tensor.DataType, tileRows, inChans int) int64 {
+	return int64(usedStripeRows(l, tileRows)) * int64(l.In[0].W) * int64(inChans) * int64(d.Bytes())
+}
+
+func outStripeBytes(l *nn.Layer, d tensor.DataType, tileRows, outChans int) int64 {
+	return int64(tileRows) * int64(l.Out.W) * int64(outChans) * int64(d.Bytes())
+}
+
+// ForLayer computes the execution plan of one layer under the budget.
+// It returns an error when even the minimal tile (one output row, one
+// channel each way) cannot be buffered — a configuration error, not a
+// runtime condition.
+func ForLayer(l *nn.Layer, d tensor.DataType, bud Budget) (Plan, error) {
+	switch l.Kind {
+	case nn.OpInput:
+		return Plan{Layer: l, RowTiles: 1, TileRows: l.Out.H, OutGroups: 1, InGroups: 1}, nil
+	case nn.OpConv:
+		return planWindowed(l, d, bud, l.WeightBytes(d))
+	case nn.OpPool:
+		return planWindowed(l, d, bud, 0)
+	case nn.OpGlobalPool:
+		return Plan{
+			Layer: l, RowTiles: 1, TileRows: 1, OutGroups: 1, InGroups: 1,
+			IFMReadBytes:  l.In[0].Bytes(d),
+			OFMWriteBytes: l.Out.Bytes(d),
+		}, nil
+	case nn.OpFC:
+		return planFC(l, d, bud)
+	case nn.OpEltwiseAdd:
+		var reads int64
+		for _, s := range l.In {
+			reads += s.Bytes(d)
+		}
+		return Plan{
+			Layer: l, RowTiles: 1, TileRows: l.Out.H, OutGroups: 1, InGroups: 1,
+			IFMReadBytes:  reads,
+			OFMWriteBytes: l.Out.Bytes(d),
+		}, nil
+	case nn.OpConcat:
+		// Concatenation is performed by address layout: producers
+		// write adjacent regions, consumers read the union. No traffic
+		// of its own in either design.
+		return Plan{Layer: l, RowTiles: 1, TileRows: l.Out.H, OutGroups: 1, InGroups: 1}, nil
+	case nn.OpShuffle:
+		// Channel shuffle is a permuting copy through the datapath:
+		// one read, one write of the feature map.
+		return Plan{
+			Layer: l, RowTiles: 1, TileRows: l.Out.H, OutGroups: 1, InGroups: 1,
+			IFMReadBytes:  l.In[0].Bytes(d),
+			OFMWriteBytes: l.Out.Bytes(d),
+		}, nil
+	}
+	return Plan{}, fmt.Errorf("tiling: unsupported op %v", l.Kind)
+}
+
+// planWindowed handles conv and pool layers (pool is a conv with zero
+// weights for traffic purposes).
+func planWindowed(l *nn.Layer, d tensor.DataType, bud Budget, weightBytes int64) (Plan, error) {
+	in := l.In[0]
+	e := int64(d.Bytes())
+
+	// Feasibility: one output row of one channel, K input rows of one
+	// channel.
+	if outStripeBytes(l, d, 1, 1) > bud.OBuf {
+		return Plan{}, fmt.Errorf("tiling: %s: OBuf %d cannot hold one output row (%d bytes)",
+			l.Name, bud.OBuf, outStripeBytes(l, d, 1, 1))
+	}
+	if inStripeBytes(l, d, 1, 1) > bud.IBuf {
+		return Plan{}, fmt.Errorf("tiling: %s: IBuf %d cannot hold a minimal input stripe (%d bytes)",
+			l.Name, bud.IBuf, inStripeBytes(l, d, 1, 1))
+	}
+	outC := l.Out.C
+	perGroupWeights := func(groups int) int64 {
+		if weightBytes == 0 {
+			return 0
+		}
+		return int64(ceilDiv(int64(outC), int64(groups))) * int64(in.C/l.NumGroups()) * int64(l.K*l.K) * e
+	}
+
+	// Largest stripe that fits with full channels both ways.
+	tileRows := 0
+	for th := l.Out.H; th >= 1; th-- {
+		if inStripeBytes(l, d, th, in.C) <= bud.IBuf && outStripeBytes(l, d, th, outC) <= bud.OBuf {
+			tileRows = th
+			break
+		}
+	}
+
+	outGroups, inGroups := 1, 1
+	if tileRows == 0 {
+		// Channel grouping at one output row per stripe.
+		tileRows = 1
+		outChansFit := bud.OBuf / (int64(l.Out.W) * e)
+		inChansFit := bud.IBuf / (inStripeBytes(l, d, 1, 1))
+		if outChansFit < 1 || inChansFit < 1 {
+			return Plan{}, fmt.Errorf("tiling: %s: budget too small for channel grouping", l.Name)
+		}
+		outGroups = int(ceilDiv(int64(outC), outChansFit))
+		inGroups = int(ceilDiv(int64(in.C), inChansFit))
+	}
+
+	rowTiles := (l.Out.H + tileRows - 1) / tileRows
+	stripeSum := stripeReadBytes(l, d, tileRows)
+	ofm := l.Out.Bytes(d)
+
+	// A grouped convolution's output-channel groups touch disjoint
+	// input-channel slices (when the tiling groups align with the
+	// convolution groups), so multiple passes do not multiply the
+	// input traffic the way they do for dense layers.
+	passBytes := func(outGroups int) int64 {
+		share := outGroups
+		if g := l.NumGroups(); share > g {
+			share = g
+		}
+		return stripeSum * int64(outGroups) / int64(share)
+	}
+
+	p := Plan{
+		Layer: l, RowTiles: rowTiles, TileRows: tileRows,
+		OutGroups: outGroups, InGroups: inGroups,
+		OFMWriteBytes: ofm,
+	}
+	if weightBytes == 0 {
+		p.IFMReadBytes = passBytes(outGroups)
+		return p, nil
+	}
+
+	// Weight-stationary (group-outer): weights of one output group
+	// stay resident while every row stripe streams; the group count
+	// may need to grow so a group's weights fit the weight buffer.
+	wsGroups := outGroups
+	for perGroupWeights(wsGroups) > bud.WBuf && wsGroups < outC {
+		wsGroups++
+	}
+	if perGroupWeights(wsGroups) > bud.WBuf {
+		return Plan{}, fmt.Errorf("tiling: %s: WBuf %d cannot hold one output channel's weights",
+			l.Name, bud.WBuf)
+	}
+	wsIFM := passBytes(wsGroups)
+	wsTotal := wsIFM + weightBytes + ofm
+
+	// Input-stationary (row-outer): each row stripe streams once and
+	// all output groups' weights stream against it.
+	isIFM := passBytes(outGroups)
+	isWeights := weightBytes * int64(rowTiles)
+	isTotal := isIFM + isWeights + ofm
+	// Row-outer still needs one group's weights buffered at a time.
+	isFeasible := perGroupWeights(outGroups) <= bud.WBuf
+
+	if !isFeasible || wsTotal <= isTotal {
+		p.OutGroups = wsGroups
+		p.IFMReadBytes = wsIFM
+		p.WeightReadBytes = weightBytes
+		p.WeightStationary = true
+		return p, nil
+	}
+	p.IFMReadBytes = isIFM
+	p.WeightReadBytes = isWeights
+	return p, nil
+}
+
+func planFC(l *nn.Layer, d tensor.DataType, bud Budget) (Plan, error) {
+	inBytes := l.In[0].Bytes(d)
+	w := l.WeightBytes(d)
+	p := Plan{
+		Layer: l, RowTiles: 1, TileRows: 1, OutGroups: 1, InGroups: 1,
+		OFMWriteBytes: l.Out.Bytes(d),
+	}
+	if inBytes <= bud.IBuf {
+		// Input resident, weights streamed once: the standard regime —
+		// FC weights dwarf every buffer.
+		p.IFMReadBytes = inBytes
+		p.WeightReadBytes = w
+		p.WeightStationary = false
+		return p, nil
+	}
+	// Input itself does not fit: stream the input once per output
+	// group sized by what IBuf holds. (Never hit by the zoo; kept for
+	// robustness.)
+	groups := ceilDiv(inBytes, bud.IBuf)
+	p.OutGroups = int(groups)
+	p.IFMReadBytes = inBytes
+	p.WeightReadBytes = w
+	return p, nil
+}

@@ -1,0 +1,166 @@
+// Package trace records the buffer-management decisions of a scheduler
+// run as structured events. Traces make the Shortcut Mining procedures
+// observable — every allocation, role switch, pin, spill, and bank
+// recycle appears in order — and back the scm-trace CLI, which emits
+// them as JSON lines for external tooling.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Kind enumerates event types.
+type Kind string
+
+// Event kinds, in rough lifecycle order of a layer execution.
+const (
+	KindLayerStart Kind = "layer-start"
+	KindAlloc      Kind = "alloc"       // logical buffer formed (P1)
+	KindRoleSwitch Kind = "role-switch" // output renamed to input (P2)
+	KindPin        Kind = "pin"         // shortcut retained (P3)
+	KindUnpin      Kind = "unpin"
+	KindRecycle    Kind = "recycle" // consumed shortcut banks reused (P4)
+	KindSpill      Kind = "spill"   // partial retention overflow (P5)
+	KindRefill     Kind = "refill"  // spilled bytes read back
+	KindFree       Kind = "free"
+	KindDRAM       Kind = "dram" // any off-chip transfer
+	KindLayerEnd   Kind = "layer-end"
+)
+
+// Event is one scheduler decision. Fields are contextual; unused ones
+// stay zero and are omitted from JSON.
+type Event struct {
+	Seq   int64  `json:"seq"`
+	Kind  Kind   `json:"kind"`
+	Layer string `json:"layer,omitempty"`
+	Tag   string `json:"tag,omitempty"`   // feature-map identity
+	Role  string `json:"role,omitempty"`  // buffer role involved
+	Class string `json:"class,omitempty"` // DRAM traffic class
+	Banks int    `json:"banks,omitempty"`
+	Bytes int64  `json:"bytes,omitempty"`
+	Note  string `json:"note,omitempty"`
+}
+
+// Recorder receives events. Implementations must tolerate a zero
+// Event.Seq: the scheduler stamps sequence numbers through Stamper.
+type Recorder interface {
+	Record(Event)
+}
+
+// Nop discards events; the analytical experiments use it.
+type Nop struct{}
+
+// Record implements Recorder.
+func (Nop) Record(Event) {}
+
+// Buffer retains events in memory for tests and programmatic
+// inspection.
+type Buffer struct {
+	Events []Event
+}
+
+// Record implements Recorder.
+func (b *Buffer) Record(e Event) { b.Events = append(b.Events, e) }
+
+// OfKind returns the recorded events of one kind, in order.
+func (b *Buffer) OfKind(k Kind) []Event {
+	var out []Event
+	for _, e := range b.Events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// JSONL streams events to a writer as JSON lines. Write errors are
+// sticky and surfaced by Err, keeping the Recorder interface clean for
+// the scheduler hot path.
+type JSONL struct {
+	w   io.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONL builds a JSONL recorder.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: w, enc: json.NewEncoder(w)}
+}
+
+// Record implements Recorder.
+func (j *JSONL) Record(e Event) {
+	if j.err != nil {
+		return
+	}
+	j.err = j.enc.Encode(e)
+}
+
+// Err returns the first write error, if any.
+func (j *JSONL) Err() error { return j.err }
+
+// Stamper decorates a Recorder with monotonically increasing sequence
+// numbers.
+type Stamper struct {
+	R   Recorder
+	seq int64
+}
+
+// Record implements Recorder.
+func (s *Stamper) Record(e Event) {
+	s.seq++
+	e.Seq = s.seq
+	s.R.Record(e)
+}
+
+// Count returns how many events have been stamped.
+func (s *Stamper) Count() int64 { return s.seq }
+
+// TimelinePoint is one step of a pool-occupancy timeline.
+type TimelinePoint struct {
+	Layer     string
+	UsedBanks int
+}
+
+// Timeline extracts the per-layer pool occupancy from a recorded event
+// stream: one point per layer-end event, in execution order. The
+// scm-trace tool renders it as a bar chart; tests use it to assert
+// occupancy shapes (e.g. retention plateaus across shortcut spans).
+func Timeline(events []Event) []TimelinePoint {
+	var out []TimelinePoint
+	for _, e := range events {
+		if e.Kind == KindLayerEnd {
+			out = append(out, TimelinePoint{Layer: e.Layer, UsedBanks: e.Banks})
+		}
+	}
+	return out
+}
+
+// Describe renders an event as a one-line human-readable string (used
+// by the -v mode of scm-trace).
+func Describe(e Event) string {
+	s := fmt.Sprintf("#%d %s", e.Seq, e.Kind)
+	if e.Layer != "" {
+		s += " layer=" + e.Layer
+	}
+	if e.Tag != "" {
+		s += " tag=" + e.Tag
+	}
+	if e.Role != "" {
+		s += " role=" + e.Role
+	}
+	if e.Class != "" {
+		s += " class=" + e.Class
+	}
+	if e.Banks != 0 {
+		s += fmt.Sprintf(" banks=%d", e.Banks)
+	}
+	if e.Bytes != 0 {
+		s += fmt.Sprintf(" bytes=%d", e.Bytes)
+	}
+	if e.Note != "" {
+		s += " (" + e.Note + ")"
+	}
+	return s
+}

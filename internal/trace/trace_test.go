@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestBufferRecorder(t *testing.T) {
+	var b Buffer
+	b.Record(Event{Kind: KindAlloc, Tag: "fm0"})
+	b.Record(Event{Kind: KindPin, Tag: "fm0"})
+	b.Record(Event{Kind: KindAlloc, Tag: "fm1"})
+	if len(b.Events) != 3 {
+		t.Fatalf("events = %d", len(b.Events))
+	}
+	allocs := b.OfKind(KindAlloc)
+	if len(allocs) != 2 || allocs[0].Tag != "fm0" || allocs[1].Tag != "fm1" {
+		t.Errorf("OfKind(alloc) = %v", allocs)
+	}
+	if len(b.OfKind(KindSpill)) != 0 {
+		t.Error("phantom spill events")
+	}
+}
+
+func TestStamperSequencesEvents(t *testing.T) {
+	var b Buffer
+	s := &Stamper{R: &b}
+	s.Record(Event{Kind: KindLayerStart})
+	s.Record(Event{Kind: KindLayerEnd})
+	if s.Count() != 2 {
+		t.Errorf("count = %d", s.Count())
+	}
+	if b.Events[0].Seq != 1 || b.Events[1].Seq != 2 {
+		t.Errorf("seqs = %d, %d", b.Events[0].Seq, b.Events[1].Seq)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	s := &Stamper{R: j}
+	s.Record(Event{Kind: KindSpill, Layer: "conv1", Tag: "fm0", Bytes: 4096, Banks: 4})
+	s.Record(Event{Kind: KindRecycle, Layer: "add", Banks: 2})
+	if j.Err() != nil {
+		t.Fatal(j.Err())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != KindSpill || e.Layer != "conv1" || e.Bytes != 4096 || e.Seq != 1 {
+		t.Errorf("decoded = %+v", e)
+	}
+	// Omitted fields stay out of the JSON.
+	if strings.Contains(lines[1], "tag") || strings.Contains(lines[1], "bytes") {
+		t.Errorf("line 2 has empty fields: %s", lines[1])
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.n--
+	return len(p), nil
+}
+
+func TestJSONLStickyError(t *testing.T) {
+	j := NewJSONL(&failWriter{n: 1})
+	j.Record(Event{Kind: KindAlloc})
+	if j.Err() != nil {
+		t.Fatalf("first write failed: %v", j.Err())
+	}
+	j.Record(Event{Kind: KindFree})
+	if j.Err() == nil {
+		t.Fatal("second write should have failed")
+	}
+	// Further records are no-ops, error retained.
+	j.Record(Event{Kind: KindPin})
+	if j.Err() == nil || !strings.Contains(j.Err().Error(), "disk full") {
+		t.Errorf("err = %v", j.Err())
+	}
+}
+
+func TestNopRecorder(t *testing.T) {
+	var n Nop
+	n.Record(Event{Kind: KindAlloc}) // must not panic
+}
+
+func TestDescribe(t *testing.T) {
+	e := Event{Seq: 7, Kind: KindSpill, Layer: "conv2", Tag: "fm3", Role: "retained",
+		Class: "spill-write", Banks: 3, Bytes: 12288, Note: "pool full"}
+	s := Describe(e)
+	for _, want := range []string{"#7", "spill", "conv2", "fm3", "retained", "spill-write", "banks=3", "bytes=12288", "pool full"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Describe missing %q: %s", want, s)
+		}
+	}
+	if got := Describe(Event{Seq: 1, Kind: KindLayerEnd}); got != "#1 layer-end" {
+		t.Errorf("minimal describe = %q", got)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	events := []Event{
+		{Kind: KindLayerStart, Layer: "a"},
+		{Kind: KindAlloc, Layer: "a", Banks: 4},
+		{Kind: KindLayerEnd, Layer: "a", Banks: 4},
+		{Kind: KindLayerEnd, Layer: "b", Banks: 7},
+	}
+	tl := Timeline(events)
+	if len(tl) != 2 {
+		t.Fatalf("timeline = %v", tl)
+	}
+	if tl[0].Layer != "a" || tl[0].UsedBanks != 4 || tl[1].UsedBanks != 7 {
+		t.Errorf("timeline = %v", tl)
+	}
+	if Timeline(nil) != nil {
+		t.Error("empty stream should yield nil timeline")
+	}
+}

@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"testing"
+
+	"shortcutmining/internal/core"
+)
+
+func TestCalibrationErrorOfDefaultIsSmall(t *testing.T) {
+	e, err := CalibrationError(core.Default(), PaperTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RMS reduction error + relative speedup error. The documented
+	// residual: ResNet-34 overshoots by ~11 pp and the speedup sits 5%
+	// low, so ~0.12 total; anything much above that means the
+	// calibration drifted.
+	if e > 0.18 {
+		t.Errorf("default platform calibration error = %.3f", e)
+	}
+}
+
+func TestCalibrateRanksDefaultNearTop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep skipped in -short mode")
+	}
+	base := core.Default()
+	points, err := Calibrate(base, PaperTarget(),
+		[]int{28, 31, 34, 37, 40}, []int{4, 6, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("empty calibration result")
+	}
+	// Sorted ascending by error.
+	for i := 1; i < len(points); i++ {
+		if points[i].Error < points[i-1].Error {
+			t.Fatal("calibration points not sorted")
+		}
+	}
+	// The shipped default (34 banks, reserve 6) must rank in the top
+	// third of its own neighborhood — the record that the choice was
+	// not arbitrary.
+	rank := -1
+	for i, p := range points {
+		if p.Banks == base.Pool.NumBanks && p.Reserve == base.ReserveBanks {
+			rank = i
+			break
+		}
+	}
+	if rank < 0 {
+		t.Fatal("default not in the calibration grid")
+	}
+	if rank > len(points)/3 {
+		t.Errorf("default ranks %d of %d in its neighborhood", rank+1, len(points))
+	}
+}
+
+func TestCalibrateRejectsEmptyGrid(t *testing.T) {
+	if _, err := Calibrate(core.Default(), PaperTarget(), nil, []int{4}); err == nil {
+		t.Error("empty grid accepted")
+	}
+}

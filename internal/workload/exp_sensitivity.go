@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"fmt"
+
+	"shortcutmining/internal/core"
+	"shortcutmining/internal/stats"
+	"shortcutmining/internal/tensor"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "E6",
+		Title:  "On-chip buffer capacity sensitivity",
+		Anchor: "buffer-size sensitivity figure",
+		Run:    runE6,
+	})
+	register(Experiment{
+		ID:     "E7",
+		Title:  "Off-chip access energy",
+		Anchor: "energy reduction figure",
+		Run:    runE7,
+	})
+	register(Experiment{
+		ID:     "E11",
+		Title:  "Batch-size sensitivity",
+		Anchor: "batch discussion (single-image pipelining)",
+		Run:    runE11,
+	})
+	register(Experiment{
+		ID:     "E12",
+		Title:  "Precision sensitivity",
+		Anchor: "16-bit fixed-point prototype (extension: 8/32-bit)",
+		Run:    runE12,
+	})
+}
+
+// poolSweepKiB is the capacity axis of E6.
+var poolSweepKiB = []int64{128, 256, 384, 544, 768, 1024, 1536, 2048, 4096}
+
+func runE6(cfg core.Config) (Result, error) {
+	header := []string{"pool (KiB)"}
+	for _, h := range headline {
+		header = append(header, h.name+" reduction")
+	}
+	t := stats.NewTable("SCM traffic reduction vs pool capacity", header...)
+	metrics := map[string]float64{}
+	for _, kb := range poolSweepKiB {
+		row := []string{fmt.Sprint(kb)}
+		c := cfg.WithPoolBytes(kb << 10)
+		for _, h := range headline {
+			base, err := simulate(h.name, c, core.Baseline)
+			if err != nil {
+				return Result{}, err
+			}
+			scm, err := simulate(h.name, c, core.SCM)
+			if err != nil {
+				return Result{}, err
+			}
+			red := scm.TrafficReductionVs(base)
+			metrics[fmt.Sprintf("red/%s/%d", h.name, kb)] = red
+			row = append(row, stats.Pct(red))
+		}
+		t.Add(row...)
+	}
+	var charts []string
+	for _, h := range headline {
+		labels := make([]string, len(poolSweepKiB))
+		values := make([]float64, len(poolSweepKiB))
+		for i, kb := range poolSweepKiB {
+			labels[i] = fmt.Sprintf("%d KiB", kb)
+			values[i] = 100 * metrics[fmt.Sprintf("red/%s/%d", h.name, kb)]
+		}
+		charts = append(charts, stats.Chart(h.name+" — SCM reduction (%) vs pool capacity", labels, values, 40))
+	}
+	return Result{
+		Tables:  []*stats.Table{t},
+		Charts:  charts,
+		Metrics: metrics,
+		Notes: []string{
+			"Reduction grows monotonically with capacity and saturates once every live feature map (including the pinned shortcut) fits; ResNet-152's wide bottleneck fmaps saturate last.",
+		},
+	}, nil
+}
+
+func runE7(cfg core.Config) (Result, error) {
+	t := stats.NewTable("Access energy per image",
+		"network", "baseline DRAM (mJ)", "scm DRAM (mJ)", "DRAM reduction",
+		"baseline total (mJ)", "scm total (mJ)", "total reduction")
+	metrics := map[string]float64{}
+	for _, h := range headline {
+		base, err := simulate(h.name, cfg, core.Baseline)
+		if err != nil {
+			return Result{}, err
+		}
+		scm, err := simulate(h.name, cfg, core.SCM)
+		if err != nil {
+			return Result{}, err
+		}
+		dRed := 1 - scm.Energy.DRAMPJ/base.Energy.DRAMPJ
+		tRed := 1 - scm.Energy.TotalPJ()/base.Energy.TotalPJ()
+		metrics["dram/"+h.name] = dRed
+		metrics["total/"+h.name] = tRed
+		t.Add(h.name,
+			fmt.Sprintf("%.2f", base.Energy.DRAMPJ/1e9), fmt.Sprintf("%.2f", scm.Energy.DRAMPJ/1e9),
+			stats.Pct(dRed),
+			fmt.Sprintf("%.2f", base.Energy.TotalMJ()), fmt.Sprintf("%.2f", scm.Energy.TotalMJ()),
+			stats.Pct(tRed))
+	}
+	return Result{
+		Tables:  []*stats.Table{t},
+		Metrics: metrics,
+		Notes: []string{
+			"DRAM access energy tracks traffic almost linearly (weights are untouched, so DRAM reduction is diluted relative to the feature-map-only metric).",
+		},
+	}, nil
+}
+
+func runE11(cfg core.Config) (Result, error) {
+	t := stats.NewTable("Batch-size sensitivity (ResNet-34)",
+		"batch", "baseline (img/s)", "scm (img/s)", "speedup",
+		"scm fmap traffic (MiB)", "scm total traffic, weights amortized (MiB)")
+	metrics := map[string]float64{}
+	for _, b := range []int{1, 2, 4, 8} {
+		c := cfg
+		c.Batch = b
+		base, err := simulate("resnet34", c, core.Baseline)
+		if err != nil {
+			return Result{}, err
+		}
+		scm, err := simulate("resnet34", c, core.SCM)
+		if err != nil {
+			return Result{}, err
+		}
+		c.AmortizeWeights = true
+		amort, err := simulate("resnet34", c, core.SCM)
+		if err != nil {
+			return Result{}, err
+		}
+		sp := scm.SpeedupVs(base)
+		metrics[fmt.Sprintf("speedup/%d", b)] = sp
+		metrics[fmt.Sprintf("amortTotalMiB/%d", b)] = float64(amort.TotalTrafficBytes()) / (1 << 20)
+		t.Add(fmt.Sprint(b), stats.F2(base.Throughput()), stats.F2(scm.Throughput()),
+			stats.F2(sp)+"×", stats.MB(scm.FmapTrafficBytes()), stats.MB(amort.TotalTrafficBytes()))
+	}
+	return Result{
+		Tables:  []*stats.Table{t},
+		Metrics: metrics,
+		Notes: []string{
+			"Images are pipelined one at a time (the paper's deployment regime), so feature-map traffic and latency scale linearly and the speedup is batch-invariant. The amortized column shows the total-traffic benefit of a layer-inner batch loop: weights stream once per batch, so per-image total traffic falls with batch size even though feature-map traffic does not.",
+		},
+	}, nil
+}
+
+func runE12(cfg core.Config) (Result, error) {
+	t := stats.NewTable("Precision sensitivity (SCM traffic reduction)",
+		"precision", "squeezenet-bypass", "resnet34", "resnet152")
+	metrics := map[string]float64{}
+	for _, d := range []tensor.DataType{tensor.Fixed8, tensor.Fixed16, tensor.Float32} {
+		c := cfg
+		c.DType = d
+		row := []string{d.String()}
+		for _, h := range headline {
+			base, err := simulate(h.name, c, core.Baseline)
+			if err != nil {
+				return Result{}, err
+			}
+			scm, err := simulate(h.name, c, core.SCM)
+			if err != nil {
+				return Result{}, err
+			}
+			red := scm.TrafficReductionVs(base)
+			metrics[fmt.Sprintf("red/%s/%s", d, h.name)] = red
+			row = append(row, stats.Pct(red))
+		}
+		t.Add(row...)
+	}
+	return Result{
+		Tables:  []*stats.Table{t},
+		Metrics: metrics,
+		Notes: []string{
+			"Narrower activations shrink every feature map relative to the fixed pool, so retention covers more of the network and the reduction grows — quantization and Shortcut Mining compose.",
+		},
+	}, nil
+}

@@ -1,0 +1,238 @@
+// Package shortcutmining is a simulator and library reproduction of
+// "Shortcut Mining: Exploiting Cross-Layer Shortcut Reuse in DCNN
+// Accelerators" (AziziMazreah & Chen, HPCA 2019).
+//
+// The library models a tiled DCNN accelerator whose on-chip SRAM is a
+// pool of banks composed into logical buffers at run time, and
+// implements the paper's procedures — buffer role switching, shortcut
+// retention across any number of intermediate layers, incremental bank
+// recycling at element-wise adds, and partial retention — alongside
+// the conventional baseline they are compared against. See DESIGN.md
+// for the system inventory and EXPERIMENTS.md for the measured
+// reproduction of every table and figure.
+//
+// Quick start:
+//
+//	net, _ := shortcutmining.BuildNetwork("resnet34")
+//	cfg := shortcutmining.DefaultConfig()
+//	base, _ := shortcutmining.Simulate(net, cfg, shortcutmining.Baseline)
+//	scm, _ := shortcutmining.Simulate(net, cfg, shortcutmining.SCM)
+//	fmt.Printf("traffic reduction: %.1f%%\n", 100*scm.TrafficReductionVs(base))
+package shortcutmining
+
+import (
+	"fmt"
+	"io"
+
+	"shortcutmining/internal/core"
+	"shortcutmining/internal/dse"
+	"shortcutmining/internal/fpga"
+	"shortcutmining/internal/nn"
+	"shortcutmining/internal/stats"
+	"shortcutmining/internal/tensor"
+	"shortcutmining/internal/trace"
+	"shortcutmining/internal/workload"
+)
+
+// Re-exported types. The aliases expose the full documented behaviour
+// of the underlying packages through a single import path.
+type (
+	// Config is the accelerator platform: PE array, SRAM bank pool,
+	// DRAM channels, precision, batch.
+	Config = core.Config
+	// Strategy selects the buffer-management design point.
+	Strategy = core.Strategy
+	// Features is the per-procedure ablation switchboard.
+	Features = core.Features
+	// RunStats is the outcome of one simulation.
+	RunStats = stats.RunStats
+	// LayerStats is the per-layer slice of a RunStats.
+	LayerStats = stats.LayerStats
+	// Network is a validated layer graph.
+	Network = nn.Network
+	// NetworkBuilder assembles custom networks layer by layer.
+	NetworkBuilder = nn.Builder
+	// Shape is a C×H×W feature-map shape.
+	Shape = tensor.Shape
+	// DataType is the activation/weight element type.
+	DataType = tensor.DataType
+	// Characteristics summarizes a network's shortcut structure.
+	Characteristics = nn.Characteristics
+	// ExperimentResult is the rendered outcome of a suite experiment.
+	ExperimentResult = workload.Result
+)
+
+// Buffer-management strategies, in increasing capability order.
+const (
+	// Baseline is the conventional accelerator (static ping-pong
+	// buffers, per-layer DRAM round trips).
+	Baseline = core.Baseline
+	// FMReuse enables only cross-layer role switching.
+	FMReuse = core.FMReuse
+	// SCM is full Shortcut Mining.
+	SCM = core.SCM
+)
+
+// Element types.
+const (
+	// Fixed8 is 8-bit fixed point.
+	Fixed8 = tensor.Fixed8
+	// Fixed16 is 16-bit fixed point (the paper's precision).
+	Fixed16 = tensor.Fixed16
+	// Float32 is IEEE-754 single precision.
+	Float32 = tensor.Float32
+)
+
+// Pooling kinds for NewNetworkBuilder graphs.
+const (
+	// MaxPool selects the window maximum.
+	MaxPool = nn.MaxPool
+	// AvgPool selects the window mean.
+	AvgPool = nn.AvgPool
+)
+
+// DefaultConfig returns the calibrated platform used throughout
+// EXPERIMENTS.md.
+func DefaultConfig() Config { return core.Default() }
+
+// BuildNetwork constructs a model-zoo network by name; see
+// NetworkNames for the catalog.
+func BuildNetwork(name string) (*Network, error) { return nn.Build(name) }
+
+// NetworkNames lists the model zoo.
+func NetworkNames() []string { return nn.ZooNames() }
+
+// HeadlineNetworks returns the three networks of the paper's abstract
+// in reporting order.
+func HeadlineNetworks() []string { return nn.HeadlineNetworks() }
+
+// NewNetworkBuilder starts a custom network with the given input
+// shape. Finish the graph with its Finish method and simulate it like
+// any zoo network (see examples/custom_network).
+func NewNetworkBuilder(name string, input Shape) *NetworkBuilder {
+	return nn.NewBuilder(name, input)
+}
+
+// ResNet, SqueezeNet and friends are also reachable directly for
+// parameterized construction.
+var (
+	// BuildResNet builds an ImageNet ResNet (depth 18/34/50/101/152).
+	BuildResNet = nn.ResNet
+	// BuildShortcutSpanNet builds the synthetic span-sweep network of
+	// experiment E9.
+	BuildShortcutSpanNet = nn.ShortcutSpanNet
+	// BuildDenseChain builds a DenseNet-style concat chain.
+	BuildDenseChain = nn.DenseChain
+)
+
+// Simulate runs the network on the platform under the given strategy.
+func Simulate(net *Network, cfg Config, s Strategy) (RunStats, error) {
+	return core.Simulate(net, cfg, s, nil)
+}
+
+// SimulateWithTrace additionally streams the scheduler's buffer
+// decisions (allocations, role switches, pins, spills, recycles) to w
+// as JSON lines.
+func SimulateWithTrace(net *Network, cfg Config, s Strategy, w io.Writer) (RunStats, error) {
+	rec := trace.NewJSONL(w)
+	r, err := core.Simulate(net, cfg, s, rec)
+	if err != nil {
+		return r, err
+	}
+	if rec.Err() != nil {
+		return r, fmt.Errorf("shortcutmining: trace: %w", rec.Err())
+	}
+	return r, nil
+}
+
+// SimulateFeatures runs with an explicit procedure set (the ablation
+// entry point of experiment E8).
+func SimulateFeatures(net *Network, cfg Config, f Features) (RunStats, error) {
+	return core.SimulateFeatures(net, cfg, f, nil)
+}
+
+// VerifyFunctional pushes real activations through the logical-buffer
+// machinery and checks them bit-exactly against a golden reference —
+// proof that the procedures never lose or corrupt data. See
+// examples/functional_check.
+func VerifyFunctional(net *Network, cfg Config, f Features, seed int64) (RunStats, error) {
+	return core.VerifyFunctional(net, cfg, f, seed)
+}
+
+// Characterize computes a network's shortcut structure (experiment
+// E1's table).
+func Characterize(net *Network, d DataType) Characteristics {
+	return nn.Characterize(net, d)
+}
+
+// DecodeNetworkJSON reads a network from the JSON graph format (see
+// the format comment in internal/nn and testdata/hourglass.json).
+func DecodeNetworkJSON(r io.Reader) (*Network, error) { return nn.DecodeJSON(r) }
+
+// EncodeNetworkJSON writes a network in the JSON graph format;
+// decoding the output reproduces an identical network.
+func EncodeNetworkJSON(w io.Writer, net *Network) error { return nn.EncodeJSON(w, net) }
+
+// DecodeConfigJSON reads a platform configuration; omitted fields keep
+// their calibrated defaults.
+func DecodeConfigJSON(r io.Reader) (Config, error) { return core.DecodeConfigJSON(r) }
+
+// EncodeConfigJSON writes a platform configuration.
+func EncodeConfigJSON(w io.Writer, cfg Config) error { return core.EncodeConfigJSON(w, cfg) }
+
+// Design-space exploration (cmd/scm-dse wraps the same machinery).
+type (
+	// DesignSpace is the enumeration grid for ExploreDesignSpace.
+	DesignSpace = dse.Space
+	// DesignOutcome is one evaluated platform candidate.
+	DesignOutcome = dse.Outcome
+)
+
+// DefaultDesignSpace returns a grid of candidates around the
+// calibrated platform.
+func DefaultDesignSpace() DesignSpace { return dse.DefaultSpace() }
+
+// ExploreDesignSpace evaluates every candidate in the space on the
+// network (FPGA-feasibility-checked, simulated under Shortcut Mining).
+func ExploreDesignSpace(net *Network, base Config, space DesignSpace) ([]DesignOutcome, error) {
+	return dse.Explore(net, base, space, fpga.VC709())
+}
+
+// ParetoFront filters design outcomes to the non-dominated set over
+// throughput (up), energy (down), and SRAM capacity (down).
+func ParetoFront(outcomes []DesignOutcome) []DesignOutcome {
+	return dse.ParetoFront(outcomes)
+}
+
+// ExperimentIDs lists the reproduction suite (E1–E21).
+func ExperimentIDs() []string { return workload.IDs() }
+
+// ExperimentInfo returns the title and paper anchor of a suite
+// experiment without running it.
+func ExperimentInfo(id string) (title, anchor string, err error) {
+	e, err := workload.Get(id)
+	if err != nil {
+		return "", "", err
+	}
+	return e.Title, e.Anchor, nil
+}
+
+// RunExperiment executes one suite experiment on the default platform
+// and returns its result (render it with Markdown).
+func RunExperiment(id string) (ExperimentResult, error) {
+	return RunExperimentWith(id, DefaultConfig())
+}
+
+// RunExperimentWith executes one suite experiment on a custom platform.
+func RunExperimentWith(id string, cfg Config) (ExperimentResult, error) {
+	e, err := workload.Get(id)
+	if err != nil {
+		return ExperimentResult{}, err
+	}
+	res, err := e.Run(cfg)
+	if err != nil {
+		return ExperimentResult{}, fmt.Errorf("shortcutmining: %s: %w", e.ID, err)
+	}
+	res.ID, res.Title, res.Anchor = e.ID, e.Title, e.Anchor
+	return res, nil
+}
