@@ -6,12 +6,14 @@
 //
 //	scm-sim -net resnet34                         # all three strategies
 //	scm-sim -net resnet152 -strategy scm          # one strategy, layer detail
+//	scm-sim -net resnet34 -strategy scm -metrics  # Prometheus-style text page
 //	scm-sim -net squeezenet-bypass -pool-kib 1024 -batch 4
 //	scm-sim -graph mynet.json -config platform.json
 //	scm-sim -list                                 # show the model zoo
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -22,6 +24,7 @@ import (
 	"shortcutmining"
 
 	"shortcutmining/internal/core"
+	"shortcutmining/internal/metrics"
 	"shortcutmining/internal/tensor"
 )
 
@@ -36,6 +39,7 @@ func main() {
 		dtype    = flag.String("dtype", "", "fixed8 | fixed16 | float32 (default from config)")
 		perLayer = flag.Bool("layers", false, "print per-layer detail (single-strategy mode)")
 		asJSON   = flag.Bool("json", false, "emit the RunStats as JSON (single-strategy mode)")
+		withMet  = flag.Bool("metrics", false, "collect the metrics registry; prints a Prometheus-style text page (or embeds it in -json)")
 		list     = flag.Bool("list", false, "list available networks and exit")
 	)
 	flag.Parse()
@@ -67,6 +71,9 @@ func main() {
 	}
 
 	if *strategy == "" {
+		if *withMet {
+			fatal(fmt.Errorf("-metrics needs a single strategy (add -strategy baseline|fm-reuse|scm)"))
+		}
 		compareAll(net, cfg)
 		return
 	}
@@ -74,7 +81,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	r, err := shortcutmining.Simulate(net, cfg, s)
+	var reg *metrics.Registry
+	if *withMet {
+		reg = metrics.New()
+	}
+	r, err := core.SimulateObserved(net, cfg, s, nil, reg)
 	if err != nil {
 		fatal(err)
 	}
@@ -82,6 +93,16 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(r); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *withMet {
+		w := bufio.NewWriter(os.Stdout)
+		if err := reg.WriteProm(w); err != nil {
+			fatal(err)
+		}
+		if err := w.Flush(); err != nil {
 			fatal(err)
 		}
 		return

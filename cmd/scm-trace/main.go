@@ -1,19 +1,25 @@
 // Command scm-trace dumps the scheduler's buffer-management decisions
 // — logical buffer formation, role switches, pins, spills, refills,
-// bank recycling — as JSON lines (default) or human-readable text.
+// bank recycling — as JSON lines (default), human-readable text, a
+// bank-occupancy timeline, an event-kind × layer summary, or a
+// Perfetto/Chrome trace_event file for ui.perfetto.dev.
 //
 // Usage:
 //
 //	scm-trace -net resnet34 -strategy scm            # JSONL to stdout
 //	scm-trace -net squeezenet-bypass -human | less
 //	scm-trace -net resnet152 -kinds pin,spill,recycle
+//	scm-trace -net resnet34 -perfetto trace.json     # open in ui.perfetto.dev
+//	scm-trace -net resnet34 -summary                 # kind × layer counts
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"text/tabwriter"
 
 	"shortcutmining"
 
@@ -28,6 +34,8 @@ func main() {
 		human     = flag.Bool("human", false, "one-line text instead of JSONL")
 		kinds     = flag.String("kinds", "", "comma-separated event kinds to keep (default all)")
 		occupancy = flag.Bool("occupancy", false, "render a bank-occupancy timeline instead of events")
+		summary   = flag.Bool("summary", false, "render an event-kind × layer count table instead of events")
+		perfetto  = flag.String("perfetto", "", "write a Chrome trace_event JSON file to this path (\"-\" = stdout)")
 	)
 	flag.Parse()
 
@@ -51,30 +59,102 @@ func main() {
 	if _, err := core.Simulate(net, cfg, s, &buf); err != nil {
 		fatal(err)
 	}
-	if *occupancy {
-		total := cfg.Pool.NumBanks
-		for _, p := range trace.Timeline(buf.Events) {
-			bars := 0
-			if total > 0 {
-				bars = p.UsedBanks * 40 / total
+	events := buf.Events
+	if len(keep) > 0 {
+		filtered := events[:0]
+		for _, e := range events {
+			if keep[e.Kind] {
+				filtered = append(filtered, e)
 			}
-			fmt.Printf("%-24s |%-40s| %2d/%d banks\n", p.Layer, strings.Repeat("#", bars), p.UsedBanks, total)
 		}
-		return
+		events = filtered
 	}
-	jsonl := trace.NewJSONL(os.Stdout)
-	for _, e := range buf.Events {
-		if len(keep) > 0 && !keep[e.Kind] {
-			continue
+
+	switch {
+	case *perfetto != "":
+		if err := writePerfettoFile(*perfetto, events, cfg.PE.ClockMHz); err != nil {
+			fatal(err)
 		}
-		if *human {
-			fmt.Println(trace.Describe(e))
-			continue
+	case *summary:
+		printSummary(events)
+	case *occupancy:
+		printOccupancy(events, cfg.Pool.NumBanks)
+	case *human:
+		w := bufio.NewWriter(os.Stdout)
+		for _, e := range events {
+			fmt.Fprintln(w, trace.Describe(e))
 		}
-		jsonl.Record(e)
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+	default:
+		// Stream errors are sticky on the JSONL recorder; surface them
+		// with a non-zero exit instead of silently truncating the
+		// stream (a broken pipe or full disk must not look like a
+		// complete trace).
+		jsonl := trace.NewJSONL(os.Stdout)
+		for _, e := range events {
+			jsonl.Record(e)
+		}
+		if err := jsonl.Err(); err != nil {
+			fatal(err)
+		}
 	}
-	if err := jsonl.Err(); err != nil {
-		fatal(err)
+}
+
+// writePerfettoFile exports the event stream as trace_event JSON,
+// checking write AND close errors so a truncated file never exits 0.
+func writePerfettoFile(path string, events []trace.Event, clockMHz float64) error {
+	if path == "-" {
+		return trace.WritePerfetto(os.Stdout, events, clockMHz)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := trace.WritePerfetto(w, events, clockMHz); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// printSummary renders the event-kind × layer census.
+func printSummary(events []trace.Event) {
+	s := trace.Summarize(events)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	header := []string{"layer"}
+	for _, k := range s.Kinds {
+		header = append(header, string(k))
+	}
+	fmt.Fprintln(w, strings.Join(header, "\t"))
+	for _, layer := range s.Layers {
+		name := layer
+		if name == "" {
+			name = "(none)"
+		}
+		row := []string{name}
+		for _, k := range s.Kinds {
+			row = append(row, fmt.Sprintf("%d", s.Counts[layer][k]))
+		}
+		fmt.Fprintln(w, strings.Join(row, "\t"))
+	}
+	w.Flush()
+}
+
+// printOccupancy renders the per-layer bank-occupancy bar chart.
+func printOccupancy(events []trace.Event, total int) {
+	for _, p := range trace.Timeline(events) {
+		bars := 0
+		if total > 0 {
+			bars = p.UsedBanks * 40 / total
+		}
+		fmt.Printf("%-24s |%-40s| %2d/%d banks\n", p.Layer, strings.Repeat("#", bars), p.UsedBanks, total)
 	}
 }
 

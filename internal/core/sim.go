@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"shortcutmining/internal/dram"
+	"shortcutmining/internal/metrics"
 	"shortcutmining/internal/nn"
 	"shortcutmining/internal/sram"
 	"shortcutmining/internal/stats"
@@ -15,7 +16,16 @@ import (
 // feature set of the strategy and returns the run statistics. rec may
 // be nil when no trace is wanted.
 func Simulate(net *nn.Network, cfg Config, strat Strategy, rec trace.Recorder) (stats.RunStats, error) {
-	run, err := SimulateFeatures(net, cfg, strat.Features(), rec)
+	return SimulateObserved(net, cfg, strat, rec, nil)
+}
+
+// SimulateObserved is Simulate with the metrics registry attached: the
+// run additionally populates reg with per-layer cycle attribution,
+// per-class DRAM counters and burst/utilization histograms, pool
+// high-water marks, and procedure hit/miss counters, and embeds a
+// snapshot in RunStats.Metrics. reg may be nil (no observation).
+func SimulateObserved(net *nn.Network, cfg Config, strat Strategy, rec trace.Recorder, reg *metrics.Registry) (stats.RunStats, error) {
+	run, err := SimulateFeaturesObserved(net, cfg, strat.Features(), rec, reg)
 	if err != nil {
 		return run, err
 	}
@@ -27,6 +37,12 @@ func Simulate(net *nn.Network, cfg Config, strat Strategy, rec trace.Recorder) (
 // the ablation entry point (experiment E8). The canonical strategies
 // are Simulate's Baseline/FMReuse/SCM.
 func SimulateFeatures(net *nn.Network, cfg Config, feat Features, rec trace.Recorder) (stats.RunStats, error) {
+	return SimulateFeaturesObserved(net, cfg, feat, rec, nil)
+}
+
+// SimulateFeaturesObserved is SimulateFeatures with the metrics
+// registry attached (see SimulateObserved).
+func SimulateFeaturesObserved(net *nn.Network, cfg Config, feat Features, rec trace.Recorder, reg *metrics.Registry) (stats.RunStats, error) {
 	if err := cfg.Validate(); err != nil {
 		return stats.RunStats{}, err
 	}
@@ -40,6 +56,8 @@ func SimulateFeatures(net *nn.Network, cfg Config, feat Features, rec trace.Reco
 	if rec != nil {
 		e.rec = &trace.Stamper{R: rec}
 	}
+	e.obs = newObserver(reg)
+	e.obs.attach(e)
 	e.net = net
 	e.feat = feat
 	e.cp = buildConsumptionPlan(net)
@@ -94,8 +112,16 @@ type executor struct {
 	pool *sram.Pool
 	ch   *dram.Channel
 	rec  *trace.Stamper
+	obs  *observer // nil when metrics are off
 	cp   consumptionPlan
 	fn   *funcState // non-nil in functional-verification mode
+
+	// clock is the simulated cycle at which the current layer starts
+	// (the cumulative attributed cycles of everything before it);
+	// memCursor tracks DMA-span placement within and across layers.
+	// Both feed the cycle stamps of trace events.
+	clock     int64
+	memCursor int64
 
 	residents []*resident
 	run       stats.RunStats
@@ -265,9 +291,9 @@ func (e *executor) evictOneBank(l *nn.Layer, distinct []int, outNext int) (bool,
 		newOnChip = c
 	}
 	if delta := r.onChip - newOnChip; delta > 0 {
-		e.ch.Transfer(dram.ClassSpillWrite, delta)
-		e.rec.Record(trace.Event{Kind: trace.KindSpill, Layer: l.Name,
-			Tag: e.net.Layers[best].Name, Bytes: delta, Note: "evict-farthest"})
+		_, start, dur := e.transferSpan(dram.ClassSpillWrite, delta)
+		e.recordSpan(trace.Event{Kind: trace.KindSpill, Layer: l.Name, Class: dram.ClassSpillWrite.String(),
+			Tag: e.net.Layers[best].Name, Bytes: delta, Note: "evict-farthest"}, start, dur)
 	}
 	r.onChip = newOnChip
 	if r.buf.Freed() {
@@ -349,10 +375,10 @@ func (e *executor) allocOutput(l *nn.Layer, want int64, recycle []recyclable, di
 		}
 	}
 	if recycled > 0 {
-		e.rec.Record(trace.Event{Kind: trace.KindRecycle, Layer: l.Name, Banks: int(recycled)})
+		e.record(trace.Event{Kind: trace.KindRecycle, Layer: l.Name, Banks: int(recycled)})
 	}
 	if buf != nil {
-		e.rec.Record(trace.Event{Kind: trace.KindAlloc, Layer: l.Name, Tag: l.Name,
+		e.record(trace.Event{Kind: trace.KindAlloc, Layer: l.Name, Tag: l.Name,
 			Role: sram.RoleOutput.String(), Banks: buf.NumBanks(), Bytes: got})
 	}
 	return buf, got, recycled, nil
@@ -390,7 +416,7 @@ func (e *executor) captureSpilled(l *nn.Layer, p int) error {
 	if err := e.pool.Pin(buf); err != nil {
 		return err
 	}
-	e.rec.Record(trace.Event{Kind: trace.KindPin, Layer: l.Name, Tag: buf.Tag(),
+	e.record(trace.Event{Kind: trace.KindPin, Layer: l.Name, Tag: buf.Tag(),
 		Banks: buf.NumBanks(), Bytes: want, Note: "capture"})
 	if e.fn != nil {
 		g := e.fn.golden[p]
@@ -400,7 +426,10 @@ func (e *executor) captureSpilled(l *nn.Layer, p int) error {
 }
 
 func (e *executor) execLayer(l *nn.Layer) error {
-	e.rec.Record(trace.Event{Kind: trace.KindLayerStart, Layer: l.Name})
+	e.record(trace.Event{Kind: trace.KindLayerStart, Layer: l.Name})
+	if e.memCursor < e.clock {
+		e.memCursor = e.clock
+	}
 	d := e.cfg.DType
 
 	if l.Kind == nn.OpInput {
@@ -413,7 +442,7 @@ func (e *executor) execLayer(l *nn.Layer) error {
 			e.fn.produceInput(e, l)
 		}
 		e.run.Layers = append(e.run.Layers, stats.LayerStats{Name: l.Name, Kind: l.Kind.String(), Stage: l.Stage})
-		e.rec.Record(trace.Event{Kind: trace.KindLayerEnd, Layer: l.Name})
+		e.record(trace.Event{Kind: trace.KindLayerEnd, Layer: l.Name})
 		return nil
 	}
 	if l.Kind == nn.OpConcat {
@@ -425,7 +454,7 @@ func (e *executor) execLayer(l *nn.Layer) error {
 			}
 		}
 		e.run.Layers = append(e.run.Layers, stats.LayerStats{Name: l.Name, Kind: l.Kind.String(), Stage: l.Stage})
-		e.rec.Record(trace.Event{Kind: trace.KindLayerEnd, Layer: l.Name})
+		e.record(trace.Event{Kind: trace.KindLayerEnd, Layer: l.Name})
 		return nil
 	}
 
@@ -448,7 +477,7 @@ func (e *executor) execLayer(l *nn.Layer) error {
 			if err := e.pool.Unpin(r.buf); err != nil {
 				return err
 			}
-			e.rec.Record(trace.Event{Kind: trace.KindUnpin, Layer: l.Name, Tag: r.buf.Tag()})
+			e.record(trace.Event{Kind: trace.KindUnpin, Layer: l.Name, Tag: r.buf.Tag()})
 		}
 	}
 
@@ -474,22 +503,33 @@ func (e *executor) execLayer(l *nn.Layer) error {
 	for _, p := range srcs {
 		r := e.residents[p]
 		ls.ReusedInputBytes += r.onChip
+		shortcut := l.Index-p > 1 && p != 0
+		if shortcut && r.onChip > 0 {
+			e.obs.hit(ProcRetention) // mined shortcut bytes served on chip
+		}
 		if dp := r.dramBytes(); dp > 0 {
 			read := int64(float64(dp)*factor + 0.5)
 			class := e.readClass(p, l)
-			moved := e.ch.Transfer(class, read)
+			moved, start, dur := e.transferSpan(class, read)
 			kind := trace.KindDRAM
 			if class == dram.ClassSpillRead || class == dram.ClassShortcutRead {
 				kind = trace.KindRefill
 			}
-			e.rec.Record(trace.Event{Kind: kind, Layer: l.Name,
-				Tag: e.net.Layers[p].Name, Class: class.String(), Bytes: moved})
+			switch class {
+			case dram.ClassShortcutRead:
+				e.obs.miss(ProcRetention)
+			case dram.ClassSpillRead:
+				e.obs.miss(ProcRoleSwitch)
+			}
+			e.recordSpan(trace.Event{Kind: kind, Layer: l.Name,
+				Tag: e.net.Layers[p].Name, Class: class.String(), Bytes: moved}, start, dur)
 		}
 		if r.buf != nil && l.Index-p == 1 && r.buf.Role() != sram.RoleInput {
 			if err := e.pool.SetRole(r.buf, sram.RoleInput); err != nil {
 				return err
 			}
-			e.rec.Record(trace.Event{Kind: trace.KindRoleSwitch, Layer: l.Name, Tag: r.buf.Tag(),
+			e.obs.hit(ProcRoleSwitch)
+			e.record(trace.Event{Kind: trace.KindRoleSwitch, Layer: l.Name, Tag: r.buf.Tag(),
 				Role: sram.RoleInput.String()})
 		}
 	}
@@ -518,19 +558,38 @@ func (e *executor) execLayer(l *nn.Layer) error {
 		out.buf = buf
 		out.onChip = got
 		ls.RecycledBanks = recycled
+		if l.Kind == nn.OpEltwiseAdd && e.feat.IncrementalRecycle {
+			if recycled > 0 {
+				e.obs.hit(ProcRecycle)
+			} else {
+				e.obs.miss(ProcRecycle)
+			}
+		}
+		if e.feat.PartialRetention {
+			switch {
+			case got > 0 && got < outBytes:
+				e.obs.hit(ProcPartial) // a prefix survived the squeeze
+			case got == 0:
+				e.obs.miss(ProcPartial)
+			}
+		}
 		if fullCopy {
-			e.ch.Transfer(dram.ClassOFMWrite, outBytes)
+			_, start, dur := e.transferSpan(dram.ClassOFMWrite, outBytes)
+			e.recordSpan(trace.Event{Kind: trace.KindDRAM, Layer: l.Name, Tag: l.Name,
+				Class: dram.ClassOFMWrite.String(), Bytes: outBytes}, start, dur)
 			out.spilled = outBytes
 		} else if got < outBytes {
 			spill := outBytes - got
-			e.ch.Transfer(dram.ClassSpillWrite, spill)
+			_, start, dur := e.transferSpan(dram.ClassSpillWrite, spill)
 			out.spilled = spill
 			ls.SpilledBytes = spill
-			e.rec.Record(trace.Event{Kind: trace.KindSpill, Layer: l.Name, Tag: l.Name, Bytes: spill,
-				Note: "partial retention"})
+			e.recordSpan(trace.Event{Kind: trace.KindSpill, Layer: l.Name, Tag: l.Name, Bytes: spill,
+				Class: dram.ClassSpillWrite.String(), Note: "partial retention"}, start, dur)
 		}
 	} else {
-		e.ch.Transfer(dram.ClassOFMWrite, outBytes)
+		_, start, dur := e.transferSpan(dram.ClassOFMWrite, outBytes)
+		e.recordSpan(trace.Event{Kind: trace.KindDRAM, Layer: l.Name, Tag: l.Name,
+			Class: dram.ClassOFMWrite.String(), Bytes: outBytes}, start, dur)
 		out.spilled = outBytes
 	}
 
@@ -539,7 +598,7 @@ func (e *executor) execLayer(l *nn.Layer) error {
 			return err
 		}
 		ls.RetainedBytes = out.onChip
-		e.rec.Record(trace.Event{Kind: trace.KindPin, Layer: l.Name, Tag: l.Name,
+		e.record(trace.Event{Kind: trace.KindPin, Layer: l.Name, Tag: l.Name,
 			Banks: out.buf.NumBanks(), Bytes: out.onChip})
 	}
 	if consumers > 0 {
@@ -555,7 +614,7 @@ func (e *executor) execLayer(l *nn.Layer) error {
 		r.consumersLeft--
 		if r.consumersLeft == 0 || !e.feat.ShortcutRetention {
 			if r.buf != nil {
-				e.rec.Record(trace.Event{Kind: trace.KindFree, Layer: l.Name, Tag: e.net.Layers[p].Name})
+				e.record(trace.Event{Kind: trace.KindFree, Layer: l.Name, Tag: e.net.Layers[p].Name})
 			}
 			if err := r.dropBuffer(e.pool); err != nil {
 				return err
@@ -596,8 +655,11 @@ func (e *executor) execLayer(l *nn.Layer) error {
 	ls.Cycles += e.cfg.ControlCycles
 	ls.SRAMBytes = 2 * (inTotal + outBytes + plan.WeightReadBytes)
 	e.run.Layers = append(e.run.Layers, ls)
-	e.rec.Record(trace.Event{Kind: trace.KindLayerEnd, Layer: l.Name, Bytes: delta.Total(),
-		Banks: e.pool.UsedBanks(), Note: fmt.Sprintf("pinned=%d", e.pool.PinnedBanks())})
+	e.obs.layerDone(ls)
+	e.recordSpan(trace.Event{Kind: trace.KindLayerEnd, Layer: l.Name, Bytes: delta.Total(),
+		Banks: e.pool.UsedBanks(), Pinned: e.pool.PinnedBanks(),
+		Note: fmt.Sprintf("pinned=%d", e.pool.PinnedBanks())}, e.clock+ls.Cycles, ls.Cycles)
+	e.clock += ls.Cycles
 	return nil
 }
 
@@ -648,5 +710,6 @@ func (e *executor) finish() (stats.RunStats, error) {
 	r.BanksRecycled = ps.BanksRecycled
 	r.BanksEvicted = ps.BanksEvicted
 	r.Energy = e.cfg.Energy.Estimate(r.Traffic.Total(), r.SRAMBytes, r.MACs)
+	e.obs.finishRun(r, batch)
 	return *r, nil
 }

@@ -121,9 +121,10 @@ func (t *Traffic) Add(o Traffic) {
 // Channel is one accelerator's DRAM interface. Like the bank pool it
 // is single-threaded by design.
 type Channel struct {
-	cfg     Config
-	traffic Traffic
-	raw     Traffic // pre-rounding payload bytes
+	cfg      Config
+	traffic  Traffic
+	raw      Traffic // pre-rounding payload bytes
+	observer func(c Class, payload, moved int64)
 }
 
 // NewChannel builds a channel.
@@ -143,6 +144,15 @@ func (ch *Channel) round(bytes int64) int64 {
 	return (bytes + b - 1) / b * b
 }
 
+// SetObserver installs a per-transfer callback receiving the class,
+// the payload bytes requested, and the burst-rounded bytes moved. A
+// nil observer (the default) costs one predictable branch per
+// transfer; the metrics layer uses this hook for burst-size and
+// per-class traffic instrumentation.
+func (ch *Channel) SetObserver(o func(c Class, payload, moved int64)) {
+	ch.observer = o
+}
+
 // Transfer records a transfer of the given class and returns the
 // burst-rounded byte count actually moved. Zero or negative sizes are
 // ignored (and return 0), which keeps call sites free of emptiness
@@ -154,6 +164,9 @@ func (ch *Channel) Transfer(c Class, bytes int64) int64 {
 	moved := ch.round(bytes)
 	ch.traffic[c] += moved
 	ch.raw[c] += bytes
+	if ch.observer != nil {
+		ch.observer(c, bytes, moved)
+	}
 	return moved
 }
 

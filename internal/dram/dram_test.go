@@ -184,3 +184,30 @@ func TestQuickCyclesMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestChannelObserver(t *testing.T) {
+	ch := newTestChannel(t)
+	var gotClass Class
+	var gotPayload, gotMoved int64
+	calls := 0
+	ch.SetObserver(func(c Class, payload, moved int64) {
+		gotClass, gotPayload, gotMoved = c, payload, moved
+		calls++
+	})
+	ch.Transfer(ClassSpillWrite, 100)
+	if calls != 1 {
+		t.Fatalf("observer calls = %d", calls)
+	}
+	if gotClass != ClassSpillWrite || gotPayload != 100 || gotMoved != 128 {
+		t.Errorf("observed (%v, %d, %d), want (spill-write, 100, 128)", gotClass, gotPayload, gotMoved)
+	}
+	// Detaching stops the callbacks without affecting tallies.
+	ch.SetObserver(nil)
+	ch.Transfer(ClassIFMRead, 64)
+	if calls != 1 {
+		t.Errorf("detached observer still called")
+	}
+	if ch.Traffic()[ClassIFMRead] != 64 {
+		t.Error("tally lost after detach")
+	}
+}

@@ -154,11 +154,13 @@ func (b *Buffer) Freed() bool { return b.freed }
 // schedulers are single-threaded per accelerator instance, matching
 // the single control FSM of the hardware.
 type Pool struct {
-	cfg     Config
-	owner   []int // bank -> buffer id, or -1 when free
-	free    []int // free bank indices, LIFO
-	buffers map[int]*Buffer
-	nextID  int
+	cfg      Config
+	owner    []int // bank -> buffer id, or -1 when free
+	free     []int // free bank indices, LIFO
+	buffers  map[int]*Buffer
+	nextID   int
+	pinned   int // banks owned by pinned buffers, kept incrementally
+	observer func(usedBanks, pinnedBanks int)
 
 	stats Stats
 }
@@ -209,15 +211,10 @@ func (p *Pool) UsedBanks() int { return p.cfg.NumBanks - len(p.free) }
 func (p *Pool) FreeBytes() int64 { return int64(len(p.free)) * int64(p.cfg.BankBytes) }
 
 // PinnedBanks returns the number of banks owned by pinned buffers.
-func (p *Pool) PinnedBanks() int {
-	n := 0
-	for _, b := range p.buffers {
-		if b.pinned {
-			n += len(b.banks)
-		}
-	}
-	return n
-}
+// The count is maintained incrementally (Pin/Unpin/Grow) so the
+// observer hook can sample it on every pool mutation without an O(n)
+// scan; CheckInvariants verifies it against the buffer map.
+func (p *Pool) PinnedBanks() int { return p.pinned }
 
 // Stats returns a copy of the accumulated telemetry.
 func (p *Pool) Stats() Stats { return p.stats }
@@ -243,12 +240,24 @@ func (p *Pool) grab(n int) []int {
 	return banks
 }
 
+// SetObserver installs a callback fired whenever occupancy may have
+// grown (allocation, growth, pinning), receiving the current used and
+// pinned bank counts. A nil observer (the default) costs one branch.
+// The metrics layer tracks occupancy high-water marks through it.
+func (p *Pool) SetObserver(o func(usedBanks, pinnedBanks int)) {
+	p.observer = o
+}
+
 func (p *Pool) noteUsage() {
-	if used := p.UsedBanks(); used > p.stats.PeakUsedBanks {
+	used, pinned := p.UsedBanks(), p.PinnedBanks()
+	if used > p.stats.PeakUsedBanks {
 		p.stats.PeakUsedBanks = used
 	}
-	if pinned := p.PinnedBanks(); pinned > p.stats.PeakPinnedBanks {
+	if pinned > p.stats.PeakPinnedBanks {
 		p.stats.PeakPinnedBanks = pinned
+	}
+	if p.observer != nil {
+		p.observer(used, pinned)
 	}
 }
 
@@ -331,6 +340,7 @@ func (p *Pool) Free(b *Buffer) error {
 	b.Payload = nil
 	delete(p.buffers, b.id)
 	p.stats.Frees++
+	p.noteUsage()
 	return nil
 }
 
@@ -365,6 +375,7 @@ func (p *Pool) Pin(b *Buffer) error {
 	}
 	if !b.pinned {
 		b.pinned = true
+		p.pinned += len(b.banks)
 		p.stats.Pins++
 		p.noteUsage()
 	}
@@ -376,7 +387,11 @@ func (p *Pool) Unpin(b *Buffer) error {
 	if b.freed {
 		return fmt.Errorf("%w: %q", ErrReleased, b.tag)
 	}
-	b.pinned = false
+	if b.pinned {
+		b.pinned = false
+		p.pinned -= len(b.banks)
+		p.noteUsage()
+	}
 	return nil
 }
 
@@ -476,6 +491,9 @@ func (p *Pool) Grow(b *Buffer, bytes int64) (int64, error) {
 		bank := p.grab(1)[0]
 		p.owner[bank] = b.id
 		b.banks = append(b.banks, bank)
+		if b.pinned {
+			p.pinned++
+		}
 		chunk := int64(p.cfg.BankBytes)
 		if chunk > bytes {
 			chunk = bytes
@@ -573,6 +591,15 @@ func (p *Pool) CheckInvariants() error {
 	}
 	if len(seen) != p.cfg.NumBanks {
 		return fmt.Errorf("sram: %d banks accounted for, pool has %d", len(seen), p.cfg.NumBanks)
+	}
+	pinned := 0
+	for _, b := range p.buffers {
+		if b.pinned {
+			pinned += len(b.banks)
+		}
+	}
+	if pinned != p.pinned {
+		return fmt.Errorf("sram: pinned-bank count %d, buffers say %d", p.pinned, pinned)
 	}
 	return nil
 }

@@ -439,3 +439,43 @@ func TestFreeClearsPayload(t *testing.T) {
 		t.Error("payload survived Free")
 	}
 }
+
+func TestPoolObserver(t *testing.T) {
+	p := newTestPool(t, 8, 1024)
+	var lastUsed, lastPinned, calls int
+	p.SetObserver(func(used, pinned int) {
+		lastUsed, lastPinned = used, pinned
+		calls++
+	})
+	b, err := p.Alloc(RoleOutput, "fm0", 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 || lastUsed != 2 || lastPinned != 0 {
+		t.Fatalf("after alloc: calls=%d used=%d pinned=%d", calls, lastUsed, lastPinned)
+	}
+	if err := p.Pin(b); err != nil {
+		t.Fatal(err)
+	}
+	if lastPinned != 2 {
+		t.Errorf("after pin: pinned=%d, want 2", lastPinned)
+	}
+	if err := p.Unpin(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if lastUsed != 0 || lastPinned != 0 {
+		t.Errorf("after free: used=%d pinned=%d", lastUsed, lastPinned)
+	}
+	p.SetObserver(nil)
+	before := calls
+	if _, err := p.Alloc(RoleInput, "fm1", 1024); err != nil {
+		t.Fatal(err)
+	}
+	if calls != before {
+		t.Error("detached observer still called")
+	}
+	mustCheck(t, p)
+}

@@ -9,6 +9,7 @@ import (
 
 	"shortcutmining/internal/dram"
 	"shortcutmining/internal/energy"
+	"shortcutmining/internal/metrics"
 )
 
 // LayerStats is the outcome of executing one layer.
@@ -57,6 +58,10 @@ type RunStats struct {
 	BanksEvicted    int64
 
 	Energy energy.Breakdown
+
+	// Metrics is the registry snapshot of an observed run (nil when
+	// the run was not observed); scm-sim -json embeds it verbatim.
+	Metrics *metrics.Snapshot `json:",omitempty"`
 }
 
 // FmapTrafficBytes is the run's off-chip feature-map traffic — the

@@ -1,0 +1,161 @@
+// Perfetto/Chrome trace_event export: any recorded run can be opened
+// in ui.perfetto.dev (or chrome://tracing) as a timeline — layer spans
+// on one track, DMA transfers on a second, pool occupancy as counter
+// tracks — with the simulated cycle clock mapped to microseconds.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Track/thread ids of the exported timeline. One synthetic process
+// holds all tracks.
+const (
+	perfettoPid     = 1
+	layerTid        = 1 // layer execution spans
+	dmaTid          = 2 // DRAM transfer spans
+	processName     = "shortcutmining"
+	layerTrackName  = "layers"
+	dmaTrackName    = "dram"
+	bankCounterName = "pool banks"
+)
+
+// perfettoEvent is one entry of the trace_event "traceEvents" array.
+type perfettoEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// perfettoFile is the JSON object format of trace_event (the array
+// format is also legal, but the object form carries metadata).
+type perfettoFile struct {
+	TraceEvents     []perfettoEvent `json:"traceEvents"`
+	DisplayTimeUnit string          `json:"displayTimeUnit"`
+	OtherData       map[string]any  `json:"otherData,omitempty"`
+}
+
+// WritePerfetto converts a recorded event stream into Chrome
+// trace_event JSON. clockMHz maps the simulated cycle clock to wall
+// microseconds (ts = cycle / clockMHz); a non-positive clock defaults
+// to 1 MHz, i.e. one cycle = 1 µs.
+//
+// Mapping:
+//   - layer-start / layer-end become B/E duration events on the
+//     "layers" track. The layer-end Cycle (start + layer cycles)
+//     closes the span; a missing layer-end (truncated trace) is closed
+//     at the stream's final timestamp so the file stays well-formed.
+//   - dram / refill / spill events carrying a DurCycles become B/E
+//     pairs on the "dram" track, labeled by traffic class.
+//   - layer-end occupancy (used/pinned banks) becomes a "C" counter
+//     event, rendering the pool timeline Perfetto-natively.
+//
+// Events are emitted sorted by timestamp (stable, so same-cycle events
+// keep stream order), which keeps every track's B/E sequence monotone.
+func WritePerfetto(w io.Writer, events []Event, clockMHz float64) error {
+	if clockMHz <= 0 {
+		clockMHz = 1
+	}
+	us := func(cycle int64) float64 { return float64(cycle) / clockMHz }
+
+	out := []perfettoEvent{
+		{Name: "process_name", Ph: "M", Pid: perfettoPid, Tid: layerTid,
+			Args: map[string]any{"name": processName}},
+		{Name: "thread_name", Ph: "M", Pid: perfettoPid, Tid: layerTid,
+			Args: map[string]any{"name": layerTrackName}},
+		{Name: "thread_name", Ph: "M", Pid: perfettoPid, Tid: dmaTid,
+			Args: map[string]any{"name": dmaTrackName}},
+	}
+	meta := len(out)
+
+	var lastTs float64
+	openLayers := make(map[string]bool)
+	var openOrder []string
+	for _, e := range events {
+		ts := us(e.Cycle)
+		if ts > lastTs {
+			lastTs = ts
+		}
+		switch e.Kind {
+		case KindLayerStart:
+			out = append(out, perfettoEvent{Name: e.Layer, Ph: "B", Ts: ts,
+				Pid: perfettoPid, Tid: layerTid, Cat: "layer"})
+			if !openLayers[e.Layer] {
+				openLayers[e.Layer] = true
+				openOrder = append(openOrder, e.Layer)
+			}
+		case KindLayerEnd:
+			if end := us(e.Cycle); end > lastTs {
+				lastTs = end
+			}
+			if !openLayers[e.Layer] {
+				// End without a start (filtered/truncated head): skip
+				// rather than emit an unbalanced E.
+				continue
+			}
+			delete(openLayers, e.Layer)
+			args := map[string]any{}
+			if e.Bytes != 0 {
+				args["dram_bytes"] = e.Bytes
+			}
+			out = append(out, perfettoEvent{Name: e.Layer, Ph: "E", Ts: ts,
+				Pid: perfettoPid, Tid: layerTid, Cat: "layer", Args: args})
+			out = append(out, perfettoEvent{Name: bankCounterName, Ph: "C", Ts: ts,
+				Pid: perfettoPid, Tid: layerTid,
+				Args: map[string]any{"used": e.Banks, "pinned": e.Pinned}})
+		case KindDRAM, KindRefill, KindSpill:
+			if e.DurCycles <= 0 {
+				continue // bookkeeping event without a modeled transfer span
+			}
+			name := e.Class
+			if name == "" {
+				name = string(e.Kind)
+			}
+			args := map[string]any{"bytes": e.Bytes}
+			if e.Tag != "" {
+				args["fmap"] = e.Tag
+			}
+			if e.Layer != "" {
+				args["layer"] = e.Layer
+			}
+			end := us(e.Cycle + e.DurCycles)
+			out = append(out, perfettoEvent{Name: name, Ph: "B", Ts: ts,
+				Pid: perfettoPid, Tid: dmaTid, Cat: "dma", Args: args})
+			out = append(out, perfettoEvent{Name: name, Ph: "E", Ts: end,
+				Pid: perfettoPid, Tid: dmaTid, Cat: "dma"})
+			if end > lastTs {
+				lastTs = end
+			}
+		}
+	}
+	// Close spans left open by a truncated trace at the final timestamp.
+	for _, layer := range openOrder {
+		if openLayers[layer] {
+			out = append(out, perfettoEvent{Name: layer, Ph: "E", Ts: lastTs,
+				Pid: perfettoPid, Tid: layerTid, Cat: "layer",
+				Args: map[string]any{"truncated": true}})
+		}
+	}
+
+	// Stable sort by timestamp (metadata stays in front at ts 0 in
+	// generation order) so the emitted stream is monotone.
+	body := out[meta:]
+	sort.SliceStable(body, func(i, j int) bool { return body[i].Ts < body[j].Ts })
+
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(perfettoFile{
+		TraceEvents:     out,
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]any{"clock_mhz": clockMHz, "events": len(events)},
+	}); err != nil {
+		return fmt.Errorf("trace: perfetto export: %w", err)
+	}
+	return nil
+}

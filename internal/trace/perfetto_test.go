@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// decodePerfetto parses an exported file back into its event list.
+func decodePerfetto(t *testing.T, data []byte) []map[string]any {
+	t.Helper()
+	var file struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if file.DisplayTimeUnit == "" {
+		t.Error("missing displayTimeUnit")
+	}
+	return file.TraceEvents
+}
+
+func sampleEvents() []Event {
+	return []Event{
+		{Seq: 1, Kind: KindLayerStart, Layer: "conv1", Cycle: 0},
+		{Seq: 2, Kind: KindDRAM, Layer: "conv1", Tag: "input", Class: "ifm-read", Bytes: 4096, Cycle: 0, DurCycles: 100},
+		{Seq: 3, Kind: KindLayerEnd, Layer: "conv1", Banks: 4, Pinned: 1, Cycle: 500, DurCycles: 500},
+		{Seq: 4, Kind: KindLayerStart, Layer: "add", Cycle: 500},
+		{Seq: 5, Kind: KindRefill, Layer: "add", Tag: "conv1", Class: "shortcut-read", Bytes: 64, Cycle: 500, DurCycles: 1},
+		{Seq: 6, Kind: KindLayerEnd, Layer: "add", Banks: 2, Cycle: 700, DurCycles: 200},
+	}
+}
+
+func TestWritePerfettoWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, sampleEvents(), 200); err != nil {
+		t.Fatal(err)
+	}
+	evs := decodePerfetto(t, buf.Bytes())
+
+	// Timestamps must be monotone in emission order, and only B/E/C/M
+	// phases may appear.
+	prev := -1.0
+	depth := map[float64]int{} // per tid
+	counters := 0
+	for _, e := range evs {
+		ph := e["ph"].(string)
+		ts := e["ts"].(float64)
+		tid := e["tid"].(float64)
+		switch ph {
+		case "M":
+			continue
+		case "B":
+			depth[tid]++
+		case "E":
+			depth[tid]--
+			if depth[tid] < 0 {
+				t.Fatalf("unbalanced E on tid %v at ts %v", tid, ts)
+			}
+		case "C":
+			counters++
+		default:
+			t.Fatalf("unexpected phase %q", ph)
+		}
+		if ts < prev {
+			t.Fatalf("non-monotone ts %v after %v", ts, prev)
+		}
+		prev = ts
+	}
+	for tid, d := range depth {
+		if d != 0 {
+			t.Errorf("tid %v left %d spans open", tid, d)
+		}
+	}
+	if counters != 2 {
+		t.Errorf("counter events = %d, want 2 (one per layer-end)", counters)
+	}
+}
+
+func TestWritePerfettoCycleClockMapping(t *testing.T) {
+	var buf bytes.Buffer
+	// 200 MHz: 500 cycles = 2.5 µs.
+	if err := WritePerfetto(&buf, sampleEvents(), 200); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range decodePerfetto(t, buf.Bytes()) {
+		if e["ph"] == "E" && e["name"] == "conv1" && e["cat"] == "layer" {
+			if ts := e["ts"].(float64); ts != 2.5 {
+				t.Errorf("layer-end ts = %v µs, want 2.5", ts)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no layer-end E event for conv1")
+	}
+}
+
+func TestWritePerfettoTruncatedTrace(t *testing.T) {
+	// A stream missing its final layer-end must still export balanced
+	// spans (the open layer is closed at the last timestamp).
+	events := sampleEvents()[:4] // ends after add's layer-start
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, events, 200); err != nil {
+		t.Fatal(err)
+	}
+	b, e := 0, 0
+	for _, ev := range decodePerfetto(t, buf.Bytes()) {
+		switch ev["ph"] {
+		case "B":
+			b++
+		case "E":
+			e++
+		}
+	}
+	if b != e || b == 0 {
+		t.Errorf("B/E = %d/%d, want balanced and nonzero", b, e)
+	}
+}
+
+func TestWritePerfettoEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range decodePerfetto(t, buf.Bytes()) {
+		if e["ph"] != "M" {
+			t.Errorf("empty stream emitted %v", e)
+		}
+	}
+}
+
+func TestWritePerfettoSkipsDanglingEnd(t *testing.T) {
+	// A filtered stream may begin mid-layer; an E without a B is
+	// dropped rather than emitted unbalanced.
+	events := []Event{{Kind: KindLayerEnd, Layer: "ghost", Cycle: 10}}
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, events, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range decodePerfetto(t, buf.Bytes()) {
+		if e["ph"] == "E" {
+			t.Errorf("dangling E emitted: %v", e)
+		}
+	}
+}

@@ -41,6 +41,16 @@ type Event struct {
 	Banks int    `json:"banks,omitempty"`
 	Bytes int64  `json:"bytes,omitempty"`
 	Note  string `json:"note,omitempty"`
+
+	// Cycle is the simulated-clock timestamp the event occurred at;
+	// DurCycles is the span length for events that model an interval
+	// (a layer execution on layer-end, a DMA transfer on dram/refill/
+	// spill events). Together they back the Perfetto export.
+	Cycle     int64 `json:"cycle,omitempty"`
+	DurCycles int64 `json:"dur,omitempty"`
+	// Pinned is the pinned-bank count at layer-end (alongside Banks,
+	// the used count), feeding the occupancy counter track.
+	Pinned int `json:"pinned,omitempty"`
 }
 
 // Recorder receives events. Implementations must tolerate a zero
@@ -137,10 +147,85 @@ func Timeline(events []Event) []TimelinePoint {
 	return out
 }
 
+// SeqGaps returns the sequence numbers missing from an event stream
+// stamped by a Stamper: for every adjacent pair whose Seq differs by
+// more than one, the skipped values. A truncated or filtered JSONL
+// file shows up as gaps; a complete stream returns nil. Events before
+// the first stamped one (Seq <= 0) are ignored.
+func SeqGaps(events []Event) []int64 {
+	var gaps []int64
+	prev := int64(0)
+	for _, e := range events {
+		if e.Seq <= 0 {
+			continue
+		}
+		if prev > 0 {
+			for s := prev + 1; s < e.Seq; s++ {
+				gaps = append(gaps, s)
+			}
+		}
+		prev = e.Seq
+	}
+	return gaps
+}
+
+// Summary is the event-kind × layer census of a recorded stream:
+// layers in first-appearance order, kinds in lifecycle order (only
+// those present), counts by layer then kind. Events with no layer
+// label are grouped under the empty string.
+type Summary struct {
+	Layers []string
+	Kinds  []Kind
+	Counts map[string]map[Kind]int
+}
+
+// allKinds lists every kind in lifecycle order (the order Summarize
+// presents columns in).
+var allKinds = []Kind{KindLayerStart, KindAlloc, KindRoleSwitch, KindPin, KindUnpin,
+	KindRecycle, KindSpill, KindRefill, KindFree, KindDRAM, KindLayerEnd}
+
+// Summarize builds the kind × layer census backing scm-trace -summary.
+func Summarize(events []Event) Summary {
+	s := Summary{Counts: make(map[string]map[Kind]int)}
+	present := make(map[Kind]bool)
+	for _, e := range events {
+		row, ok := s.Counts[e.Layer]
+		if !ok {
+			row = make(map[Kind]int)
+			s.Counts[e.Layer] = row
+			s.Layers = append(s.Layers, e.Layer)
+		}
+		row[e.Kind]++
+		present[e.Kind] = true
+	}
+	for _, k := range allKinds {
+		if present[k] {
+			s.Kinds = append(s.Kinds, k)
+			delete(present, k)
+		}
+	}
+	// Custom kinds outside the lifecycle list keep stream order.
+	if len(present) > 0 {
+		for _, e := range events {
+			if present[e.Kind] {
+				s.Kinds = append(s.Kinds, e.Kind)
+				delete(present, e.Kind)
+			}
+		}
+	}
+	return s
+}
+
 // Describe renders an event as a one-line human-readable string (used
 // by the -v mode of scm-trace).
 func Describe(e Event) string {
 	s := fmt.Sprintf("#%d %s", e.Seq, e.Kind)
+	if e.Cycle != 0 || e.DurCycles != 0 {
+		s += fmt.Sprintf(" @%d", e.Cycle)
+	}
+	if e.DurCycles != 0 {
+		s += fmt.Sprintf("+%d", e.DurCycles)
+	}
 	if e.Layer != "" {
 		s += " layer=" + e.Layer
 	}

@@ -128,3 +128,96 @@ func TestTimeline(t *testing.T) {
 		t.Error("empty stream should yield nil timeline")
 	}
 }
+
+func TestTimelineMissingLayerEnd(t *testing.T) {
+	// A truncated trace whose last layer never ends contributes no
+	// point — the timeline covers completed layers only.
+	events := []Event{
+		{Kind: KindLayerStart, Layer: "a"},
+		{Kind: KindLayerEnd, Layer: "a", Banks: 3},
+		{Kind: KindLayerStart, Layer: "b"},
+		{Kind: KindAlloc, Layer: "b", Banks: 9},
+	}
+	tl := Timeline(events)
+	if len(tl) != 1 || tl[0].Layer != "a" || tl[0].UsedBanks != 3 {
+		t.Errorf("timeline = %v", tl)
+	}
+}
+
+func TestDescribeZeroEvent(t *testing.T) {
+	// The zero event must render without panicking and carry its seq.
+	if got := Describe(Event{}); got != "#0 " {
+		t.Errorf("zero event = %q", got)
+	}
+}
+
+func TestDescribeCycleStamp(t *testing.T) {
+	s := Describe(Event{Seq: 3, Kind: KindDRAM, Cycle: 120, DurCycles: 40})
+	for _, want := range []string{"@120", "+40"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Describe missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestSeqGaps(t *testing.T) {
+	stamp := func(seqs ...int64) []Event {
+		out := make([]Event, len(seqs))
+		for i, s := range seqs {
+			out[i] = Event{Seq: s, Kind: KindAlloc}
+		}
+		return out
+	}
+	if got := SeqGaps(stamp(1, 2, 3)); got != nil {
+		t.Errorf("complete stream has gaps %v", got)
+	}
+	got := SeqGaps(stamp(1, 4, 5, 8))
+	want := []int64{2, 3, 6, 7}
+	if len(got) != len(want) {
+		t.Fatalf("gaps = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("gaps = %v, want %v", got, want)
+		}
+	}
+	if SeqGaps(nil) != nil {
+		t.Error("zero-event stream reported gaps")
+	}
+	// Unstamped events (Seq 0) are ignored, not treated as gaps.
+	if got := SeqGaps([]Event{{Seq: 0}, {Seq: 1}, {Seq: 2}}); got != nil {
+		t.Errorf("unstamped prefix produced gaps %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	events := []Event{
+		{Kind: KindLayerStart, Layer: "a"},
+		{Kind: KindAlloc, Layer: "a"},
+		{Kind: KindAlloc, Layer: "a"},
+		{Kind: KindLayerEnd, Layer: "a"},
+		{Kind: KindLayerStart, Layer: "b"},
+		{Kind: KindSpill, Layer: "b"},
+	}
+	s := Summarize(events)
+	if len(s.Layers) != 2 || s.Layers[0] != "a" || s.Layers[1] != "b" {
+		t.Fatalf("layers = %v", s.Layers)
+	}
+	if s.Counts["a"][KindAlloc] != 2 || s.Counts["b"][KindSpill] != 1 {
+		t.Errorf("counts = %v", s.Counts)
+	}
+	// Kinds in lifecycle order, only those present.
+	want := []Kind{KindLayerStart, KindAlloc, KindSpill, KindLayerEnd}
+	if len(s.Kinds) != len(want) {
+		t.Fatalf("kinds = %v", s.Kinds)
+	}
+	for i := range want {
+		if s.Kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", s.Kinds, want)
+		}
+	}
+	empty := Summarize(nil)
+	if len(empty.Layers) != 0 || len(empty.Kinds) != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"shortcutmining/internal/core"
 	"shortcutmining/internal/dse"
 	"shortcutmining/internal/fpga"
+	"shortcutmining/internal/metrics"
 	"shortcutmining/internal/nn"
 	"shortcutmining/internal/stats"
 	"shortcutmining/internal/tensor"
@@ -128,6 +129,16 @@ var (
 // Simulate runs the network on the platform under the given strategy.
 func Simulate(net *Network, cfg Config, s Strategy) (RunStats, error) {
 	return core.Simulate(net, cfg, s, nil)
+}
+
+// SimulateObserved runs the network with the observability layer on:
+// the returned RunStats carries a Metrics snapshot (per-layer cycle
+// attribution, per-class DRAM counters, burst-size and bandwidth-
+// utilization histograms, pool high-water marks, and procedure
+// hit/miss counters). scm-sim -metrics renders the same registry as a
+// Prometheus-style text page.
+func SimulateObserved(net *Network, cfg Config, s Strategy) (RunStats, error) {
+	return core.SimulateObserved(net, cfg, s, nil, metrics.New())
 }
 
 // SimulateWithTrace additionally streams the scheduler's buffer
