@@ -245,3 +245,9 @@ func BenchmarkE21_Portability(b *testing.B) {
 	report(b, res, "red/vc707/resnet34", "%red-r34-vc707", 100)
 	report(b, res, "speedup/half-scale/resnet34", "x-r34-half", 1)
 }
+
+func BenchmarkE22_GracefulDegradation(b *testing.B) {
+	res := runExp(b, "E22")
+	report(b, res, "inflation/resnet34/25%", "%infl-r34@25%banks", 100)
+	report(b, res, "reduction/resnet34/25%", "%red-r34@25%banks", 100)
+}

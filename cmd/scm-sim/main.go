@@ -40,6 +40,7 @@ func main() {
 		perLayer = flag.Bool("layers", false, "print per-layer detail (single-strategy mode)")
 		asJSON   = flag.Bool("json", false, "emit the RunStats as JSON (single-strategy mode)")
 		withMet  = flag.Bool("metrics", false, "collect the metrics registry; prints a Prometheus-style text page (or embeds it in -json)")
+		faults   = flag.String("faults", "", `fault-injection plan, e.g. "seed=42;bank-fail@4:n=3;dma-drop:p=0.05;bw-degrade@10:factor=0.5"`)
 		list     = flag.Bool("list", false, "list available networks and exit")
 	)
 	flag.Parse()
@@ -68,6 +69,13 @@ func main() {
 			fatal(err)
 		}
 		cfg.DType = d
+	}
+	if *faults != "" {
+		spec, err := shortcutmining.ParseFaultSpec(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Faults = spec
 	}
 
 	if *strategy == "" {
@@ -145,6 +153,12 @@ func printRun(r shortcutmining.RunStats) {
 	fmt.Printf("energy:         %.2f mJ (DRAM %.2f mJ)\n", r.Energy.TotalMJ(), r.Energy.DRAMPJ/1e9)
 	fmt.Printf("peak banks:     %d used, %d pinned\n", r.PeakUsedBanks, r.PeakPinnedBanks)
 	fmt.Printf("role switches:  %d, banks recycled: %d\n", r.RoleSwitches, r.BanksRecycled)
+	if f := r.Faults; f.Any() {
+		fmt.Printf("faults:         %d bank failures (%d relocated, %s spilled), %d transients\n",
+			f.BankFailures, f.Relocations, tensor.HumanBytes(f.FaultSpillBytes), f.TransientErrors)
+		fmt.Printf("fault cycles:   %d migration, %d retry (%d retries, %s re-moved), %d degraded\n",
+			f.MigrationCycles, f.DMARetryCycles, f.DMARetries, tensor.HumanBytes(f.RetryBytes), f.DegradedCycles)
+	}
 }
 
 func printLayers(r shortcutmining.RunStats) {
@@ -185,5 +199,8 @@ func loadConfig(path string) (shortcutmining.Config, error) {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "scm-sim:", err)
+	if re, ok := shortcutmining.AsRunError(err); ok && re.Severity == shortcutmining.Recoverable {
+		fmt.Fprintln(os.Stderr, "scm-sim: the fault plan exceeded what graceful degradation can absorb; retry with a milder plan or a larger pool")
+	}
 	os.Exit(1)
 }

@@ -36,6 +36,7 @@ func main() {
 		occupancy = flag.Bool("occupancy", false, "render a bank-occupancy timeline instead of events")
 		summary   = flag.Bool("summary", false, "render an event-kind × layer count table instead of events")
 		perfetto  = flag.String("perfetto", "", "write a Chrome trace_event JSON file to this path (\"-\" = stdout)")
+		faults    = flag.String("faults", "", `fault-injection plan, e.g. "seed=42;bank-fail@4:n=3;dma-drop:p=0.05"`)
 	)
 	flag.Parse()
 
@@ -55,6 +56,13 @@ func main() {
 	}
 
 	cfg := shortcutmining.DefaultConfig()
+	if *faults != "" {
+		spec, err := shortcutmining.ParseFaultSpec(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Faults = spec
+	}
 	var buf trace.Buffer
 	if _, err := core.Simulate(net, cfg, s, &buf); err != nil {
 		fatal(err)

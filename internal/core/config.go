@@ -21,6 +21,7 @@ import (
 
 	"shortcutmining/internal/dram"
 	"shortcutmining/internal/energy"
+	"shortcutmining/internal/fault"
 	"shortcutmining/internal/pe"
 	"shortcutmining/internal/sram"
 	"shortcutmining/internal/tensor"
@@ -134,7 +135,27 @@ type Config struct {
 	// (experiment E19). Traffic results are identical; cycle counts
 	// grow by the pipeline fill/drain/imbalance bubbles.
 	DetailedTiming bool
+
+	// Faults is the optional fault-injection plan replayed against the
+	// run (experiment E22, scm-sim -faults). Nil means fault-free.
+	Faults *fault.Spec `json:",omitempty"`
+	// DMAMaxAttempts bounds attempts per DMA transfer (initial try
+	// plus retries) under injected transient failures; exhausting it
+	// is a fatal stuck-progress RunError. Zero means the default
+	// (fault.DefaultMaxDMAAttempts).
+	DMAMaxAttempts int
+	// DMABackoffCycles is the wait after the first failed transfer
+	// attempt; it doubles on every further retry (exponential
+	// backoff). Zero means DefaultDMABackoffCycles.
+	DMABackoffCycles int64
+	// WatchdogLayerCycles, when positive, bounds the modeled cycles of
+	// any single layer; exceeding it is a fatal liveness RunError.
+	WatchdogLayerCycles int64
 }
+
+// DefaultDMABackoffCycles is the initial retry backoff when the config
+// does not set one.
+const DefaultDMABackoffCycles int64 = 64
 
 // EvictionPolicy is the retention-conflict policy of procedure P5.
 type EvictionPolicy int
@@ -207,6 +228,21 @@ func (c Config) Validate() error {
 	}
 	if c.ControlCycles < 0 {
 		return fmt.Errorf("core: negative control cycles")
+	}
+	if !c.DType.Valid() {
+		return fmt.Errorf("core: unknown data type %v", c.DType)
+	}
+	if c.DMAMaxAttempts < 0 {
+		return fmt.Errorf("core: negative DMA attempt budget %d", c.DMAMaxAttempts)
+	}
+	if c.DMABackoffCycles < 0 {
+		return fmt.Errorf("core: negative DMA backoff %d", c.DMABackoffCycles)
+	}
+	if c.WatchdogLayerCycles < 0 {
+		return fmt.Errorf("core: negative watchdog bound %d", c.WatchdogLayerCycles)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -22,6 +22,23 @@ const (
 	MetricPoolPinnedPeak     = "scm_pool_pinned_banks_peak"
 	MetricProcHits           = "scm_proc_hits_total"
 	MetricProcMisses         = "scm_proc_misses_total"
+
+	// Fault-injection metrics (all zero in a fault-free run).
+	MetricFaultsInjected  = "scm_faults_injected_total"
+	MetricDMARetries      = "scm_dma_retries_total"
+	MetricDMARetryCycles  = "scm_dma_retry_cycles_total"
+	MetricBankRelocations = "scm_bank_relocations_total"
+	MetricFaultSpillBytes = "scm_fault_spill_bytes_total"
+	MetricDegradedCycles  = "scm_dram_degraded_cycles_total"
+	MetricBandwidthFactor = "scm_dram_bandwidth_factor"
+	MetricPoolFailedBanks = "scm_pool_failed_banks"
+)
+
+// Fault kind labels of MetricFaultsInjected.
+const (
+	FaultBankFail      = "bank-fail"
+	FaultBankTransient = "bank-transient"
+	FaultBWDegrade     = "bw-degrade"
 )
 
 // Procedure labels of the hit/miss counters. Hit/miss semantics per
@@ -62,6 +79,15 @@ type observer struct {
 
 	procHit  map[string]*metrics.Counter
 	procMiss map[string]*metrics.Counter
+
+	faultKind      map[string]*metrics.Counter
+	dmaRetries     *metrics.Counter
+	dmaRetryCycles *metrics.Counter
+	relocations    *metrics.Counter
+	faultSpill     *metrics.Counter
+	degradedCycles *metrics.Counter
+	bwFactor       *metrics.Gauge
+	failedBanks    *metrics.Gauge
 }
 
 // newObserver registers the run-wide instrument families on reg and
@@ -98,7 +124,77 @@ func newObserver(reg *metrics.Registry) *observer {
 		o.procMiss[p] = reg.Counter(MetricProcMisses,
 			"times a Shortcut Mining procedure fell back to DRAM", metrics.L("proc", p))
 	}
+	o.faultKind = make(map[string]*metrics.Counter)
+	for _, k := range []string{FaultBankFail, FaultBankTransient, FaultBWDegrade} {
+		o.faultKind[k] = reg.Counter(MetricFaultsInjected,
+			"injected faults by kind", metrics.L("kind", k))
+	}
+	o.dmaRetries = reg.Counter(MetricDMARetries,
+		"DMA transfer attempts that failed and were reissued")
+	o.dmaRetryCycles = reg.Counter(MetricDMARetryCycles,
+		"cycles spent on DMA re-transfers and exponential backoff")
+	o.relocations = reg.Counter(MetricBankRelocations,
+		"failing banks whose contents migrated to a spare bank")
+	o.faultSpill = reg.Counter(MetricFaultSpillBytes,
+		"bytes P5-spilled to DRAM because a failing bank had no spare")
+	o.degradedCycles = reg.Counter(MetricDegradedCycles,
+		"extra channel cycles caused by bandwidth degradation")
+	o.bwFactor = reg.Gauge(MetricBandwidthFactor,
+		"current effective feature-map bandwidth multiplier (1 = nominal)")
+	o.bwFactor.Set(1)
+	o.failedBanks = reg.Gauge(MetricPoolFailedBanks,
+		"SRAM banks retired from service")
 	return o
+}
+
+// fault bumps the injected-fault counter for a kind; nil-safe.
+func (o *observer) fault(kind string, n int64) {
+	if o != nil {
+		o.faultKind[kind].Add(n)
+	}
+}
+
+// retry records one reissued DMA transfer and its cycle cost.
+func (o *observer) retry(cycles int64) {
+	if o != nil {
+		o.dmaRetries.Inc()
+		o.dmaRetryCycles.Add(cycles)
+	}
+}
+
+// relocated records a bank migration to a spare.
+func (o *observer) relocated() {
+	if o != nil {
+		o.relocations.Inc()
+	}
+}
+
+// faultSpilled records bytes pushed to DRAM by a bank failure.
+func (o *observer) faultSpilled(bytes int64) {
+	if o != nil {
+		o.faultSpill.Add(bytes)
+	}
+}
+
+// degraded records extra cycles from reduced bandwidth.
+func (o *observer) degraded(cycles int64) {
+	if o != nil {
+		o.degradedCycles.Add(cycles)
+	}
+}
+
+// bandwidthFactor tracks the current degradation factor gauge.
+func (o *observer) bandwidthFactor(f float64) {
+	if o != nil {
+		o.bwFactor.Set(f)
+	}
+}
+
+// poolFailed tracks the retired-bank gauge.
+func (o *observer) poolFailed(n int) {
+	if o != nil {
+		o.failedBanks.Set(float64(n))
+	}
 }
 
 // attach hooks the platform components of e so their events flow into
@@ -178,10 +274,27 @@ func (e *executor) recordSpan(ev trace.Event, start, dur int64) {
 // bytes plus the span for trace stamping. The cursor never runs
 // backwards: it is pulled up to the layer clock at layer entry, so
 // DMA spans stay monotone across the whole run.
-func (e *executor) transferSpan(c dram.Class, bytes int64) (moved, start, dur int64) {
+//
+// Under fault injection the span stretches: bandwidth degradation
+// scales the occupancy by 1/factor, and each injected transient
+// failure reissues the transfer after an exponentially growing
+// backoff. Exhausting the per-transfer attempt budget is a fatal
+// stuck-progress RunError.
+func (e *executor) transferSpan(c dram.Class, bytes int64) (moved, start, dur int64, err error) {
 	moved = e.ch.Transfer(c, bytes)
-	start = e.memCursor
 	dur = e.ch.CyclesAt(moved, e.cfg.PE.ClockMHz)
+	if f := e.inj.Factor(); f < 1 && dur > 0 {
+		scaled := int64(float64(dur)/f + 0.999999)
+		e.flt.DegradedCycles += scaled - dur
+		e.obs.degraded(scaled - dur)
+		dur = scaled
+	}
+	if moved > 0 {
+		if err := e.retryLoop(c, bytes, moved, dur); err != nil {
+			return moved, e.memCursor, dur, err
+		}
+	}
+	start = e.memCursor
 	e.memCursor += dur
-	return moved, start, dur
+	return moved, start, dur, nil
 }

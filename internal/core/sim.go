@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"shortcutmining/internal/dram"
+	"shortcutmining/internal/fault"
 	"shortcutmining/internal/metrics"
 	"shortcutmining/internal/nn"
 	"shortcutmining/internal/sram"
@@ -123,6 +124,17 @@ type executor struct {
 	clock     int64
 	memCursor int64
 
+	// Fault-injection state: the injector replaying Config.Faults, the
+	// watchdog bounds, the accumulated fault statistics, the current
+	// layer name for error classification, and the fault cycles accrued
+	// since the last layer closed (scrubs, migrations, retries —
+	// charged to the next layer's cycle count).
+	inj              *fault.Injector
+	wd               fault.Watchdog
+	flt              stats.FaultStats
+	curLayer         string
+	layerFaultCycles int64
+
 	residents []*resident
 	run       stats.RunStats
 }
@@ -138,7 +150,12 @@ func newExecutor(cfg Config) (*executor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &executor{cfg: cfg, pool: pool, ch: ch, rec: &trace.Stamper{R: trace.Nop{}}}, nil
+	e := &executor{cfg: cfg, pool: pool, ch: ch, rec: &trace.Stamper{R: trace.Nop{}}}
+	if !cfg.Faults.Empty() {
+		e.inj = fault.NewInjector(cfg.Faults)
+	}
+	e.wd = fault.Watchdog{MaxDMAAttempts: cfg.DMAMaxAttempts, MaxLayerCycles: cfg.WatchdogLayerCycles}
+	return e, nil
 }
 
 func (e *executor) bankBytes() int64 { return int64(e.cfg.Pool.BankBytes) }
@@ -291,7 +308,10 @@ func (e *executor) evictOneBank(l *nn.Layer, distinct []int, outNext int) (bool,
 		newOnChip = c
 	}
 	if delta := r.onChip - newOnChip; delta > 0 {
-		_, start, dur := e.transferSpan(dram.ClassSpillWrite, delta)
+		_, start, dur, err := e.transferSpan(dram.ClassSpillWrite, delta)
+		if err != nil {
+			return false, err
+		}
 		e.recordSpan(trace.Event{Kind: trace.KindSpill, Layer: l.Name, Class: dram.ClassSpillWrite.String(),
 			Tag: e.net.Layers[best].Name, Bytes: delta, Note: "evict-farthest"}, start, dur)
 	}
@@ -427,8 +447,12 @@ func (e *executor) captureSpilled(l *nn.Layer, p int) error {
 
 func (e *executor) execLayer(l *nn.Layer) error {
 	e.record(trace.Event{Kind: trace.KindLayerStart, Layer: l.Name})
+	e.curLayer = l.Name
 	if e.memCursor < e.clock {
 		e.memCursor = e.clock
+	}
+	if err := e.applyFaults(layerRef{index: l.Index, name: l.Name}); err != nil {
+		return err
 	}
 	d := e.cfg.DType
 
@@ -463,6 +487,13 @@ func (e *executor) execLayer(l *nn.Layer) error {
 
 	plan, err := tiling.ForLayer(l, d, e.planBudget(l))
 	if err != nil {
+		if e.pool.FailedBanks() > 0 {
+			// The shrunken pool can no longer back a workable tiling:
+			// degradation has a floor, and this plan is past it.
+			return fault.Errf(fault.Recoverable, fault.CheckCapacity, l.Name,
+				"no tiling with %d of %d banks retired: %w",
+				e.pool.FailedBanks(), e.cfg.Pool.NumBanks, err)
+		}
 		return err
 	}
 
@@ -510,7 +541,10 @@ func (e *executor) execLayer(l *nn.Layer) error {
 		if dp := r.dramBytes(); dp > 0 {
 			read := int64(float64(dp)*factor + 0.5)
 			class := e.readClass(p, l)
-			moved, start, dur := e.transferSpan(class, read)
+			moved, start, dur, err := e.transferSpan(class, read)
+			if err != nil {
+				return err
+			}
 			kind := trace.KindDRAM
 			if class == dram.ClassSpillRead || class == dram.ClassShortcutRead {
 				kind = trace.KindRefill
@@ -574,20 +608,29 @@ func (e *executor) execLayer(l *nn.Layer) error {
 			}
 		}
 		if fullCopy {
-			_, start, dur := e.transferSpan(dram.ClassOFMWrite, outBytes)
+			_, start, dur, err := e.transferSpan(dram.ClassOFMWrite, outBytes)
+			if err != nil {
+				return err
+			}
 			e.recordSpan(trace.Event{Kind: trace.KindDRAM, Layer: l.Name, Tag: l.Name,
 				Class: dram.ClassOFMWrite.String(), Bytes: outBytes}, start, dur)
 			out.spilled = outBytes
 		} else if got < outBytes {
 			spill := outBytes - got
-			_, start, dur := e.transferSpan(dram.ClassSpillWrite, spill)
+			_, start, dur, err := e.transferSpan(dram.ClassSpillWrite, spill)
+			if err != nil {
+				return err
+			}
 			out.spilled = spill
 			ls.SpilledBytes = spill
 			e.recordSpan(trace.Event{Kind: trace.KindSpill, Layer: l.Name, Tag: l.Name, Bytes: spill,
 				Class: dram.ClassSpillWrite.String(), Note: "partial retention"}, start, dur)
 		}
 	} else {
-		_, start, dur := e.transferSpan(dram.ClassOFMWrite, outBytes)
+		_, start, dur, err := e.transferSpan(dram.ClassOFMWrite, outBytes)
+		if err != nil {
+			return err
+		}
 		e.recordSpan(trace.Event{Kind: trace.KindDRAM, Layer: l.Name, Tag: l.Name,
 			Class: dram.ClassOFMWrite.String(), Bytes: outBytes}, start, dur)
 		out.spilled = outBytes
@@ -653,6 +696,14 @@ func (e *executor) execLayer(l *nn.Layer) error {
 		}
 	}
 	ls.Cycles += e.cfg.ControlCycles
+	// Fault handling is serialized with the layer: scrubs, migrations,
+	// and DMA retry/backoff stalls accrued since the previous layer
+	// closed are charged on top of the overlap model.
+	ls.Cycles += e.layerFaultCycles
+	e.layerFaultCycles = 0
+	if werr := e.wd.CheckLayer(l.Name, ls.Cycles); werr != nil {
+		return werr
+	}
 	ls.SRAMBytes = 2 * (inTotal + outBytes + plan.WeightReadBytes)
 	e.run.Layers = append(e.run.Layers, ls)
 	e.obs.layerDone(ls)
@@ -666,12 +717,21 @@ func (e *executor) execLayer(l *nn.Layer) error {
 // memCycles converts a layer's traffic into channel-occupancy cycles.
 // With a dedicated weight channel the two streams overlap and the
 // slower one gates the layer; otherwise everything shares one pipe.
+// Injected bandwidth degradation stretches the feature-map stream by
+// 1/factor; the weight channel is modeled fault-free (it is a separate
+// physical SODIMM on the prototype board).
 func (e *executor) memCycles(delta dram.Traffic) int64 {
 	clock := e.cfg.PE.ClockMHz
-	if e.cfg.WeightBandwidthGBps <= 0 {
-		return e.ch.CyclesAt(delta.Total(), clock)
+	scale := func(cycles int64) int64 {
+		if f := e.inj.Factor(); f < 1 {
+			return int64(float64(cycles)/f + 0.999999)
+		}
+		return cycles
 	}
-	fm := e.ch.CyclesAt(delta.FeatureMap(), clock)
+	if e.cfg.WeightBandwidthGBps <= 0 {
+		return scale(e.ch.CyclesAt(delta.Total(), clock))
+	}
+	fm := scale(e.ch.CyclesAt(delta.FeatureMap(), clock))
 	wBytesPerCycle := e.cfg.WeightBandwidthGBps * 1e9 / (clock * 1e6)
 	w := int64(float64(delta[dram.ClassWeightRead])/wBytesPerCycle + 0.999999)
 	if w > fm {
@@ -682,10 +742,12 @@ func (e *executor) memCycles(delta dram.Traffic) int64 {
 
 func (e *executor) finish() (stats.RunStats, error) {
 	if used := e.pool.UsedBanks(); used != 0 {
-		return stats.RunStats{}, fmt.Errorf("core: %s: %d banks leaked at end of run", e.net.Name, used)
+		return stats.RunStats{}, fault.Errf(fault.Fatal, fault.CheckBankLeak, "",
+			"core: %s: %d banks leaked at end of run", e.net.Name, used)
 	}
 	if err := e.pool.CheckInvariants(); err != nil {
-		return stats.RunStats{}, err
+		return stats.RunStats{}, fault.Errf(fault.Fatal, fault.CheckInvariant, "",
+			"core: %s: %w", e.net.Name, err)
 	}
 	batch := int64(e.cfg.Batch)
 	r := &e.run
@@ -709,6 +771,9 @@ func (e *executor) finish() (stats.RunStats, error) {
 	r.RoleSwitches = ps.RoleSwitches
 	r.BanksRecycled = ps.BanksRecycled
 	r.BanksEvicted = ps.BanksEvicted
+	// Fault statistics are per-run, not per-image: the injected events
+	// happen once regardless of batch.
+	r.Faults = e.flt
 	r.Energy = e.cfg.Energy.Estimate(r.Traffic.Total(), r.SRAMBytes, r.MACs)
 	e.obs.finishRun(r, batch)
 	return *r, nil

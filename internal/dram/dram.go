@@ -124,6 +124,7 @@ type Channel struct {
 	cfg      Config
 	traffic  Traffic
 	raw      Traffic // pre-rounding payload bytes
+	retry    Traffic // bytes re-moved by failed-transfer retries
 	observer func(c Class, payload, moved int64)
 }
 
@@ -170,6 +171,24 @@ func (ch *Channel) Transfer(c Class, bytes int64) int64 {
 	return moved
 }
 
+// RecordRetry tallies the bytes of a failed-and-reissued transfer
+// attempt. Retries occupy the bus but deliver no new payload, so they
+// are kept out of Traffic — the paper's headline traffic metric counts
+// each byte once no matter how many attempts it took — and surfaced
+// separately via RetryTraffic.
+func (ch *Channel) RecordRetry(c Class, bytes int64) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	moved := ch.round(bytes)
+	ch.retry[c] += moved
+	return moved
+}
+
+// RetryTraffic returns the burst-rounded bytes re-moved by DMA
+// retries, by class.
+func (ch *Channel) RetryTraffic() Traffic { return ch.retry }
+
 // Traffic returns the burst-rounded tally so far.
 func (ch *Channel) Traffic() Traffic { return ch.traffic }
 
@@ -180,6 +199,7 @@ func (ch *Channel) RawTraffic() Traffic { return ch.raw }
 func (ch *Channel) Reset() {
 	ch.traffic = Traffic{}
 	ch.raw = Traffic{}
+	ch.retry = Traffic{}
 }
 
 // CyclesAt converts a byte count into channel-occupancy cycles at the

@@ -211,3 +211,29 @@ func TestChannelObserver(t *testing.T) {
 		t.Error("tally lost after detach")
 	}
 }
+
+func TestRecordRetry(t *testing.T) {
+	ch := newTestChannel(t)
+	ch.Transfer(ClassIFMRead, 1000)
+	moved := ch.RecordRetry(ClassIFMRead, 1000)
+	if moved != ch.round(1000) {
+		t.Errorf("retry moved %d, want burst-rounded %d", moved, ch.round(1000))
+	}
+	if ch.RecordRetry(ClassIFMRead, 0) != 0 || ch.RecordRetry(ClassIFMRead, -5) != 0 {
+		t.Error("empty retry must move nothing")
+	}
+	// Retries must not inflate the payload tallies.
+	if got := ch.Traffic()[ClassIFMRead]; got != ch.round(1000) {
+		t.Errorf("Traffic inflated by retry: %d", got)
+	}
+	if got := ch.RawTraffic()[ClassIFMRead]; got != 1000 {
+		t.Errorf("RawTraffic inflated by retry: %d", got)
+	}
+	if got := ch.RetryTraffic()[ClassIFMRead]; got != moved {
+		t.Errorf("RetryTraffic = %d, want %d", got, moved)
+	}
+	ch.Reset()
+	if ch.RetryTraffic().Total() != 0 {
+		t.Error("Reset must clear retry tally")
+	}
+}

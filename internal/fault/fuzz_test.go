@@ -1,0 +1,62 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec asserts the CLI grammar's core contract: arbitrary
+// input yields either a validated spec or an error — never a panic —
+// and every accepted spec survives a String() round trip.
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		"",
+		"seed=42",
+		"seed=7;bank-fail@4:n=3",
+		"bank-fail@9:bank=7,9",
+		"bank-transient@6:n=2",
+		"dma-drop:p=0.05",
+		"bw-degrade@10:factor=0.5",
+		"seed=7;bank-fail@4:n=3;dma-drop:p=0.02;bw-degrade@10:factor=0.5",
+		"seed=-1;bank-fail@0:n=1",
+		" seed=1 ; bank-fail@2:n=1 ; ",
+		"bank-fail@2:n=1;;;",
+		"bogus",
+		"dma-drop:p=1.5",
+		"bank-fail@2:bank=1,2,3,4,5",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		spec, err := ParseSpec(input)
+		if err != nil {
+			if spec != nil {
+				t.Errorf("ParseSpec(%q) returned both a spec and an error", input)
+			}
+			return
+		}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("ParseSpec(%q) returned invalid spec: %v", input, err)
+		}
+		// Accepted specs must round-trip through the printed grammar.
+		printed := spec.String()
+		again, err := ParseSpec(printed)
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q) failed: %v", printed, input, err)
+		}
+		if again.String() != printed {
+			t.Errorf("round trip unstable: %q -> %q -> %q", input, printed, again.String())
+		}
+		// The injector must not blow up replaying any accepted spec.
+		inj := NewInjector(spec)
+		for layer := 0; layer < 4; layer++ {
+			inj.ApplyLayer(layer)
+			inj.TransferFails()
+			if f := inj.Factor(); f <= 0 || f > 1 {
+				t.Errorf("factor %g outside (0,1] for %q", f, input)
+			}
+		}
+		_ = strings.TrimSpace(printed)
+	})
+}

@@ -1,0 +1,102 @@
+// Injector replays a Spec against a running simulation. All
+// randomness comes from the spec seed, so a faulty run is exactly
+// reproducible: same spec, same network, same victims, same retries.
+package fault
+
+import (
+	"math/rand"
+)
+
+// Injector is the runtime side of a Spec: the executor asks it, at
+// each layer boundary and each DMA transfer, what goes wrong now.
+type Injector struct {
+	spec   *Spec
+	rng    *rand.Rand
+	events []Event // sorted by trigger layer
+	next   int     // first event not yet fired
+	factor float64 // current effective bandwidth multiplier
+
+	injected int64 // total events fired (all kinds)
+}
+
+// NewInjector builds the runtime injector for a validated spec. A nil
+// or empty spec yields an injector that never injects (and is cheap:
+// TransferFails short-circuits before touching the RNG).
+func NewInjector(spec *Spec) *Injector {
+	inj := &Injector{spec: spec, factor: 1}
+	if spec == nil {
+		return inj
+	}
+	inj.rng = rand.New(rand.NewSource(spec.Seed))
+	inj.events = sortEventsByLayer(spec.Events)
+	return inj
+}
+
+// ApplyLayer fires every event scheduled at or before the given layer
+// that has not fired yet, in trigger order. BandwidthDegrade events
+// update the injector's factor internally; bank events are returned
+// for the pool owner to apply.
+func (inj *Injector) ApplyLayer(layer int) []Event {
+	if inj == nil || inj.next >= len(inj.events) {
+		return nil
+	}
+	var bank []Event
+	for inj.next < len(inj.events) && inj.events[inj.next].Layer <= layer {
+		e := inj.events[inj.next]
+		inj.next++
+		inj.injected++
+		if e.Kind == BandwidthDegrade {
+			inj.factor = e.Factor
+			continue
+		}
+		bank = append(bank, e)
+	}
+	return bank
+}
+
+// Factor is the current effective bandwidth multiplier in (0, 1]; 1
+// means nominal bandwidth.
+func (inj *Injector) Factor() float64 {
+	if inj == nil {
+		return 1
+	}
+	return inj.factor
+}
+
+// TransferFails draws whether one DMA transfer attempt fails. Each
+// call consumes RNG state only when a failure probability is set.
+func (inj *Injector) TransferFails() bool {
+	if inj == nil || inj.spec == nil || inj.spec.DropProb == 0 {
+		return false
+	}
+	return inj.rng.Float64() < inj.spec.DropProb
+}
+
+// Pick returns a seeded-uniform integer in [0, n); used to choose
+// victim banks when an event does not name them explicitly.
+func (inj *Injector) Pick(n int) int {
+	if inj == nil || inj.rng == nil || n <= 0 {
+		return 0
+	}
+	return inj.rng.Intn(n)
+}
+
+// Injected is the number of events fired so far (bank events plus
+// bandwidth changes; per-transfer DMA failures are counted by the
+// DMA retry path, not here).
+func (inj *Injector) Injected() int64 {
+	if inj == nil {
+		return 0
+	}
+	return inj.injected
+}
+
+// Pending reports how many scheduled events have not fired yet —
+// useful post-run to detect a plan whose trigger layers were past the
+// end of the network.
+func (inj *Injector) Pending() int {
+	if inj == nil {
+		return 0
+	}
+	return len(inj.events) - inj.next
+}

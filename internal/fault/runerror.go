@@ -1,0 +1,126 @@
+// RunError and the run watchdog: the structured, classified failure
+// surface that replaces in-simulator panics. Every way a run can die
+// is named by a checker constant and carries a severity, so callers
+// (CLIs, experiments, tests) can distinguish "the fault plan exceeded
+// what graceful degradation can absorb" from "the simulator broke an
+// invariant".
+package fault
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Severity classifies how a RunError should be handled.
+type Severity int
+
+const (
+	// Recoverable: the run could not complete under the injected
+	// faults, but the simulator state is consistent — e.g. the pool
+	// shrank below the minimum workable size. Rerunning with a milder
+	// plan or larger pool is expected to succeed.
+	Recoverable Severity = iota
+	// Fatal: an internal consistency check failed (leaked banks,
+	// violated invariant, livelocked transfer). Indicates a simulator
+	// bug or an unsurvivable fault plan; the run's outputs must not
+	// be trusted.
+	Fatal
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	if s == Fatal {
+		return "fatal"
+	}
+	return "recoverable"
+}
+
+// Checker names — the Check field of a RunError.
+const (
+	// CheckBankLeak fires post-run when buffers still own banks after
+	// the last layer released everything.
+	CheckBankLeak = "bank-leak"
+	// CheckInvariant fires when Pool.CheckInvariants fails post-run.
+	CheckInvariant = "invariant"
+	// CheckStuckProgress fires when a DMA transfer exhausts its retry
+	// budget without completing.
+	CheckStuckProgress = "stuck-progress"
+	// CheckLiveness fires when a single layer exceeds the configured
+	// watchdog cycle bound.
+	CheckLiveness = "liveness"
+	// CheckCapacity fires when the shrunken pool can no longer hold
+	// what a layer strictly requires.
+	CheckCapacity = "capacity"
+)
+
+// RunError is a classified simulation failure.
+type RunError struct {
+	// Severity says whether the run state is still consistent.
+	Severity Severity
+	// Check names the checker that fired (Check* constants).
+	Check string
+	// Layer is the layer being executed when the check fired, if any.
+	Layer string
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *RunError) Error() string {
+	where := ""
+	if e.Layer != "" {
+		where = " at layer " + e.Layer
+	}
+	return fmt.Sprintf("run error [%s/%s]%s: %v", e.Severity, e.Check, where, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *RunError) Unwrap() error { return e.Err }
+
+// Errf builds a RunError from a format string.
+func Errf(sev Severity, check, layer, format string, args ...any) *RunError {
+	return &RunError{Severity: sev, Check: check, Layer: layer, Err: fmt.Errorf(format, args...)}
+}
+
+// AsRunError unwraps err to a *RunError if one is in the chain.
+func AsRunError(err error) (*RunError, bool) {
+	var re *RunError
+	if errors.As(err, &re) {
+		return re, true
+	}
+	return nil, false
+}
+
+// Watchdog holds the run-health bounds the executor enforces. The
+// zero value disables the liveness bound and uses the default DMA
+// retry budget.
+type Watchdog struct {
+	// MaxDMAAttempts bounds attempts per transfer (initial try plus
+	// retries). Exhausting it is a fatal stuck-progress error. Zero
+	// means DefaultMaxDMAAttempts.
+	MaxDMAAttempts int
+	// MaxLayerCycles, when positive, bounds the modeled cycles of any
+	// single layer; exceeding it is a fatal liveness error.
+	MaxLayerCycles int64
+}
+
+// DefaultMaxDMAAttempts is the retry budget per DMA transfer when the
+// config does not set one.
+const DefaultMaxDMAAttempts = 8
+
+// Attempts resolves the effective per-transfer attempt budget.
+func (w Watchdog) Attempts() int {
+	if w.MaxDMAAttempts > 0 {
+		return w.MaxDMAAttempts
+	}
+	return DefaultMaxDMAAttempts
+}
+
+// CheckLayer applies the liveness bound to one finished layer.
+func (w Watchdog) CheckLayer(layer string, cycles int64) *RunError {
+	if w.MaxLayerCycles > 0 && cycles > w.MaxLayerCycles {
+		return Errf(Fatal, CheckLiveness, layer,
+			"layer ran %d cycles, watchdog bound is %d", cycles, w.MaxLayerCycles)
+	}
+	return nil
+}

@@ -84,7 +84,7 @@ func TestGenerateFullDocument(t *testing.T) {
 		}
 	}
 	// Every registered experiment appears.
-	if got := strings.Count(doc, "*Paper anchor:*"); got != 21 {
-		t.Errorf("document has %d experiments, want 21", got)
+	if got := strings.Count(doc, "*Paper anchor:*"); got != 22 {
+		t.Errorf("document has %d experiments, want 22", got)
 	}
 }

@@ -69,6 +69,12 @@ var (
 	ErrPinned = errors.New("sram: buffer is pinned")
 	// ErrReleased reports use of a buffer after it was freed.
 	ErrReleased = errors.New("sram: buffer already freed")
+	// ErrBankFailed reports an operation on a bank already retired
+	// from service.
+	ErrBankFailed = errors.New("sram: bank retired from service")
+	// ErrBankOwned reports a retirement attempt on a bank that still
+	// holds live data (the caller must migrate or spill first).
+	ErrBankOwned = errors.New("sram: bank still owned")
 )
 
 // Config sizes a pool.
@@ -154,13 +160,15 @@ func (b *Buffer) Freed() bool { return b.freed }
 // schedulers are single-threaded per accelerator instance, matching
 // the single control FSM of the hardware.
 type Pool struct {
-	cfg      Config
-	owner    []int // bank -> buffer id, or -1 when free
-	free     []int // free bank indices, LIFO
-	buffers  map[int]*Buffer
-	nextID   int
-	pinned   int // banks owned by pinned buffers, kept incrementally
-	observer func(usedBanks, pinnedBanks int)
+	cfg       Config
+	owner     []int  // bank -> buffer id, or -1 when free
+	free      []int  // free bank indices, LIFO
+	failed    []bool // bank -> retired from service (fault injection)
+	numFailed int
+	buffers   map[int]*Buffer
+	nextID    int
+	pinned    int // banks owned by pinned buffers, kept incrementally
+	observer  func(usedBanks, pinnedBanks int)
 
 	stats Stats
 }
@@ -174,6 +182,8 @@ type Stats struct {
 	Pins          int64
 	BanksRecycled int64 // banks moved by ReleaseBanks (P4)
 	BanksEvicted  int64 // banks moved by ReleaseTailBanks (eviction policies)
+	BanksFailed   int64 // banks retired from service (fault injection)
+	Relocations   int64 // banks whose contents moved to a spare (RelocateBank)
 
 	PeakUsedBanks   int
 	PeakPinnedBanks int
@@ -188,6 +198,7 @@ func NewPool(cfg Config) (*Pool, error) {
 		cfg:     cfg,
 		owner:   make([]int, cfg.NumBanks),
 		free:    make([]int, cfg.NumBanks),
+		failed:  make([]bool, cfg.NumBanks),
 		buffers: make(map[int]*Buffer),
 	}
 	for i := range p.owner {
@@ -205,7 +216,28 @@ func (p *Pool) Config() Config { return p.cfg }
 func (p *Pool) FreeBanks() int { return len(p.free) }
 
 // UsedBanks returns the number of owned banks.
-func (p *Pool) UsedBanks() int { return p.cfg.NumBanks - len(p.free) }
+func (p *Pool) UsedBanks() int { return p.cfg.NumBanks - len(p.free) - p.numFailed }
+
+// FailedBanks returns the number of banks retired from service.
+func (p *Pool) FailedBanks() int { return p.numFailed }
+
+// InService returns the number of banks still usable (total minus
+// retired) — the effective pool size graceful degradation works with.
+func (p *Pool) InService() int { return p.cfg.NumBanks - p.numFailed }
+
+// IsFailed reports whether the bank has been retired from service.
+func (p *Pool) IsFailed(bank int) bool {
+	return bank >= 0 && bank < len(p.failed) && p.failed[bank]
+}
+
+// Owner returns the live buffer owning the bank, or nil when the bank
+// is free, failed, or out of range.
+func (p *Pool) Owner(bank int) *Buffer {
+	if bank < 0 || bank >= len(p.owner) || p.owner[bank] < 0 {
+		return nil
+	}
+	return p.buffers[p.owner[bank]]
+}
 
 // FreeBytes returns the free capacity.
 func (p *Pool) FreeBytes() int64 { return int64(len(p.free)) * int64(p.cfg.BankBytes) }
@@ -286,21 +318,18 @@ func (p *Pool) Alloc(role Role, tag string, bytes int64) (*Buffer, error) {
 // AllocUpTo forms a logical buffer covering as much of `bytes` as the
 // free banks allow (procedure P5, partial retention). It returns the
 // buffer (nil when the pool is completely full) and the payload bytes
-// actually covered; the caller spills the remainder to DRAM.
+// actually covered; the caller spills the remainder to DRAM. Unlike
+// Alloc it cannot fail: a short pool yields a partial buffer, an empty
+// pool yields nil.
 func (p *Pool) AllocUpTo(role Role, tag string, bytes int64) (*Buffer, int64) {
 	if bytes <= 0 {
 		return nil, 0
 	}
-	need := p.cfg.BanksFor(bytes)
-	if need <= len(p.free) {
-		b, err := p.Alloc(role, tag, bytes)
-		if err != nil {
-			// Unreachable: capacity was just checked.
-			panic(err)
-		}
-		return b, bytes
+	n := p.cfg.BanksFor(bytes)
+	partial := n > len(p.free)
+	if partial {
+		n = len(p.free)
 	}
-	n := len(p.free)
 	if n == 0 {
 		return nil, 0
 	}
@@ -315,9 +344,77 @@ func (p *Pool) AllocUpTo(role Role, tag string, bytes int64) (*Buffer, int64) {
 	}
 	p.buffers[b.id] = b
 	p.stats.Allocs++
-	p.stats.PartialAllocs++
+	if partial {
+		p.stats.PartialAllocs++
+	}
 	p.noteUsage()
 	return b, got
+}
+
+// RetireBank removes a FREE bank from service permanently — the
+// predictive-retirement step of the fault model. The bank leaves the
+// free list and is never handed out again; the pool operates with a
+// smaller effective size from here on. A bank holding live data must
+// be migrated first (RelocateBank or a tail spill): retiring an owned
+// bank is an error, and retiring twice is an error.
+func (p *Pool) RetireBank(bank int) error {
+	if bank < 0 || bank >= p.cfg.NumBanks {
+		return fmt.Errorf("sram: retire out-of-range bank %d", bank)
+	}
+	if p.failed[bank] {
+		return fmt.Errorf("%w: bank %d", ErrBankFailed, bank)
+	}
+	if p.owner[bank] != -1 {
+		b := p.buffers[p.owner[bank]]
+		return fmt.Errorf("%w: bank %d holds %q", ErrBankOwned, bank, b.tag)
+	}
+	for i, f := range p.free {
+		if f == bank {
+			p.free = append(p.free[:i], p.free[i+1:]...)
+			p.failed[bank] = true
+			p.numFailed++
+			p.stats.BanksFailed++
+			return nil
+		}
+	}
+	return fmt.Errorf("sram: bank %d unowned but not on free list", bank)
+}
+
+// RelocateBank migrates the contents of an owned bank onto a spare
+// free bank and retires the original — graceful degradation when a
+// failing bank still holds live data and the pool has slack. The
+// spare takes the failed bank's position in the buffer's layout, so
+// payload byte order (and therefore functional-mode data identity) is
+// preserved. Fails with ErrInsufficient when no free bank exists; the
+// caller then falls back to a P5 tail spill.
+func (p *Pool) RelocateBank(b *Buffer, bank int) error {
+	if b.freed {
+		return fmt.Errorf("%w: %q", ErrReleased, b.tag)
+	}
+	if len(p.free) == 0 {
+		return fmt.Errorf("%w: no spare bank to relocate bank %d of %q", ErrInsufficient, bank, b.tag)
+	}
+	pos := -1
+	for i, own := range b.banks {
+		if own == bank {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return fmt.Errorf("sram: bank %d not owned by %q", bank, b.tag)
+	}
+	spare := p.grab(1)[0]
+	b.banks[pos] = spare
+	p.owner[spare] = b.id
+	p.owner[bank] = -1
+	p.failed[bank] = true
+	p.numFailed++
+	p.stats.BanksFailed++
+	p.stats.Relocations++
+	// Pinned-bank count is unchanged: same bank count, same buffer.
+	p.noteUsage()
+	return nil
 }
 
 // Free returns the buffer's banks to the pool. Pinned buffers must be
@@ -547,8 +644,9 @@ func (p *Pool) Merge(role Role, tag string, bufs ...*Buffer) (*Buffer, error) {
 }
 
 // CheckInvariants verifies bank conservation: every bank is either on
-// the free list or owned by exactly one live buffer, free-list entries
-// are unique, and every buffer's payload fits its banks.
+// the free list, owned by exactly one live buffer, or retired from
+// service; free-list entries are unique; retired banks are never owned
+// or free; and every buffer's payload fits its banks.
 func (p *Pool) CheckInvariants() error {
 	seen := make(map[int]string, p.cfg.NumBanks)
 	for _, bank := range p.free {
@@ -561,6 +659,9 @@ func (p *Pool) CheckInvariants() error {
 		seen[bank] = "free list"
 		if p.owner[bank] != -1 {
 			return fmt.Errorf("sram: free bank %d has owner %d", bank, p.owner[bank])
+		}
+		if p.failed[bank] {
+			return fmt.Errorf("sram: retired bank %d on free list", bank)
 		}
 	}
 	for id, b := range p.buffers {
@@ -581,6 +682,9 @@ func (p *Pool) CheckInvariants() error {
 			if p.owner[bank] != b.id {
 				return fmt.Errorf("sram: bank %d owner map says %d, buffer is %d", bank, p.owner[bank], b.id)
 			}
+			if p.failed[bank] {
+				return fmt.Errorf("sram: retired bank %d owned by %q", bank, b.tag)
+			}
 		}
 		if b.bytes > b.CapacityBytes() {
 			return fmt.Errorf("sram: buffer %q payload %d exceeds capacity %d", b.tag, b.bytes, b.CapacityBytes())
@@ -589,8 +693,17 @@ func (p *Pool) CheckInvariants() error {
 			return fmt.Errorf("sram: buffer %q negative payload", b.tag)
 		}
 	}
-	if len(seen) != p.cfg.NumBanks {
-		return fmt.Errorf("sram: %d banks accounted for, pool has %d", len(seen), p.cfg.NumBanks)
+	failed := 0
+	for _, f := range p.failed {
+		if f {
+			failed++
+		}
+	}
+	if failed != p.numFailed {
+		return fmt.Errorf("sram: failed-bank count %d, marks say %d", p.numFailed, failed)
+	}
+	if len(seen)+failed != p.cfg.NumBanks {
+		return fmt.Errorf("sram: %d banks accounted for (+%d retired), pool has %d", len(seen), failed, p.cfg.NumBanks)
 	}
 	pinned := 0
 	for _, b := range p.buffers {

@@ -59,10 +59,34 @@ type RunStats struct {
 
 	Energy energy.Breakdown
 
+	// Faults summarizes injected adversity and the degradation machinery
+	// it triggered; all-zero for a fault-free run.
+	Faults FaultStats
+
 	// Metrics is the registry snapshot of an observed run (nil when
 	// the run was not observed); scm-sim -json embeds it verbatim.
 	Metrics *metrics.Snapshot `json:",omitempty"`
 }
+
+// FaultStats summarizes a run's injected faults and the cost of
+// absorbing them. Cycle fields are already included in TotalCycles;
+// RetryBytes is NOT included in Traffic (retries re-move bytes the
+// tally already counted once).
+type FaultStats struct {
+	BankFailures    int64 // banks hard-failed and retired from service
+	TransientErrors int64 // correctable SRAM upsets (scrubbed in place)
+	Relocations     int64 // failed banks whose data moved to a spare
+	FaultSpillBytes int64 // bytes P5-spilled to DRAM because no spare existed
+	MigrationCycles int64 // cycles spent relocating + scrubbing
+
+	DMARetries     int64 // failed transfer attempts that were reissued
+	DMARetryCycles int64 // re-transfer plus exponential-backoff cycles
+	RetryBytes     int64 // burst-rounded bytes re-moved by retries
+	DegradedCycles int64 // extra channel cycles from bandwidth degradation
+}
+
+// Any reports whether any fault machinery fired during the run.
+func (f FaultStats) Any() bool { return f != FaultStats{} }
 
 // FmapTrafficBytes is the run's off-chip feature-map traffic — the
 // paper's headline metric.

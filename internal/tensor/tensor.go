@@ -25,7 +25,9 @@ const (
 	Float32
 )
 
-// Bytes returns the storage size of one element.
+// Bytes returns the storage size of one element, or 0 for an unknown
+// data type (which Valid reports and core.Config.Validate rejects
+// before any arithmetic can divide by it).
 func (d DataType) Bytes() int {
 	switch d {
 	case Fixed8:
@@ -35,7 +37,12 @@ func (d DataType) Bytes() int {
 	case Float32:
 		return 4
 	}
-	panic(fmt.Sprintf("tensor: unknown DataType %d", int(d)))
+	return 0
+}
+
+// Valid reports whether d is one of the defined data types.
+func (d DataType) Valid() bool {
+	return d == Fixed8 || d == Fixed16 || d == Float32
 }
 
 // String implements fmt.Stringer.
@@ -108,10 +115,11 @@ func (s Shape) String() string { return fmt.Sprintf("%dx%dx%d", s.C, s.H, s.W) }
 // ConvOut computes the spatial output size of a convolution or pooling
 // window of size k with the given stride and symmetric padding applied
 // to an input extent in. It mirrors the floor-mode arithmetic used by
-// standard frameworks.
+// standard frameworks. A non-positive stride yields 0 — an impossible
+// output extent the layer validators reject with a proper error.
 func ConvOut(in, k, stride, pad int) int {
 	if stride <= 0 {
-		panic("tensor: stride must be positive")
+		return 0
 	}
 	out := (in+2*pad-k)/stride + 1
 	if out < 0 {

@@ -36,13 +36,21 @@ func TestDataTypeString(t *testing.T) {
 	}
 }
 
-func TestDataTypeBytesPanicsOnUnknown(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Bytes on unknown DataType did not panic")
+func TestDataTypeBytesUnknownIsZero(t *testing.T) {
+	if got := DataType(42).Bytes(); got != 0 {
+		t.Fatalf("Bytes on unknown DataType = %d, want 0", got)
+	}
+	if DataType(42).Valid() {
+		t.Error("unknown DataType reads as valid")
+	}
+	for _, d := range []DataType{Fixed8, Fixed16, Float32} {
+		if !d.Valid() {
+			t.Errorf("%v reads as invalid", d)
 		}
-	}()
-	_ = DataType(42).Bytes()
+		if d.Bytes() <= 0 {
+			t.Errorf("%v has non-positive size", d)
+		}
+	}
 }
 
 func TestParseDataType(t *testing.T) {
@@ -130,13 +138,13 @@ func TestConvOut(t *testing.T) {
 	}
 }
 
-func TestConvOutPanicsOnZeroStride(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("ConvOut with stride 0 did not panic")
-		}
-	}()
-	ConvOut(10, 3, 0, 1)
+func TestConvOutNonPositiveStrideIsZero(t *testing.T) {
+	if got := ConvOut(10, 3, 0, 1); got != 0 {
+		t.Fatalf("ConvOut with stride 0 = %d, want 0", got)
+	}
+	if got := ConvOut(10, 3, -2, 1); got != 0 {
+		t.Fatalf("ConvOut with negative stride = %d, want 0", got)
+	}
 }
 
 func TestConvOutIdentityProperty(t *testing.T) {

@@ -52,8 +52,13 @@ type perfettoFile struct {
 //     "layers" track. The layer-end Cycle (start + layer cycles)
 //     closes the span; a missing layer-end (truncated trace) is closed
 //     at the stream's final timestamp so the file stays well-formed.
-//   - dram / refill / spill events carrying a DurCycles become B/E
-//     pairs on the "dram" track, labeled by traffic class.
+//   - dram / refill / spill / retry events carrying a DurCycles become
+//     B/E pairs on the "dram" track, labeled by traffic class (retries
+//     are prefixed "retry:" so reissued attempts stand apart from
+//     payload transfers).
+//   - fault and relocate events become instant ("i") markers on the
+//     layer track, so injected adversity is visible against the layer
+//     it hit.
 //   - layer-end occupancy (used/pinned banks) becomes a "C" counter
 //     event, rendering the pool timeline Perfetto-natively.
 //
@@ -110,13 +115,29 @@ func WritePerfetto(w io.Writer, events []Event, clockMHz float64) error {
 			out = append(out, perfettoEvent{Name: bankCounterName, Ph: "C", Ts: ts,
 				Pid: perfettoPid, Tid: layerTid,
 				Args: map[string]any{"used": e.Banks, "pinned": e.Pinned}})
-		case KindDRAM, KindRefill, KindSpill:
+		case KindFault, KindRelocate:
+			args := map[string]any{}
+			if e.Note != "" {
+				args["fault"] = e.Note
+			}
+			if e.Banks != 0 {
+				args["banks"] = e.Banks
+			}
+			if e.Tag != "" {
+				args["fmap"] = e.Tag
+			}
+			out = append(out, perfettoEvent{Name: string(e.Kind), Ph: "i", Ts: ts,
+				Pid: perfettoPid, Tid: layerTid, Cat: "fault", Args: args})
+		case KindDRAM, KindRefill, KindSpill, KindRetry:
 			if e.DurCycles <= 0 {
 				continue // bookkeeping event without a modeled transfer span
 			}
 			name := e.Class
 			if name == "" {
 				name = string(e.Kind)
+			}
+			if e.Kind == KindRetry {
+				name = "retry:" + name
 			}
 			args := map[string]any{"bytes": e.Bytes}
 			if e.Tag != "" {

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestWritePerfettoFaultEvents(t *testing.T) {
+	events := []Event{
+		{Seq: 1, Kind: KindLayerStart, Layer: "conv1", Cycle: 0},
+		{Seq: 2, Kind: KindFault, Layer: "conv1", Note: "bank-fail", Banks: 2, Cycle: 10},
+		{Seq: 3, Kind: KindRelocate, Layer: "conv1", Tag: "sc", Banks: 1, Cycle: 20},
+		{Seq: 4, Kind: KindRetry, Layer: "conv1", Class: "ifm-read", Bytes: 4096, Cycle: 30, DurCycles: 50},
+		{Seq: 5, Kind: KindLayerEnd, Layer: "conv1", Banks: 4, Cycle: 500, DurCycles: 500},
+	}
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, events, 1); err != nil {
+		t.Fatal(err)
+	}
+	got := decodePerfetto(t, buf.Bytes())
+	var instants, retryB, retryE int
+	for _, e := range got {
+		switch {
+		case e["ph"] == "i" && e["cat"] == "fault":
+			instants++
+		case e["name"] == "retry:ifm-read" && e["ph"] == "B":
+			retryB++
+			if ts := e["ts"].(float64); ts != 30 {
+				t.Errorf("retry B at ts %g, want 30", ts)
+			}
+		case e["name"] == "retry:ifm-read" && e["ph"] == "E":
+			retryE++
+			if ts := e["ts"].(float64); ts != 80 {
+				t.Errorf("retry E at ts %g, want 80", ts)
+			}
+		}
+	}
+	if instants != 2 {
+		t.Errorf("fault instant markers = %d, want 2 (fault + relocate)", instants)
+	}
+	if retryB != 1 || retryE != 1 {
+		t.Errorf("retry span B/E = %d/%d, want 1/1", retryB, retryE)
+	}
+}
+
+func TestSummarizeFaultKinds(t *testing.T) {
+	events := []Event{
+		{Seq: 1, Kind: KindLayerStart, Layer: "conv1"},
+		{Seq: 2, Kind: KindFault, Layer: "conv1"},
+		{Seq: 3, Kind: KindRetry, Layer: "conv1"},
+		{Seq: 4, Kind: KindRelocate, Layer: "conv1"},
+		{Seq: 5, Kind: KindLayerEnd, Layer: "conv1"},
+	}
+	s := Summarize(events)
+	want := []Kind{KindLayerStart, KindFault, KindRetry, KindRelocate, KindLayerEnd}
+	if len(s.Kinds) != len(want) {
+		t.Fatalf("kinds = %v, want %v", s.Kinds, want)
+	}
+	for i, k := range want {
+		if s.Kinds[i] != k {
+			t.Errorf("kind %d = %v, want %v (lifecycle order)", i, s.Kinds[i], k)
+		}
+	}
+	if s.Counts["conv1"][KindFault] != 1 {
+		t.Error("fault count missing")
+	}
+}

@@ -27,6 +27,12 @@ const (
 	KindFree       Kind = "free"
 	KindDRAM       Kind = "dram" // any off-chip transfer
 	KindLayerEnd   Kind = "layer-end"
+
+	// Fault-injection kinds (internal/fault): an injected fault, a
+	// reissued DMA transfer attempt, and a bank relocated to a spare.
+	KindFault    Kind = "fault"
+	KindRetry    Kind = "retry"
+	KindRelocate Kind = "relocate"
 )
 
 // Event is one scheduler decision. Fields are contextual; unused ones
@@ -182,7 +188,8 @@ type Summary struct {
 // allKinds lists every kind in lifecycle order (the order Summarize
 // presents columns in).
 var allKinds = []Kind{KindLayerStart, KindAlloc, KindRoleSwitch, KindPin, KindUnpin,
-	KindRecycle, KindSpill, KindRefill, KindFree, KindDRAM, KindLayerEnd}
+	KindRecycle, KindSpill, KindRefill, KindFree, KindDRAM,
+	KindFault, KindRetry, KindRelocate, KindLayerEnd}
 
 // Summarize builds the kind × layer census backing scm-trace -summary.
 func Summarize(events []Event) Summary {

@@ -11,7 +11,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22"}
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %v", ids)
 	}
@@ -413,6 +413,35 @@ func TestE21PortabilityStoryHolds(t *testing.T) {
 			}
 			if sp := res.Metrics[fmt.Sprintf("speedup/%s/%s", plat, h.name)]; sp <= 1.0 {
 				t.Errorf("%s/%s: speedup %.3f not > 1", plat, h.name, sp)
+			}
+		}
+	}
+}
+
+func TestE22GracefulDegradation(t *testing.T) {
+	res, err := mustRun(t, "E22")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range headline {
+		prev := -1.0
+		for _, label := range []string{"0%", "12%", "25%"} {
+			infl := res.Metrics[fmt.Sprintf("inflation/%s/%s", h.name, label)]
+			if infl < prev {
+				t.Errorf("%s: inflation not monotone at %s: %.4f < %.4f", h.name, label, infl, prev)
+			}
+			prev = infl
+			if red := res.Metrics[fmt.Sprintf("reduction/%s/%s", h.name, label)]; red <= 0 {
+				t.Errorf("%s at %s failed banks: SCM reduction %.3f not positive", h.name, label, red)
+			}
+		}
+		if infl := res.Metrics[fmt.Sprintf("inflation/%s/0%%", h.name)]; infl != 0 {
+			t.Errorf("%s: fault-free inflation %.4f != 0", h.name, infl)
+		}
+		for _, s := range []core.Strategy{core.Baseline, core.SCM} {
+			rel := res.Metrics[fmt.Sprintf("adversity-throughput/%s/%s", h.name, s)]
+			if rel <= 0 || rel >= 1 {
+				t.Errorf("%s/%s: adversity throughput ratio %.4f not in (0,1)", h.name, s, rel)
 			}
 		}
 	}

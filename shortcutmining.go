@@ -26,6 +26,7 @@ import (
 
 	"shortcutmining/internal/core"
 	"shortcutmining/internal/dse"
+	"shortcutmining/internal/fault"
 	"shortcutmining/internal/fpga"
 	"shortcutmining/internal/metrics"
 	"shortcutmining/internal/nn"
@@ -61,6 +62,15 @@ type (
 	Characteristics = nn.Characteristics
 	// ExperimentResult is the rendered outcome of a suite experiment.
 	ExperimentResult = workload.Result
+	// FaultSpec is a deterministic fault-injection plan (SRAM bank
+	// failures, DMA drops, bandwidth degradation) attached to
+	// Config.Faults; see ParseFaultSpec for the CLI grammar.
+	FaultSpec = fault.Spec
+	// FaultEvent is one scheduled fault inside a FaultSpec.
+	FaultEvent = fault.Event
+	// RunError is a classified simulation failure (recoverable
+	// capacity exhaustion vs fatal invariant/liveness violations).
+	RunError = fault.RunError
 )
 
 // Buffer-management strategies, in increasing capability order.
@@ -82,6 +92,15 @@ const (
 	Fixed16 = tensor.Fixed16
 	// Float32 is IEEE-754 single precision.
 	Float32 = tensor.Float32
+)
+
+// RunError severities.
+const (
+	// Recoverable marks a run the injected faults made impossible while
+	// the simulator state stayed consistent.
+	Recoverable = fault.Recoverable
+	// Fatal marks an internal consistency failure.
+	Fatal = fault.Fatal
 )
 
 // Pooling kinds for NewNetworkBuilder graphs.
@@ -106,6 +125,15 @@ func NetworkNames() []string { return nn.ZooNames() }
 // HeadlineNetworks returns the three networks of the paper's abstract
 // in reporting order.
 func HeadlineNetworks() []string { return nn.HeadlineNetworks() }
+
+// ParseFaultSpec parses the compact fault-plan grammar shared with the
+// CLIs' -faults flag, e.g.
+//
+//	seed=42;bank-fail@4:n=3;dma-drop:p=0.05;bw-degrade@10:factor=0.5
+func ParseFaultSpec(s string) (*FaultSpec, error) { return fault.ParseSpec(s) }
+
+// AsRunError unwraps err to its *RunError classification, if any.
+func AsRunError(err error) (*RunError, bool) { return fault.AsRunError(err) }
 
 // NewNetworkBuilder starts a custom network with the given input
 // shape. Finish the graph with its Finish method and simulate it like

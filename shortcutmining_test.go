@@ -129,7 +129,7 @@ func TestVerifyFunctionalPublic(t *testing.T) {
 
 func TestRunExperimentPublic(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 21 {
+	if len(ids) != 22 {
 		t.Fatalf("experiment ids = %v", ids)
 	}
 	res, err := RunExperiment("E9")
@@ -231,5 +231,33 @@ func TestDesignSpacePublicAPI(t *testing.T) {
 	}
 	if DefaultDesignSpace().Size() == 0 {
 		t.Error("empty default space")
+	}
+}
+
+func TestFaultInjectionPublic(t *testing.T) {
+	spec, err := ParseFaultSpec("seed=3;bank-fail@2:n=4;dma-drop:p=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := BuildNetwork("resnet34")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Faults = spec
+	r, err := Simulate(net, cfg, SCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Faults.BankFailures != 4 {
+		t.Errorf("BankFailures = %d, want 4", r.Faults.BankFailures)
+	}
+
+	wd := DefaultConfig()
+	wd.WatchdogLayerCycles = 1
+	_, err = Simulate(net, wd, SCM)
+	re, ok := AsRunError(err)
+	if !ok || re.Severity != Fatal {
+		t.Errorf("watchdog error = %v (classified %v)", err, ok)
 	}
 }
