@@ -10,6 +10,7 @@
 package shortcutmining
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -180,6 +181,40 @@ func BenchmarkRecorderOverhead(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkSweepParallel compares a serial design-space sweep against
+// the worker-pool fan-out (GOMAXPROCS goroutines). Every grid point is
+// an independent ResNet-152 simulation, so on a 4-core machine the
+// parallel variant is expected to finish the sweep at least 2× faster;
+// on a single core both variants degenerate to the same serial cost.
+func BenchmarkSweepParallel(b *testing.B) {
+	net, err := BuildNetwork("resnet152")
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := DesignSpace{
+		Banks:    []int{16, 34},
+		BankKiB:  []int{16},
+		PE:       [][2]int{{32, 32}, {64, 56}},
+		FmapGBps: []float64{1.0, 2.0},
+	}
+	cfg := DefaultConfig()
+	for _, bench := range []struct {
+		name     string
+		parallel int
+	}{
+		{"Serial", 1},
+		{"Parallel", 0}, // GOMAXPROCS workers
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ExploreDesignSpaceContext(context.Background(), net, cfg, space, bench.parallel); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkVerifyFunctional measures the functional-verification mode

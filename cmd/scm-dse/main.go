@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,9 +26,10 @@ import (
 
 func main() {
 	var (
-		netName = flag.String("net", "resnet34", "target network")
-		all     = flag.Bool("all", false, "print every evaluated point, not just the frontier")
-		csv     = flag.Bool("csv", false, "emit CSV")
+		netName  = flag.String("net", "resnet34", "target network")
+		all      = flag.Bool("all", false, "print every evaluated point, not just the frontier")
+		csv      = flag.Bool("csv", false, "emit CSV")
+		parallel = flag.Int("parallel", 0, "concurrent evaluations (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -35,7 +37,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	outcomes, err := dse.Explore(net, core.Default(), dse.DefaultSpace(), fpga.VC709())
+	outcomes, err := dse.ExploreContext(context.Background(), net, core.Default(), dse.DefaultSpace(), fpga.VC709(), *parallel)
 	if err != nil {
 		fatal(err)
 	}

@@ -11,19 +11,23 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"shortcutmining"
+
+	"shortcutmining/internal/serve/pool"
 )
 
 func main() {
 	var (
-		id      = flag.String("e", "", "experiment ID (E1–E20); empty runs the whole suite")
-		csv     = flag.Bool("csv", false, "emit CSV instead of markdown")
-		poolKiB = flag.Int64("pool-kib", 0, "override feature-map pool capacity (KiB)")
-		list    = flag.Bool("list", false, "list experiment IDs and titles")
+		id       = flag.String("e", "", "experiment ID (E1–E20); empty runs the whole suite")
+		csv      = flag.Bool("csv", false, "emit CSV instead of markdown")
+		poolKiB  = flag.Int64("pool-kib", 0, "override feature-map pool capacity (KiB)")
+		list     = flag.Bool("list", false, "list experiment IDs and titles")
+		parallel = flag.Int("parallel", 1, "experiments run concurrently (0 = GOMAXPROCS); output stays in ID order")
 	)
 	flag.Parse()
 
@@ -48,12 +52,25 @@ func main() {
 	if *id != "" {
 		ids = []string{*id}
 	}
-	for _, eid := range ids {
-		res, err := shortcutmining.RunExperimentWith(eid, cfg)
+
+	// Experiments are independent, so they fan out across the worker
+	// goroutines; results are collected by index and printed in ID
+	// order, making the output identical to the serial run.
+	results := make([]shortcutmining.ExperimentResult, len(ids))
+	err := pool.ForEachN(context.Background(), *parallel, len(ids), func(i int) error {
+		res, err := shortcutmining.RunExperimentWith(ids[i], cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "scm-exp:", err)
-			os.Exit(1)
+			return err
 		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scm-exp:", err)
+		os.Exit(1)
+	}
+
+	for _, res := range results {
 		if *csv {
 			for _, t := range res.Tables {
 				fmt.Printf("# %s: %s\n%s\n", res.ID, t.Title, t.CSV())

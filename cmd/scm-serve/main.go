@@ -1,0 +1,93 @@
+// Command scm-serve exposes the simulator as an HTTP JSON service: a
+// bounded worker pool runs simulations and design-space sweeps behind a
+// content-addressed result cache, with admission control and graceful
+// drain on SIGTERM.
+//
+// Endpoints:
+//
+//	POST /v1/simulate   one simulation (sync by default; "async":true → 202 + job id)
+//	POST /v1/sweep      asynchronous design-space sweep
+//	GET  /v1/jobs/{id}  job status and result
+//	GET  /healthz       liveness and drain status
+//	GET  /metrics       Prometheus text format
+//
+// Usage:
+//
+//	scm-serve                          # :8080, GOMAXPROCS workers
+//	scm-serve -addr :9090 -workers 4 -cache-mib 128
+//	scm-serve -job-timeout 5m -drain-timeout 30s
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"shortcutmining/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 64, "admission queue depth; a full queue answers 429")
+		cacheMiB     = flag.Int64("cache-mib", 64, "result-cache budget in MiB")
+		jobTimeout   = flag.Duration("job-timeout", 10*time.Minute, "per-job execution bound (0 = unbounded)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound before in-flight jobs are canceled")
+	)
+	flag.Parse()
+
+	engine := serve.NewEngine(serve.Options{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheBytes: *cacheMiB << 20,
+		JobTimeout: *jobTimeout,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           serve.NewHandler(engine),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("scm-serve: listening on %s (%d workers, queue %d, cache %d MiB)",
+		*addr, engine.Workers(), *queue, *cacheMiB)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Drain: stop accepting connections, let in-flight jobs finish
+	// until the deadline, then cancel the stragglers.
+	log.Printf("scm-serve: draining (up to %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("scm-serve: http shutdown: %v", err)
+	}
+	if err := engine.Drain(drainCtx); err != nil {
+		log.Printf("scm-serve: in-flight jobs canceled at the drain deadline: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	log.Print("scm-serve: stopped")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scm-serve:", err)
+	os.Exit(1)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"shortcutmining/internal/dram"
@@ -17,7 +18,16 @@ import (
 // feature set of the strategy and returns the run statistics. rec may
 // be nil when no trace is wanted.
 func Simulate(net *nn.Network, cfg Config, strat Strategy, rec trace.Recorder) (stats.RunStats, error) {
-	return SimulateObserved(net, cfg, strat, rec, nil)
+	return SimulateContext(context.Background(), net, cfg, strat, rec)
+}
+
+// SimulateContext is Simulate with cancellation: the run checks ctx at
+// every layer boundary (the same cadence as the liveness watchdog) and
+// returns ctx.Err() — wrapped, so errors.Is sees context.Canceled or
+// DeadlineExceeded — as soon as the current layer completes. The
+// serving subsystem uses it for job timeouts and graceful drain.
+func SimulateContext(ctx context.Context, net *nn.Network, cfg Config, strat Strategy, rec trace.Recorder) (stats.RunStats, error) {
+	return SimulateObservedContext(ctx, net, cfg, strat, rec, nil)
 }
 
 // SimulateObserved is Simulate with the metrics registry attached: the
@@ -26,7 +36,13 @@ func Simulate(net *nn.Network, cfg Config, strat Strategy, rec trace.Recorder) (
 // high-water marks, and procedure hit/miss counters, and embeds a
 // snapshot in RunStats.Metrics. reg may be nil (no observation).
 func SimulateObserved(net *nn.Network, cfg Config, strat Strategy, rec trace.Recorder, reg *metrics.Registry) (stats.RunStats, error) {
-	run, err := SimulateFeaturesObserved(net, cfg, strat.Features(), rec, reg)
+	return SimulateObservedContext(context.Background(), net, cfg, strat, rec, reg)
+}
+
+// SimulateObservedContext is SimulateObserved with cancellation (see
+// SimulateContext).
+func SimulateObservedContext(ctx context.Context, net *nn.Network, cfg Config, strat Strategy, rec trace.Recorder, reg *metrics.Registry) (stats.RunStats, error) {
+	run, err := SimulateFeaturesObservedContext(ctx, net, cfg, strat.Features(), rec, reg)
 	if err != nil {
 		return run, err
 	}
@@ -44,6 +60,16 @@ func SimulateFeatures(net *nn.Network, cfg Config, feat Features, rec trace.Reco
 // SimulateFeaturesObserved is SimulateFeatures with the metrics
 // registry attached (see SimulateObserved).
 func SimulateFeaturesObserved(net *nn.Network, cfg Config, feat Features, rec trace.Recorder, reg *metrics.Registry) (stats.RunStats, error) {
+	return SimulateFeaturesObservedContext(context.Background(), net, cfg, feat, rec, reg)
+}
+
+// SimulateFeaturesObservedContext is the full-control entry point:
+// explicit feature set, optional trace recorder and metrics registry,
+// and cooperative cancellation through ctx.
+func SimulateFeaturesObservedContext(ctx context.Context, net *nn.Network, cfg Config, feat Features, rec trace.Recorder, reg *metrics.Registry) (stats.RunStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.Validate(); err != nil {
 		return stats.RunStats{}, err
 	}
@@ -70,6 +96,13 @@ func SimulateFeaturesObserved(net *nn.Network, cfg Config, feat Features, rec tr
 		ClockMHz: cfg.PE.ClockMHz,
 	}
 	for _, l := range net.Layers {
+		// Cancellation is cooperative at layer granularity: a canceled
+		// job stops before its next layer, leaving no partial-layer
+		// state behind (the per-layer watchdog bounds how long one
+		// layer can take to reach this check).
+		if err := ctx.Err(); err != nil {
+			return stats.RunStats{}, fmt.Errorf("core: %s: canceled before layer %s: %w", net.Name, l.Name, err)
+		}
 		if err := e.execLayer(l); err != nil {
 			return stats.RunStats{}, fmt.Errorf("core: %s: layer %s: %w", net.Name, l.Name, err)
 		}

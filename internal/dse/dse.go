@@ -8,12 +8,14 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"shortcutmining/internal/core"
 	"shortcutmining/internal/fpga"
 	"shortcutmining/internal/nn"
+	"shortcutmining/internal/serve/pool"
 	"shortcutmining/internal/sram"
 )
 
@@ -98,15 +100,28 @@ func apply(base core.Config, p Point) core.Config {
 	return cfg
 }
 
-// Explore evaluates every grid point on the network. Points that do
-// not fit the device are returned with Fits=false and no simulation
-// results, so callers can report *why* the frontier looks as it does.
+// Explore evaluates every grid point on the network, in parallel on
+// all cores. Points that do not fit the device are returned with
+// Fits=false and no simulation results, so callers can report *why*
+// the frontier looks as it does.
 func Explore(net *nn.Network, base core.Config, space Space, dev fpga.Device) ([]Outcome, error) {
+	return ExploreContext(context.Background(), net, base, space, dev, 0)
+}
+
+// ExploreContext is Explore with explicit parallelism (<= 0 means
+// GOMAXPROCS) and cooperative cancellation. Every grid point is an
+// independent simulation, so the points fan out across the worker
+// goroutines; results are indexed by grid position, making the output
+// identical to the serial enumeration regardless of parallelism or
+// completion order.
+func ExploreContext(ctx context.Context, net *nn.Network, base core.Config, space Space, dev fpga.Device, parallel int) ([]Outcome, error) {
 	if space.Size() == 0 {
 		return nil, fmt.Errorf("dse: empty design space")
 	}
-	var out []Outcome
-	for _, p := range space.points() {
+	pts := space.points()
+	out := make([]Outcome, len(pts))
+	err := pool.ForEachN(ctx, parallel, len(pts), func(i int) error {
+		p := pts[i]
 		cfg := apply(base, p)
 		rep, err := fpga.Estimate(dev, fpga.Design{
 			MACs:           cfg.PE.NumMACs(),
@@ -116,7 +131,7 @@ func Explore(net *nn.Network, base core.Config, space Space, dev fpga.Device) ([
 			LogicalBuffers: true,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("dse: %v: %w", p, err)
+			return fmt.Errorf("dse: %v: %w", p, err)
 		}
 		o := Outcome{
 			Point:    p,
@@ -127,15 +142,19 @@ func Explore(net *nn.Network, base core.Config, space Space, dev fpga.Device) ([
 			SRAMKiB:  cfg.Pool.TotalBytes() >> 10,
 		}
 		if rep.Fits {
-			r, err := core.Simulate(net, cfg, core.SCM, nil)
+			r, err := core.SimulateContext(ctx, net, cfg, core.SCM, nil)
 			if err != nil {
-				return nil, fmt.Errorf("dse: %v: %w", p, err)
+				return fmt.Errorf("dse: %v: %w", p, err)
 			}
 			o.Throughput = r.Throughput()
 			o.FmapTraffic = r.FmapTrafficBytes()
 			o.EnergyMJ = r.Energy.TotalMJ()
 		}
-		out = append(out, o)
+		out[i] = o
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

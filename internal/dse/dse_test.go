@@ -1,6 +1,9 @@
 package dse
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"testing"
 
 	"shortcutmining/internal/core"
@@ -140,5 +143,39 @@ func TestFrontierExcludesInfeasible(t *testing.T) {
 	front := ParetoFront(outcomes)
 	if len(front) != 1 || !front[0].Fits {
 		t.Errorf("frontier = %+v", front)
+	}
+}
+
+// TestExploreParallelDeterministic: the parallel sweep returns the
+// same outcomes in the same order as the serial enumeration.
+func TestExploreParallelDeterministic(t *testing.T) {
+	net, err := nn.Build("resnet18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := ExploreContext(context.Background(), net, core.Default(), smallSpace(), fpga.VC709(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := ExploreContext(context.Background(), net, core.Default(), smallSpace(), fpga.VC709(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("parallel sweep differs from serial sweep")
+	}
+}
+
+// TestExploreCanceled: a pre-canceled context aborts the sweep with
+// the context's error.
+func TestExploreCanceled(t *testing.T) {
+	net, err := nn.Build("resnet18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ExploreContext(ctx, net, core.Default(), smallSpace(), fpga.VC709(), 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
 	}
 }

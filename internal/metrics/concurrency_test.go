@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentInstruments hammers one registry from many goroutines —
+// the serving subsystem's usage pattern — and checks the totals. Run
+// under -race this also proves the synchronization is complete.
+func TestConcurrentInstruments(t *testing.T) {
+	const (
+		workers = 8
+		iters   = 2000
+	)
+	r := New()
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			// Each goroutine registers some shared and some private
+			// series, exercising the registration path concurrently too.
+			c := r.Counter("shared_total", "shared across goroutines")
+			own := r.Counter("per_worker_total", "one series per goroutine",
+				L("worker", fmt.Sprint(w)))
+			g := r.Gauge("occupancy", "shared gauge")
+			h := r.Histogram("samples", "shared histogram", []float64{1, 10, 100})
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				own.Inc()
+				g.SetMax(float64(w*iters + i))
+				h.Observe(float64(i % 200))
+				if i%500 == 0 {
+					// Concurrent readers must see coherent state.
+					r.SumCounter("shared_total")
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := r.SumCounter("shared_total"); got != workers*iters {
+		t.Errorf("shared_total = %d, want %d", got, workers*iters)
+	}
+	if got := r.SumCounter("per_worker_total"); got != workers*iters {
+		t.Errorf("per_worker_total = %d, want %d", got, workers*iters)
+	}
+	h := r.Histogram("samples", "", []float64{1, 10, 100})
+	if h.Count() != workers*iters {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*iters)
+	}
+	g := r.Gauge("occupancy", "")
+	if want := float64(workers*iters - 1); g.Peak() != want {
+		t.Errorf("gauge peak = %g, want %g", g.Peak(), want)
+	}
+	if err := r.WriteProm(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGaugeAdd covers the occupancy-style up/down counter.
+func TestGaugeAdd(t *testing.T) {
+	var g Gauge
+	g.Add(3)
+	g.Add(2)
+	g.Add(-4)
+	if g.Value() != 1 {
+		t.Errorf("value = %g, want 1", g.Value())
+	}
+	if g.Peak() != 5 {
+		t.Errorf("peak = %g, want 5", g.Peak())
+	}
+	var nilGauge *Gauge
+	nilGauge.Add(1) // nil-receiver safe like every instrument
+}

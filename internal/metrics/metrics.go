@@ -9,8 +9,12 @@
 // Hot paths hold on to the instrument pointers they need (one map
 // lookup at registration, none per update).
 //
-// Like the sram bank pool, a Registry is single-threaded by design —
-// one registry per simulated accelerator instance.
+// A Registry and its instruments are safe for concurrent use: the
+// serving subsystem shares one server-wide registry across request
+// goroutines. Counters are lock-free atomics; gauges and histograms
+// take a short per-instrument lock. Per-run registries (one per
+// simulated accelerator instance, the recommended isolation) pay only
+// uncontended-synchronization cost.
 package metrics
 
 import (
@@ -19,6 +23,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Label is one name=value dimension of a series.
@@ -30,8 +36,8 @@ type Label struct {
 // L is shorthand for constructing a Label.
 func L(key, value string) Label { return Label{Key: key, Value: value} }
 
-// Counter is a monotonically increasing integer.
-type Counter struct{ v int64 }
+// Counter is a monotonically increasing integer, updated atomically.
+type Counter struct{ v atomic.Int64 }
 
 // Add increments the counter by d (negative deltas are ignored; a
 // counter only goes up).
@@ -39,7 +45,7 @@ func (c *Counter) Add(d int64) {
 	if c == nil || d <= 0 {
 		return
 	}
-	c.v += d
+	c.v.Add(d)
 }
 
 // Inc adds one.
@@ -50,12 +56,13 @@ func (c *Counter) Value() int64 {
 	if c == nil {
 		return 0
 	}
-	return c.v
+	return c.v.Load()
 }
 
 // Gauge is an instantaneous value that also remembers its high-water
 // mark (the pool-occupancy peaks the experiments care about).
 type Gauge struct {
+	mu      sync.Mutex
 	v, peak float64
 	set     bool
 }
@@ -65,6 +72,12 @@ func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
 	}
+	g.mu.Lock()
+	g.setLocked(v)
+	g.mu.Unlock()
+}
+
+func (g *Gauge) setLocked(v float64) {
 	g.v = v
 	if !g.set || v > g.peak {
 		g.peak = v
@@ -78,9 +91,22 @@ func (g *Gauge) SetMax(v float64) {
 	if g == nil {
 		return
 	}
+	g.mu.Lock()
 	if !g.set || v > g.v {
-		g.Set(v)
+		g.setLocked(v)
 	}
+	g.mu.Unlock()
+}
+
+// Add shifts the gauge by d (instantaneous occupancy instruments like
+// queue depth count up and down).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.setLocked(g.v + d)
+	g.mu.Unlock()
 }
 
 // Value returns the last set value.
@@ -88,6 +114,8 @@ func (g *Gauge) Value() float64 {
 	if g == nil {
 		return 0
 	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	return g.v
 }
 
@@ -96,13 +124,16 @@ func (g *Gauge) Peak() float64 {
 	if g == nil {
 		return 0
 	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	return g.peak
 }
 
 // Histogram is a fixed-bucket distribution. Bounds are inclusive upper
 // edges in ascending order; an implicit +Inf bucket catches the rest.
 type Histogram struct {
-	bounds []float64
+	bounds []float64 // immutable after construction
+	mu     sync.Mutex
 	counts []int64 // len(bounds)+1, non-cumulative
 	sum    float64
 	n      int64
@@ -114,9 +145,18 @@ func (h *Histogram) Observe(v float64) {
 		return
 	}
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.mu.Lock()
 	h.counts[i]++
 	h.sum += v
 	h.n++
+	h.mu.Unlock()
+}
+
+// snap returns a coherent copy of the mutable state.
+func (h *Histogram) snap() (counts []int64, sum float64, n int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]int64(nil), h.counts...), h.sum, h.n
 }
 
 // Count returns the number of samples observed.
@@ -124,6 +164,8 @@ func (h *Histogram) Count() int64 {
 	if h == nil {
 		return 0
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return h.n
 }
 
@@ -132,6 +174,8 @@ func (h *Histogram) Sum() float64 {
 	if h == nil {
 		return 0
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return h.sum
 }
 
@@ -149,7 +193,8 @@ func (h *Histogram) BucketCounts() []int64 {
 	if h == nil {
 		return nil
 	}
-	return append([]int64(nil), h.counts...)
+	counts, _, _ := h.snap()
+	return counts
 }
 
 // kind discriminates instrument families.
@@ -197,8 +242,12 @@ type family struct {
 	byKey  map[string]*series
 }
 
-// Registry owns the instruments of one simulation run.
+// Registry owns the instruments of one simulation run (or, in the
+// serving subsystem, of one server). The registration maps are guarded
+// by mu; the instruments themselves synchronize their own updates, so
+// hot-path Add/Set/Observe calls never touch the registry lock.
 type Registry struct {
+	mu       sync.Mutex
 	order    []string
 	families map[string]*family
 }
@@ -239,6 +288,8 @@ func labelKey(labels []Label) string {
 // checking family kind consistency. Mistyped registrations are
 // programmer errors and panic with a clear message.
 func (r *Registry) lookup(name, help string, k kind, bounds []float64, labels []Label) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	f, ok := r.families[name]
 	if !ok {
 		f = &family{name: name, help: help, kind: k, bounds: bounds, byKey: make(map[string]*series)}
@@ -311,6 +362,8 @@ func (r *Registry) SumCounter(name string) int64 {
 	if r == nil {
 		return 0
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	f, ok := r.families[name]
 	if !ok || f.kind != counterKind {
 		return 0
@@ -361,6 +414,8 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	for _, name := range r.order {
 		f := r.families[name]
 		if f.help != "" {
@@ -380,8 +435,9 @@ func (r *Registry) WriteProm(w io.Writer) error {
 			case gaugeKind:
 				_, err = fmt.Fprintf(w, "%s%s %s\n", name, renderLabels(s.labels), formatNum(s.g.Value()))
 			case histogramKind:
+				counts, sum, n := s.h.snap()
 				var cum int64
-				for i, c := range s.h.counts {
+				for i, c := range counts {
 					cum += c
 					le := "+Inf"
 					if i < len(s.h.bounds) {
@@ -392,10 +448,10 @@ func (r *Registry) WriteProm(w io.Writer) error {
 						return err
 					}
 				}
-				if _, err = fmt.Fprintf(w, "%s_sum%s %s\n", name, renderLabels(s.labels), formatNum(s.h.sum)); err != nil {
+				if _, err = fmt.Fprintf(w, "%s_sum%s %s\n", name, renderLabels(s.labels), formatNum(sum)); err != nil {
 					return err
 				}
-				_, err = fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(s.labels), s.h.n)
+				_, err = fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(s.labels), n)
 			}
 			if err != nil {
 				return err
@@ -449,6 +505,8 @@ func (r *Registry) Snapshot() *Snapshot {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	snap := &Snapshot{}
 	var nc, ng, nh int
 	for _, f := range r.families {
@@ -477,10 +535,11 @@ func (r *Registry) Snapshot() *Snapshot {
 			case gaugeKind:
 				snap.Gauges = append(snap.Gauges, GaugeSnap{Name: name, Labels: labels, Value: s.g.Value(), Peak: s.g.Peak()})
 			case histogramKind:
-				hs := HistogramSnap{Name: name, Labels: labels, Count: s.h.n, Sum: s.h.sum,
-					Buckets: make([]BucketSnap, 0, len(s.h.counts))}
+				counts, sum, n := s.h.snap()
+				hs := HistogramSnap{Name: name, Labels: labels, Count: n, Sum: sum,
+					Buckets: make([]BucketSnap, 0, len(counts))}
 				var cum int64
-				for i, c := range s.h.counts {
+				for i, c := range counts {
 					cum += c
 					le := "+Inf"
 					if i < len(s.h.bounds) {

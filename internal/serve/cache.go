@@ -1,0 +1,167 @@
+// Package serve turns the simulator into a shared, concurrent,
+// cache-backed service: a job-oriented execution engine on a bounded
+// worker pool, a content-addressed result cache with single-flight
+// de-duplication, and an HTTP JSON API (cmd/scm-serve) in front of it.
+//
+// The layering is deliberate: the engine knows nothing about HTTP, the
+// cache knows nothing about jobs, and the pool (internal/serve/pool)
+// knows nothing about simulations — each piece is testable alone and
+// reusable by the CLIs (scm-dse and scm-exp parallelize on the same
+// pool primitives).
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"shortcutmining/internal/core"
+	"shortcutmining/internal/nn"
+	"shortcutmining/internal/stats"
+)
+
+// Key is the content address of a simulation request: a SHA-256 over
+// the canonical JSON of the network graph, the full platform Config
+// (which embeds the fault spec), the strategy, and the observation
+// flag. Two requests with the same Key are guaranteed to produce the
+// same RunStats, because the simulator is deterministic.
+type Key [sha256.Size]byte
+
+// String renders the key as lowercase hex.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Request is one simulation job for the serve engine.
+type Request struct {
+	// Net is the validated network to run.
+	Net *nn.Network
+	// Cfg is the platform; its Faults field (if any) participates in
+	// the cache key like every other field.
+	Cfg core.Config
+	// Strategy selects the buffer-management design point.
+	Strategy core.Strategy
+	// Observe attaches a per-job metrics.Registry so the result embeds
+	// a metrics snapshot. Observed and unobserved results are distinct
+	// cache entries (their RunStats differ).
+	Observe bool
+}
+
+// RequestKey computes the content address of req.
+func RequestKey(req Request) (Key, error) {
+	if req.Net == nil {
+		return Key{}, fmt.Errorf("serve: request has no network")
+	}
+	h := sha256.New()
+	if err := nn.EncodeJSON(h, req.Net); err != nil {
+		return Key{}, fmt.Errorf("serve: hashing network: %w", err)
+	}
+	h.Write([]byte{0})
+	if err := core.EncodeConfigJSON(h, req.Cfg); err != nil {
+		return Key{}, fmt.Errorf("serve: hashing config: %w", err)
+	}
+	h.Write([]byte{0})
+	io.WriteString(h, req.Strategy.String())
+	if req.Observe {
+		h.Write([]byte{1})
+	}
+	var k Key
+	copy(k[:], h.Sum(nil))
+	return k, nil
+}
+
+// CacheStats is a point-in-time view of the cache counters.
+type CacheStats struct {
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Evictions   int64 `json:"evictions"`
+	Entries     int   `json:"entries"`
+	Bytes       int64 `json:"bytes"`
+	BudgetBytes int64 `json:"budget_bytes"`
+}
+
+// Cache is a content-addressed LRU result cache with a byte budget.
+// Entry cost is the JSON-encoded size of the RunStats — the same bytes
+// a client would receive — so the budget bounds real memory within a
+// small constant factor. Cached RunStats are shared structures and
+// must be treated as read-only by callers.
+type Cache struct {
+	mu     sync.Mutex
+	budget int64
+	bytes  int64
+	ll     *list.List // front = most recently used
+	byKey  map[Key]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key  Key
+	res  stats.RunStats
+	size int64
+}
+
+// NewCache builds a cache bounded to budgetBytes of encoded results.
+// A non-positive budget disables caching (every Get misses).
+func NewCache(budgetBytes int64) *Cache {
+	return &Cache{budget: budgetBytes, ll: list.New(), byKey: make(map[Key]*list.Element)}
+}
+
+// Get returns the cached result for k, refreshing its recency.
+func (c *Cache) Get(k Key) (stats.RunStats, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[k]
+	if !ok {
+		c.misses++
+		return stats.RunStats{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put stores the result under k, evicting least-recently-used entries
+// until the byte budget holds. A result larger than the whole budget
+// is not cached at all.
+func (c *Cache) Put(k Key, res stats.RunStats) {
+	b, err := json.Marshal(res)
+	if err != nil {
+		return // unencodable results are simply not cached
+	}
+	size := int64(len(b))
+	if size > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[k]; ok { // idempotent re-insert refreshes recency
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[k] = c.ll.PushFront(&cacheEntry{key: k, res: res, size: size})
+	c.bytes += size
+	for c.bytes > c.budget {
+		tail := c.ll.Back()
+		if tail == nil {
+			break
+		}
+		e := tail.Value.(*cacheEntry)
+		c.ll.Remove(tail)
+		delete(c.byKey, e.key)
+		c.bytes -= e.size
+		c.evictions++
+	}
+}
+
+// Stats returns the current counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Entries: c.ll.Len(), Bytes: c.bytes, BudgetBytes: c.budget,
+	}
+}

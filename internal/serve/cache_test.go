@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"shortcutmining/internal/core"
+	"shortcutmining/internal/fault"
+	"shortcutmining/internal/nn"
+	"shortcutmining/internal/stats"
+)
+
+func testRequest(t *testing.T) Request {
+	t.Helper()
+	net, err := nn.Build("resnet18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Request{Net: net, Cfg: core.Default(), Strategy: core.SCM}
+}
+
+func TestRequestKeyDeterministic(t *testing.T) {
+	a := testRequest(t)
+	b := testRequest(t)
+	ka, err := RequestKey(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := RequestKey(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Error("identical requests hash differently")
+	}
+	if len(ka.String()) != 64 {
+		t.Errorf("key hex = %q", ka.String())
+	}
+}
+
+func TestRequestKeySensitivity(t *testing.T) {
+	base := testRequest(t)
+	baseKey, err := RequestKey(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturb := []struct {
+		name string
+		mod  func(*Request) error
+	}{
+		{"network", func(r *Request) error {
+			var err error
+			r.Net, err = nn.Build("resnet34")
+			return err
+		}},
+		{"strategy", func(r *Request) error { r.Strategy = core.Baseline; return nil }},
+		{"observe", func(r *Request) error { r.Observe = true; return nil }},
+		{"batch", func(r *Request) error { r.Cfg.Batch = 8; return nil }},
+		{"pool", func(r *Request) error { r.Cfg.Pool.NumBanks = 64; return nil }},
+		{"faults", func(r *Request) error {
+			r.Cfg.Faults = fault.UniformBankFailures(42, 3, 2, 8)
+			return nil
+		}},
+	}
+	seen := map[Key]string{baseKey: "base"}
+	for _, p := range perturb {
+		req := testRequest(t)
+		if err := p.mod(&req); err != nil {
+			t.Fatalf("%s: %v", p.name, err)
+		}
+		k, err := RequestKey(req)
+		if err != nil {
+			t.Fatalf("%s: %v", p.name, err)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("perturbation %q collides with %q", p.name, prev)
+		}
+		seen[k] = p.name
+	}
+}
+
+func TestRequestKeyNoNetwork(t *testing.T) {
+	if _, err := RequestKey(Request{Cfg: core.Default()}); err == nil {
+		t.Error("nil network accepted")
+	}
+}
+
+// fakeStats builds a RunStats whose encoded size is predictable enough
+// for eviction tests.
+func fakeStats(tag string) stats.RunStats {
+	return stats.RunStats{Network: tag, Strategy: "scm", Batch: 1}
+}
+
+func fakeKey(i int) Key {
+	var k Key
+	copy(k[:], fmt.Sprintf("key-%08d", i))
+	return k
+}
+
+func TestCacheHitMissCounters(t *testing.T) {
+	c := NewCache(1 << 20)
+	k := fakeKey(1)
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k, fakeStats("a"))
+	res, ok := c.Get(k)
+	if !ok || res.Network != "a" {
+		t.Fatalf("get = %+v, %v", res, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Bytes <= 0 || s.Bytes > s.BudgetBytes {
+		t.Errorf("bytes = %d (budget %d)", s.Bytes, s.BudgetBytes)
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	one, _ := json.Marshal(fakeStats("t-0"))
+	entrySize := int64(len(one))
+	c := NewCache(3 * entrySize) // room for exactly three entries
+
+	for i := 0; i < 3; i++ {
+		c.Put(fakeKey(i), fakeStats(fmt.Sprintf("t-%d", i)))
+	}
+	// Touch entry 0 so entry 1 is the least recently used.
+	if _, ok := c.Get(fakeKey(0)); !ok {
+		t.Fatal("entry 0 missing before eviction")
+	}
+	c.Put(fakeKey(3), fakeStats("t-3"))
+
+	if _, ok := c.Get(fakeKey(1)); ok {
+		t.Error("LRU entry 1 survived eviction")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if _, ok := c.Get(fakeKey(i)); !ok {
+			t.Errorf("entry %d evicted, want kept", i)
+		}
+	}
+	s := c.Stats()
+	if s.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", s.Evictions)
+	}
+	if s.Bytes > s.BudgetBytes {
+		t.Errorf("bytes %d exceed budget %d", s.Bytes, s.BudgetBytes)
+	}
+}
+
+func TestCacheRejectsOversizedEntry(t *testing.T) {
+	c := NewCache(8) // smaller than any encoded RunStats
+	c.Put(fakeKey(1), fakeStats("big"))
+	if s := c.Stats(); s.Entries != 0 {
+		t.Errorf("oversized entry cached: %+v", s)
+	}
+}
+
+func TestCachePutIdempotent(t *testing.T) {
+	c := NewCache(1 << 20)
+	k := fakeKey(1)
+	c.Put(k, fakeStats("a"))
+	c.Put(k, fakeStats("a"))
+	s := c.Stats()
+	if s.Entries != 1 {
+		t.Errorf("entries = %d, want 1", s.Entries)
+	}
+}

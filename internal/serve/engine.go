@@ -1,0 +1,441 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"shortcutmining/internal/core"
+	"shortcutmining/internal/dse"
+	"shortcutmining/internal/fpga"
+	"shortcutmining/internal/metrics"
+	"shortcutmining/internal/nn"
+	"shortcutmining/internal/serve/pool"
+	"shortcutmining/internal/stats"
+)
+
+// Sentinel errors the HTTP layer maps onto status codes.
+var (
+	// ErrBusy reports that the bounded job queue is full (HTTP 429).
+	ErrBusy = errors.New("serve: job queue full")
+	// ErrDraining reports that the engine is shutting down (HTTP 503).
+	ErrDraining = errors.New("serve: draining")
+)
+
+// Server-level metric names (the per-run simulator metrics live in
+// internal/core; these describe the service wrapped around it).
+const (
+	MetricJobs          = "scm_serve_jobs_total"
+	MetricJobsRejected  = "scm_serve_jobs_rejected_total"
+	MetricCacheHits     = "scm_serve_cache_hits_total"
+	MetricCacheMisses   = "scm_serve_cache_misses_total"
+	MetricInflightDedup = "scm_serve_inflight_dedup_total"
+	MetricCacheBytes    = "scm_serve_cache_bytes"
+	MetricCacheEntries  = "scm_serve_cache_entries"
+	MetricCacheEvicted  = "scm_serve_cache_evictions"
+	MetricQueueDepth    = "scm_serve_queue_depth"
+	MetricBusyWorkers   = "scm_serve_busy_workers"
+	MetricJobSeconds    = "scm_serve_job_seconds"
+)
+
+// Options configures an Engine. The zero value is usable: GOMAXPROCS
+// workers, a 64-deep queue, 64 MiB of result cache, no job timeout.
+type Options struct {
+	// Workers is the worker-pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the jobs accepted but not yet running; a full
+	// queue rejects with ErrBusy (admission control). <= 0 means 64.
+	QueueDepth int
+	// CacheBytes is the result-cache budget; <= 0 means 64 MiB.
+	CacheBytes int64
+	// JobTimeout bounds each job's simulated work; 0 means unbounded.
+	JobTimeout time.Duration
+	// MaxJobs bounds the finished-job history kept for GET /v1/jobs;
+	// <= 0 means 1024.
+	MaxJobs int
+	// Registry receives the server-level metrics; nil means a fresh
+	// one (exposed at GET /metrics).
+	Registry *metrics.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheBytes <= 0 {
+		o.CacheBytes = 64 << 20
+	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 1024
+	}
+	if o.Registry == nil {
+		o.Registry = metrics.New()
+	}
+	return o
+}
+
+// flight is one in-progress execution shared by identical synchronous
+// requests (single-flight).
+type flight struct {
+	done chan struct{}
+	res  stats.RunStats
+	err  error
+}
+
+// Engine is the job-oriented execution subsystem: a bounded worker
+// pool running simulations with per-job registry isolation, fronted by
+// the content-addressed cache and a single-flight table.
+type Engine struct {
+	opts  Options
+	pool  *pool.Pool
+	cache *Cache
+	reg   *metrics.Registry
+
+	runCtx    context.Context // parent of every job context
+	runCancel context.CancelFunc
+
+	mu       sync.Mutex
+	draining bool
+	flight   map[Key]*flight
+	jobs     map[string]*Job
+	jobOrder []string // creation order, for pruning
+	seq      int
+
+	active sync.WaitGroup // every admitted task, queued or running
+
+	// simFn runs one simulation; tests substitute a controllable fake.
+	simFn func(ctx context.Context, req Request) (stats.RunStats, error)
+
+	mJobsDone, mJobsFailed, mJobsCanceled *metrics.Counter
+	mRejected                             *metrics.Counter
+	mCacheHits, mCacheMisses, mDedup      *metrics.Counter
+	mJobSeconds                           *metrics.Histogram
+}
+
+// NewEngine builds and starts an engine.
+func NewEngine(opts Options) *Engine {
+	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Engine{
+		opts:      opts,
+		pool:      pool.New(opts.Workers, opts.QueueDepth),
+		cache:     NewCache(opts.CacheBytes),
+		reg:       opts.Registry,
+		runCtx:    ctx,
+		runCancel: cancel,
+		flight:    make(map[Key]*flight),
+		jobs:      make(map[string]*Job),
+		simFn:     runSimulation,
+	}
+	e.mJobsDone = e.reg.Counter(MetricJobs, "jobs by terminal state", metrics.L("state", "done"))
+	e.mJobsFailed = e.reg.Counter(MetricJobs, "jobs by terminal state", metrics.L("state", "failed"))
+	e.mJobsCanceled = e.reg.Counter(MetricJobs, "jobs by terminal state", metrics.L("state", "canceled"))
+	e.mRejected = e.reg.Counter(MetricJobsRejected, "submissions refused by admission control")
+	e.mCacheHits = e.reg.Counter(MetricCacheHits, "results served from the content-addressed cache")
+	e.mCacheMisses = e.reg.Counter(MetricCacheMisses, "simulations actually executed")
+	e.mDedup = e.reg.Counter(MetricInflightDedup, "requests that joined an identical in-flight execution")
+	e.mJobSeconds = e.reg.Histogram(MetricJobSeconds, "wall-clock seconds per executed job",
+		[]float64{0.001, 0.01, 0.1, 1, 10, 60, 600})
+	return e
+}
+
+// runSimulation is the production simFn: each job gets its own metrics
+// registry (when observed) and no shared mutable state, so jobs are
+// isolated and results deterministic.
+func runSimulation(ctx context.Context, req Request) (stats.RunStats, error) {
+	if req.Observe {
+		return core.SimulateObservedContext(ctx, req.Net, req.Cfg, req.Strategy, nil, metrics.New())
+	}
+	return core.SimulateContext(ctx, req.Net, req.Cfg, req.Strategy, nil)
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.pool.Workers() }
+
+// CacheStats returns the result-cache counters.
+func (e *Engine) CacheStats() CacheStats { return e.cache.Stats() }
+
+// jobContext derives a job's context from the engine lifetime plus the
+// configured per-job timeout.
+func (e *Engine) jobContext() (context.Context, context.CancelFunc) {
+	if e.opts.JobTimeout > 0 {
+		return context.WithTimeout(e.runCtx, e.opts.JobTimeout)
+	}
+	return context.WithCancel(e.runCtx)
+}
+
+// exec runs one simulation, recording duration and terminal-state
+// counters.
+func (e *Engine) exec(ctx context.Context, req Request) (stats.RunStats, error) {
+	start := time.Now()
+	res, err := e.simFn(ctx, req)
+	e.mJobSeconds.Observe(time.Since(start).Seconds())
+	switch {
+	case err == nil:
+		e.mJobsDone.Inc()
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		e.mJobsCanceled.Inc()
+	default:
+		e.mJobsFailed.Inc()
+	}
+	return res, err
+}
+
+// Simulate runs req synchronously: a warm cache hit returns at once
+// without touching the worker pool; identical concurrent requests
+// share one execution (single-flight); everything else is admitted to
+// the bounded queue or rejected with ErrBusy. The caller's ctx bounds
+// only the wait — an admitted execution keeps running and lands in the
+// cache even if the caller gives up.
+//
+// The returned bool reports a warm cache hit (single-flight sharing
+// returns false: the work did run, just once for everyone).
+func (e *Engine) Simulate(ctx context.Context, req Request) (stats.RunStats, bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	key, err := RequestKey(req)
+	if err != nil {
+		return stats.RunStats{}, false, err
+	}
+	if res, ok := e.cache.Get(key); ok {
+		e.mCacheHits.Inc()
+		return res, true, nil
+	}
+
+	e.mu.Lock()
+	if e.draining {
+		e.mu.Unlock()
+		return stats.RunStats{}, false, ErrDraining
+	}
+	if f, ok := e.flight[key]; ok { // join the identical in-flight run
+		e.mu.Unlock()
+		e.mDedup.Inc()
+		select {
+		case <-f.done:
+			return f.res, false, f.err
+		case <-ctx.Done():
+			return stats.RunStats{}, false, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	e.flight[key] = f
+	e.active.Add(1)
+	e.mu.Unlock()
+	e.mCacheMisses.Inc()
+
+	jobCtx, cancel := e.jobContext()
+	task := func() {
+		defer e.active.Done()
+		defer cancel()
+		res, err := e.exec(jobCtx, req)
+		if err == nil {
+			e.cache.Put(key, res)
+		}
+		e.mu.Lock()
+		delete(e.flight, key)
+		e.mu.Unlock()
+		f.res, f.err = res, err
+		close(f.done)
+	}
+	if !e.pool.TrySubmit(task) {
+		e.mu.Lock()
+		delete(e.flight, key)
+		e.mu.Unlock()
+		f.err = ErrBusy
+		close(f.done) // joiners in the window share the rejection
+		e.active.Done()
+		cancel()
+		e.mRejected.Inc()
+		return stats.RunStats{}, false, ErrBusy
+	}
+	select {
+	case <-f.done:
+		return f.res, false, f.err
+	case <-ctx.Done():
+		return stats.RunStats{}, false, ctx.Err()
+	}
+}
+
+// SweepRequest is one asynchronous design-space sweep: every point of
+// Space evaluated on Net (ExploreContext), optionally reduced to the
+// Pareto frontier.
+type SweepRequest struct {
+	Net  *nn.Network
+	Base core.Config
+	// Space enumerates the candidates; a zero Space is rejected.
+	Space dse.Space
+	// Parallel is the sweep's internal fan-out; <= 0 means GOMAXPROCS.
+	// It runs inside one pool slot (the fan-out goroutines are the
+	// sweep's own), so a sweep occupies one worker regardless.
+	Parallel int
+	// Pareto reduces the result to the non-dominated frontier.
+	Pareto bool
+}
+
+// SubmitSimulate enqueues req as an asynchronous job and returns its
+// handle immediately. Async jobs share the result cache but not the
+// single-flight table (each submission is a tracked job of its own).
+func (e *Engine) SubmitSimulate(req Request) (*Job, error) {
+	key, err := RequestKey(req)
+	if err != nil {
+		return nil, err
+	}
+	j := e.newJob("simulate")
+	return e.admit(j, func(ctx context.Context) {
+		if res, ok := e.cache.Get(key); ok {
+			e.mCacheHits.Inc()
+			j.finishSim(res, true, nil)
+			return
+		}
+		e.mCacheMisses.Inc()
+		res, err := e.exec(ctx, req)
+		if err == nil {
+			e.cache.Put(key, res)
+		}
+		j.finishSim(res, false, err)
+	})
+}
+
+// SubmitSweep enqueues a design-space sweep job.
+func (e *Engine) SubmitSweep(req SweepRequest) (*Job, error) {
+	if req.Net == nil {
+		return nil, fmt.Errorf("serve: sweep has no network")
+	}
+	if req.Space.Size() == 0 {
+		return nil, fmt.Errorf("serve: sweep has an empty design space")
+	}
+	j := e.newJob("sweep")
+	return e.admit(j, func(ctx context.Context) {
+		start := time.Now()
+		outcomes, err := dse.ExploreContext(ctx, req.Net, req.Base, req.Space, fpga.VC709(), req.Parallel)
+		e.mJobSeconds.Observe(time.Since(start).Seconds())
+		switch {
+		case err == nil:
+			e.mJobsDone.Inc()
+			if req.Pareto {
+				outcomes = dse.ParetoFront(outcomes)
+			}
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			e.mJobsCanceled.Inc()
+		default:
+			e.mJobsFailed.Inc()
+		}
+		j.finishSweep(outcomes, err)
+	})
+}
+
+// admit registers the job and submits its task through admission
+// control; a rejected job is never visible through Job lookups.
+func (e *Engine) admit(j *Job, run func(ctx context.Context)) (*Job, error) {
+	e.mu.Lock()
+	if e.draining {
+		e.mu.Unlock()
+		return nil, ErrDraining
+	}
+	e.jobs[j.id] = j
+	e.jobOrder = append(e.jobOrder, j.id)
+	e.pruneLocked()
+	e.active.Add(1)
+	e.mu.Unlock()
+
+	jobCtx, cancel := e.jobContext()
+	j.setCancel(cancel)
+	task := func() {
+		defer e.active.Done()
+		defer cancel()
+		j.setRunning()
+		run(jobCtx)
+	}
+	if !e.pool.TrySubmit(task) {
+		e.mu.Lock()
+		delete(e.jobs, j.id)
+		if n := len(e.jobOrder); n > 0 && e.jobOrder[n-1] == j.id {
+			e.jobOrder = e.jobOrder[:n-1]
+		}
+		e.mu.Unlock()
+		e.active.Done()
+		cancel()
+		e.mRejected.Inc()
+		return nil, ErrBusy
+	}
+	return j, nil
+}
+
+// pruneLocked evicts the oldest finished jobs beyond the history cap.
+func (e *Engine) pruneLocked() {
+	for len(e.jobOrder) > e.opts.MaxJobs {
+		pruned := false
+		for i, id := range e.jobOrder {
+			if j := e.jobs[id]; j != nil && j.terminal() {
+				delete(e.jobs, id)
+				e.jobOrder = append(e.jobOrder[:i], e.jobOrder[i+1:]...)
+				pruned = true
+				break
+			}
+		}
+		if !pruned {
+			return // everything live; let history exceed the cap briefly
+		}
+	}
+}
+
+// Job returns the handle for id.
+func (e *Engine) Job(id string) (*Job, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	return j, ok
+}
+
+// Draining reports whether the engine has begun shutdown.
+func (e *Engine) Draining() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.draining
+}
+
+// Drain gracefully shuts the engine down: new submissions are refused
+// with ErrDraining, queued and running jobs are given until ctx
+// expires to finish, then the stragglers are canceled (they observe
+// the cancellation at their next layer boundary) and awaited. Drain
+// returns ctx.Err() if the deadline forced cancellations, nil when
+// everything finished on its own.
+func (e *Engine) Drain(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.mu.Lock()
+	e.draining = true
+	e.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		e.active.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		e.runCancel()
+		<-done
+		err = ctx.Err()
+	}
+	e.pool.Close()
+	e.runCancel()
+	return err
+}
+
+// syncGauges copies pool and cache occupancy into the registry so a
+// metrics scrape sees current values.
+func (e *Engine) syncGauges() {
+	cs := e.cache.Stats()
+	e.reg.Gauge(MetricCacheBytes, "encoded bytes held by the result cache").Set(float64(cs.Bytes))
+	e.reg.Gauge(MetricCacheEntries, "entries in the result cache").Set(float64(cs.Entries))
+	e.reg.Gauge(MetricCacheEvicted, "entries evicted by the byte budget").Set(float64(cs.Evictions))
+	e.reg.Gauge(MetricQueueDepth, "jobs queued but not yet running").Set(float64(e.pool.QueueLen()))
+	e.reg.Gauge(MetricBusyWorkers, "workers currently executing a job").Set(float64(e.pool.Busy()))
+}

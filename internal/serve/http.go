@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"shortcutmining/internal/core"
+	"shortcutmining/internal/dse"
+	"shortcutmining/internal/nn"
+	"shortcutmining/internal/stats"
+)
+
+// maxBodyBytes bounds request documents (an inline network graph plus
+// config comfortably fits).
+const maxBodyBytes = 4 << 20
+
+// DefaultRequestTimeout bounds how long a synchronous /v1/simulate
+// call waits when the client does not ask for a specific timeout.
+const DefaultRequestTimeout = 2 * time.Minute
+
+// simulateBody is the POST /v1/simulate document.
+type simulateBody struct {
+	// Network names a model-zoo network; Graph is an inline network in
+	// the JSON graph format. Exactly one must be set.
+	Network string          `json:"network,omitempty"`
+	Graph   json.RawMessage `json:"graph,omitempty"`
+	// Config overrides platform fields (absent fields keep the
+	// calibrated defaults, fault spec included).
+	Config json.RawMessage `json:"config,omitempty"`
+	// Strategy is baseline | fm-reuse | scm (default scm).
+	Strategy string `json:"strategy,omitempty"`
+	// Observe embeds a per-run metrics snapshot in the result.
+	Observe bool `json:"observe,omitempty"`
+	// Async returns 202 + a job id instead of waiting.
+	Async bool `json:"async,omitempty"`
+	// TimeoutMS bounds the synchronous wait (default 2 minutes).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// sweepBody is the POST /v1/sweep document.
+type sweepBody struct {
+	Network  string          `json:"network,omitempty"`
+	Graph    json.RawMessage `json:"graph,omitempty"`
+	Config   json.RawMessage `json:"config,omitempty"`
+	Space    *dse.Space      `json:"space,omitempty"` // default DefaultSpace
+	Parallel int             `json:"parallel,omitempty"`
+	Pareto   bool            `json:"pareto,omitempty"`
+}
+
+type simulateReply struct {
+	Cached bool            `json:"cached"`
+	Stats  *stats.RunStats `json:"stats"`
+}
+
+type jobReply struct {
+	Job   string   `json:"job"`
+	State JobState `json:"state"`
+}
+
+type errorReply struct {
+	Error string `json:"error"`
+}
+
+// NewHandler wires the engine's HTTP JSON API:
+//
+//	POST /v1/simulate   one simulation (sync by default, async opt-in)
+//	POST /v1/sweep      asynchronous design-space sweep job
+//	GET  /v1/jobs/{id}  job status + result
+//	GET  /healthz       liveness / drain status
+//	GET  /metrics       server metrics, Prometheus text format
+func NewHandler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/simulate", func(w http.ResponseWriter, r *http.Request) { handleSimulate(e, w, r) })
+	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) { handleSweep(e, w, r) })
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) { handleJob(e, w, r) })
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) { handleHealth(e, w) })
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) { handleMetrics(e, w) })
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the response is already committed
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorReply{Error: err.Error()})
+}
+
+// statusFor maps engine sentinels onto HTTP codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrBusy):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+// resolveNetwork builds the network from either a zoo name or an
+// inline graph document.
+func resolveNetwork(name string, graph json.RawMessage) (*nn.Network, error) {
+	switch {
+	case name != "" && graph != nil:
+		return nil, errors.New("set either network or graph, not both")
+	case name != "":
+		return nn.Build(name)
+	case graph != nil:
+		return nn.DecodeJSON(bytes.NewReader(graph))
+	default:
+		return nil, errors.New("request needs a network name or an inline graph")
+	}
+}
+
+// resolveConfig applies optional overrides to the calibrated defaults.
+func resolveConfig(raw json.RawMessage) (core.Config, error) {
+	if raw == nil {
+		return core.Default(), nil
+	}
+	return core.DecodeConfigJSON(bytes.NewReader(raw))
+}
+
+func handleSimulate(e *Engine, w http.ResponseWriter, r *http.Request) {
+	var body simulateBody
+	if !decodeBody(w, r, &body) {
+		return
+	}
+	net, err := resolveNetwork(body.Network, body.Graph)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg, err := resolveConfig(body.Config)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	strategy := core.SCM
+	if body.Strategy != "" {
+		if strategy, err = core.ParseStrategy(body.Strategy); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	req := Request{Net: net, Cfg: cfg, Strategy: strategy, Observe: body.Observe}
+
+	if body.Async {
+		j, err := e.SubmitSimulate(req)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, jobReply{Job: j.ID(), State: JobQueued})
+		return
+	}
+
+	timeout := DefaultRequestTimeout
+	if body.TimeoutMS > 0 {
+		timeout = time.Duration(body.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	res, cached, err := e.Simulate(ctx, req)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, simulateReply{Cached: cached, Stats: &res})
+}
+
+func handleSweep(e *Engine, w http.ResponseWriter, r *http.Request) {
+	var body sweepBody
+	if !decodeBody(w, r, &body) {
+		return
+	}
+	net, err := resolveNetwork(body.Network, body.Graph)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg, err := resolveConfig(body.Config)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	space := dse.DefaultSpace()
+	if body.Space != nil {
+		space = *body.Space
+	}
+	if space.Size() == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty design space"))
+		return
+	}
+	j, err := e.SubmitSweep(SweepRequest{
+		Net: net, Base: cfg, Space: space, Parallel: body.Parallel, Pareto: body.Pareto,
+	})
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jobReply{Job: j.ID(), State: JobQueued})
+}
+
+func handleJob(e *Engine, w http.ResponseWriter, r *http.Request) {
+	j, ok := e.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+// healthReply is the GET /healthz document.
+type healthReply struct {
+	Status   string     `json:"status"`
+	Draining bool       `json:"draining"`
+	Workers  int        `json:"workers"`
+	Busy     int        `json:"busy"`
+	Queued   int        `json:"queued"`
+	Cache    CacheStats `json:"cache"`
+}
+
+func handleHealth(e *Engine, w http.ResponseWriter) {
+	reply := healthReply{
+		Status:   "ok",
+		Draining: e.Draining(),
+		Workers:  e.pool.Workers(),
+		Busy:     e.pool.Busy(),
+		Queued:   e.pool.QueueLen(),
+		Cache:    e.CacheStats(),
+	}
+	code := http.StatusOK
+	if reply.Draining {
+		reply.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, reply)
+}
+
+func handleMetrics(e *Engine, w http.ResponseWriter) {
+	e.syncGauges()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	e.reg.WriteProm(w) //nolint:errcheck // best-effort scrape
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"shortcutmining/internal/dse"
+	"shortcutmining/internal/stats"
+)
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+// Job lifecycle: Queued → Running → one of Done / Failed / Canceled.
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Job is one tracked asynchronous execution. All accessors are safe
+// for concurrent use; results are read-only once terminal.
+type Job struct {
+	id   string
+	kind string
+
+	mu       sync.Mutex
+	state    JobState
+	cached   bool
+	errMsg   string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	res      *stats.RunStats
+	sweep    []dse.Outcome
+	cancel   context.CancelFunc
+
+	done chan struct{}
+}
+
+// newJob allocates the next job handle.
+func (e *Engine) newJob(kind string) *Job {
+	e.mu.Lock()
+	e.seq++
+	id := fmt.Sprintf("j%06d", e.seq)
+	e.mu.Unlock()
+	return &Job{id: id, kind: kind, state: JobQueued, created: time.Now(), done: make(chan struct{})}
+}
+
+// ID returns the job identifier ("j000042").
+func (j *Job) ID() string { return j.id }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// terminal reports whether the job has finished (any outcome).
+func (j *Job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state == JobDone || j.state == JobFailed || j.state == JobCanceled
+}
+
+func (j *Job) setCancel(c context.CancelFunc) {
+	j.mu.Lock()
+	j.cancel = c
+	j.mu.Unlock()
+}
+
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.state = JobRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+}
+
+func (j *Job) finishSim(res stats.RunStats, cached bool, err error) {
+	j.mu.Lock()
+	j.finishLocked(err)
+	if err == nil {
+		j.res = &res
+		j.cached = cached
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+func (j *Job) finishSweep(outcomes []dse.Outcome, err error) {
+	j.mu.Lock()
+	j.finishLocked(err)
+	if err == nil {
+		j.sweep = outcomes
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+func (j *Job) finishLocked(err error) {
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = JobDone
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = JobCanceled
+		j.errMsg = err.Error()
+	default:
+		j.state = JobFailed
+		j.errMsg = err.Error()
+	}
+}
+
+// View is the JSON representation served by GET /v1/jobs/{id}.
+type View struct {
+	ID       string          `json:"id"`
+	Kind     string          `json:"kind"`
+	State    JobState        `json:"state"`
+	Cached   bool            `json:"cached,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Created  time.Time       `json:"created"`
+	Started  *time.Time      `json:"started,omitempty"`
+	Finished *time.Time      `json:"finished,omitempty"`
+	Stats    *stats.RunStats `json:"stats,omitempty"`
+	Outcomes []dse.Outcome   `json:"outcomes,omitempty"`
+}
+
+// View snapshots the job.
+func (j *Job) View() View {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := View{
+		ID: j.id, Kind: j.kind, State: j.state, Cached: j.cached,
+		Error: j.errMsg, Created: j.created,
+		Stats: j.res, Outcomes: j.sweep,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	return v
+}

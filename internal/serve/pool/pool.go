@@ -1,0 +1,145 @@
+// Package pool provides the bounded worker pool underneath the serving
+// subsystem and the parallel design-space sweeps: a fixed set of worker
+// goroutines draining a bounded task queue (the admission-control
+// boundary — a full queue rejects instead of blocking), plus an
+// ephemeral indexed fan-out helper for deterministic sweep-style
+// parallelism.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a fixed-size worker pool with a bounded submission queue.
+type Pool struct {
+	mu     sync.Mutex
+	closed bool
+	tasks  chan func()
+	wg     sync.WaitGroup
+
+	workers int
+	busy    atomic.Int64
+}
+
+// New starts a pool of workers draining a queue of depth queueDepth.
+// workers <= 0 means GOMAXPROCS; queueDepth < 0 means 0 (every submit
+// must find an idle worker immediately).
+func New(workers, queueDepth int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	p := &Pool{tasks: make(chan func(), queueDepth), workers: workers}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for f := range p.tasks {
+				p.busy.Add(1)
+				f()
+				p.busy.Add(-1)
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit enqueues f without blocking. It reports false — the
+// admission-control signal — when the queue is full or the pool is
+// closed.
+func (p *Pool) TrySubmit(f func()) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.tasks <- f:
+		return true
+	default:
+		return false
+	}
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// QueueLen returns the tasks queued but not yet picked up.
+func (p *Pool) QueueLen() int { return len(p.tasks) }
+
+// Busy returns the workers currently executing a task.
+func (p *Pool) Busy() int { return int(p.busy.Load()) }
+
+// Close stops accepting tasks, runs everything already queued, and
+// waits for the workers to exit. Safe to call more than once.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// ForEachN runs fn(0..n-1) on up to `workers` goroutines (<= 0 means
+// GOMAXPROCS) and waits for completion. Indices are claimed from an
+// atomic cursor, so callers that write results into index i of a
+// pre-sized slice get deterministic output regardless of parallelism
+// or completion order. The first error stops new work (in-flight calls
+// finish); a context cancellation does the same and wins the returned
+// error. ForEachN spawns its own goroutines rather than sharing a
+// Pool, so a pooled job may fan out without risking queue deadlock.
+func ForEachN(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		next atomic.Int64
+		stop atomic.Bool
+		errs = make([]error, n)
+		wg   sync.WaitGroup
+	)
+	next.Store(-1)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !stop.Load() && ctx.Err() == nil {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err // lowest-index error: deterministic
+		}
+	}
+	return nil
+}

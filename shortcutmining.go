@@ -21,6 +21,7 @@
 package shortcutmining
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -156,7 +157,15 @@ var (
 
 // Simulate runs the network on the platform under the given strategy.
 func Simulate(net *Network, cfg Config, s Strategy) (RunStats, error) {
-	return core.Simulate(net, cfg, s, nil)
+	return SimulateContext(context.Background(), net, cfg, s)
+}
+
+// SimulateContext is Simulate with cooperative cancellation: the run
+// checks ctx at every layer boundary and returns ctx's error once it is
+// canceled or past its deadline. Concurrent calls are safe; each run's
+// state is private.
+func SimulateContext(ctx context.Context, net *Network, cfg Config, s Strategy) (RunStats, error) {
+	return core.SimulateContext(ctx, net, cfg, s, nil)
 }
 
 // SimulateObserved runs the network with the observability layer on:
@@ -235,6 +244,14 @@ func DefaultDesignSpace() DesignSpace { return dse.DefaultSpace() }
 // network (FPGA-feasibility-checked, simulated under Shortcut Mining).
 func ExploreDesignSpace(net *Network, base Config, space DesignSpace) ([]DesignOutcome, error) {
 	return dse.Explore(net, base, space, fpga.VC709())
+}
+
+// ExploreDesignSpaceContext is ExploreDesignSpace with explicit
+// parallelism (<= 0 means GOMAXPROCS) and cooperative cancellation.
+// Outcomes are indexed by grid position, so the result is identical to
+// the serial enumeration regardless of parallelism.
+func ExploreDesignSpaceContext(ctx context.Context, net *Network, base Config, space DesignSpace, parallel int) ([]DesignOutcome, error) {
+	return dse.ExploreContext(ctx, net, base, space, fpga.VC709(), parallel)
 }
 
 // ParetoFront filters design outcomes to the non-dominated set over

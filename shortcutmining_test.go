@@ -2,7 +2,10 @@ package shortcutmining
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"os"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -259,5 +262,58 @@ func TestFaultInjectionPublic(t *testing.T) {
 	re, ok := AsRunError(err)
 	if !ok || re.Severity != Fatal {
 		t.Errorf("watchdog error = %v (classified %v)", err, ok)
+	}
+}
+
+func TestSimulateContextPublic(t *testing.T) {
+	net, err := BuildNetwork("resnet18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+
+	viaCtx, err := SimulateContext(context.Background(), net, cfg, SCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Simulate(net, cfg, SCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaCtx.TotalCycles != plain.TotalCycles || viaCtx.Traffic != plain.Traffic {
+		t.Error("SimulateContext result differs from Simulate")
+	}
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SimulateContext(canceled, net, cfg, SCM); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestExploreDesignSpaceContextPublic(t *testing.T) {
+	net, err := BuildNetwork("resnet18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := DesignSpace{
+		Banks:    []int{34},
+		BankKiB:  []int{16},
+		PE:       [][2]int{{64, 56}},
+		FmapGBps: []float64{1.0, 2.0},
+	}
+	serial, err := ExploreDesignSpaceContext(context.Background(), net, DefaultConfig(), space, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := ExploreDesignSpaceContext(context.Background(), net, DefaultConfig(), space, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("parallel exploration differs from serial")
+	}
+	if len(serial) != 2 {
+		t.Errorf("outcomes = %d, want 2", len(serial))
 	}
 }
