@@ -286,3 +286,9 @@ func BenchmarkE22_GracefulDegradation(b *testing.B) {
 	report(b, res, "inflation/resnet34/25%", "%infl-r34@25%banks", 100)
 	report(b, res, "reduction/resnet34/25%", "%red-r34@25%banks", 100)
 }
+
+func BenchmarkE23_MultiTenantScheduling(b *testing.B) {
+	res := runExp(b, "E23")
+	report(b, res, "latency_slowdown/prio", "x-latency-slowdown-prio", 1)
+	report(b, res, "tenancy_mb/rr", "MB-tenancy-rr", 1)
+}

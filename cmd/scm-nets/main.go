@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"text/tabwriter"
 
@@ -21,16 +22,27 @@ func main() {
 	netName := flag.String("net", "", "dump one network's layers instead of the catalog")
 	flag.Parse()
 
+	var err error
 	if *netName != "" {
-		dump(*netName)
-		return
+		err = writeDump(os.Stdout, *netName)
+	} else {
+		err = writeCatalog(os.Stdout)
 	}
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// writeCatalog renders the zoo characteristics table. The output is
+// deterministic (sorted network names, fixed formatting) and pinned by
+// the golden-file test.
+func writeCatalog(out io.Writer) error {
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "network\tconv\tfc\tshortcut edges\tmax span\tMACs (G)\tparams (M)\tshortcut share")
 	for _, name := range shortcutmining.NetworkNames() {
 		net, err := shortcutmining.BuildNetwork(name)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		ch := shortcutmining.Characterize(net, shortcutmining.Fixed16)
 		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%.2f\t%.2f\t%.1f%%\n",
@@ -38,21 +50,22 @@ func main() {
 			float64(ch.TotalMACs)/1e9, float64(ch.TotalWeightsBytes)/2e6,
 			100*ch.ShortcutShare)
 	}
-	w.Flush()
+	return w.Flush()
 }
 
-func dump(name string) {
+// writeDump renders one network's layer-by-layer listing.
+func writeDump(out io.Writer, name string) error {
 	net, err := shortcutmining.BuildNetwork(name)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "#\tlayer\tkind\tstage\tinputs\toutput\tMACs")
 	for _, l := range net.Layers {
 		fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%v\t%v\t%d\n",
 			l.Index, l.Name, l.Kind, l.Stage, l.Inputs, l.Out, l.MACs())
 	}
-	w.Flush()
+	return w.Flush()
 }
 
 func fatal(err error) {

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCatalogGolden pins the scm-nets catalog output: the zoo's
+// shortcut-structure numbers are motivation data for E1, so a silent
+// change to any network definition or to Characterize shows up here.
+// Regenerate with SCM_UPDATE_GOLDEN=1 go test ./cmd/scm-nets/.
+func TestCatalogGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeCatalog(&buf); err != nil {
+		t.Fatalf("writeCatalog: %v", err)
+	}
+	got := buf.String()
+
+	golden := filepath.Join("testdata", "catalog.golden")
+	if os.Getenv("SCM_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading %s (regenerate with SCM_UPDATE_GOLDEN=1): %v", golden, err)
+	}
+	if got != string(want) {
+		t.Errorf("catalog output diverged from %s (regenerate with SCM_UPDATE_GOLDEN=1 if intended)\n got:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}
+
+// TestDumpListsLayers sanity-checks the -net mode.
+func TestDumpListsLayers(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeDump(&buf, "resnet18"); err != nil {
+		t.Fatalf("writeDump: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "conv") || len(strings.Split(out, "\n")) < 10 {
+		t.Errorf("dump output implausible:\n%s", out)
+	}
+	if err := writeDump(&buf, "notanet"); err == nil {
+		t.Error("unknown network accepted")
+	}
+}

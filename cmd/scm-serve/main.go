@@ -1,12 +1,13 @@
 // Command scm-serve exposes the simulator as an HTTP JSON service: a
-// bounded worker pool runs simulations and design-space sweeps behind a
-// content-addressed result cache, with admission control and graceful
-// drain on SIGTERM.
+// bounded worker pool runs simulations, design-space sweeps, and
+// multi-tenant scheduling scenarios behind a content-addressed result
+// cache, with admission control and graceful drain on SIGTERM.
 //
 // Endpoints:
 //
 //	POST /v1/simulate   one simulation (sync by default; "async":true → 202 + job id)
 //	POST /v1/sweep      asynchronous design-space sweep
+//	POST /v1/schedule   asynchronous multi-tenant scheduling run (202 + job id)
 //	GET  /v1/jobs/{id}  job status and result
 //	GET  /healthz       liveness and drain status
 //	GET  /metrics       Prometheus text format

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"shortcutmining/internal/dram"
+	"shortcutmining/internal/nn"
+	"shortcutmining/internal/stats"
+)
+
+// goldenRun is the summary pinned per network × strategy. It covers
+// every externally meaningful RunStats field (traffic by class, cycle
+// attribution, pool high-water marks, procedure counters), so any
+// behavioral drift in the executor — including the Run/Step refactor —
+// fails this test.
+type goldenRun struct {
+	Network         string       `json:"network"`
+	Strategy        string       `json:"strategy"`
+	Traffic         dram.Traffic `json:"traffic"`
+	ComputeCycles   int64        `json:"compute_cycles"`
+	MemCycles       int64        `json:"mem_cycles"`
+	TotalCycles     int64        `json:"total_cycles"`
+	SRAMBytes       int64        `json:"sram_bytes"`
+	MACs            int64        `json:"macs"`
+	PeakUsedBanks   int          `json:"peak_used_banks"`
+	PeakPinnedBanks int          `json:"peak_pinned_banks"`
+	RoleSwitches    int64        `json:"role_switches"`
+	BanksRecycled   int64        `json:"banks_recycled"`
+	BanksEvicted    int64        `json:"banks_evicted"`
+	Layers          int          `json:"layers"`
+}
+
+func summarize(r stats.RunStats) goldenRun {
+	return goldenRun{
+		Network: r.Network, Strategy: r.Strategy, Traffic: r.Traffic,
+		ComputeCycles: r.ComputeCycles, MemCycles: r.MemCycles,
+		TotalCycles: r.TotalCycles, SRAMBytes: r.SRAMBytes, MACs: r.MACs,
+		PeakUsedBanks: r.PeakUsedBanks, PeakPinnedBanks: r.PeakPinnedBanks,
+		RoleSwitches: r.RoleSwitches, BanksRecycled: r.BanksRecycled,
+		BanksEvicted: r.BanksEvicted, Layers: len(r.Layers),
+	}
+}
+
+// goldenPath is shared with the generator below.
+var goldenPath = filepath.Join("testdata", "simulate_golden.json")
+
+// collectGolden runs the full zoo under every canonical strategy.
+func collectGolden(t testing.TB) []goldenRun {
+	cfg := Default()
+	var out []goldenRun
+	for _, name := range nn.ZooNames() {
+		net, err := nn.Build(name)
+		if err != nil {
+			t.Fatalf("build %s: %v", name, err)
+		}
+		for _, s := range Strategies() {
+			run, err := Simulate(net, cfg, s, nil)
+			if err != nil {
+				t.Fatalf("simulate %s/%s: %v", name, s, err)
+			}
+			out = append(out, summarize(run))
+		}
+	}
+	return out
+}
+
+// TestSimulateGolden pins Simulate's observable results for every zoo
+// network against testdata/simulate_golden.json, generated before the
+// resumable-Run refactor. Regenerate with SCM_UPDATE_GOLDEN=1 — but a
+// diff here means the executor's behavior changed, which the stepping
+// refactor must never do.
+func TestSimulateGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-zoo sweep")
+	}
+	got := collectGolden(t)
+	if os.Getenv("SCM_UPDATE_GOLDEN") != "" {
+		b, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d entries)", goldenPath, len(got))
+		return
+	}
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (run with SCM_UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	var want []goldenRun
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("golden has %d entries, run produced %d (zoo drift? regenerate deliberately)", len(want), len(got))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("%s/%s drifted:\n got  %+v\n want %+v",
+				got[i].Network, got[i].Strategy, got[i], want[i])
+		}
+	}
+}

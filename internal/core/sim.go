@@ -65,49 +65,25 @@ func SimulateFeaturesObserved(net *nn.Network, cfg Config, feat Features, rec tr
 
 // SimulateFeaturesObservedContext is the full-control entry point:
 // explicit feature set, optional trace recorder and metrics registry,
-// and cooperative cancellation through ctx.
+// and cooperative cancellation through ctx. It is a thin loop over the
+// resumable Run API (NewRunFeatures / Step): a run that is never
+// suspended produces results bit-identical to the stepping path, which
+// is what the multi-tenant scheduler interleaves.
 func SimulateFeaturesObservedContext(ctx context.Context, net *nn.Network, cfg Config, feat Features, rec trace.Recorder, reg *metrics.Registry) (stats.RunStats, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if err := cfg.Validate(); err != nil {
-		return stats.RunStats{}, err
-	}
-	if err := net.Validate(); err != nil {
-		return stats.RunStats{}, err
-	}
-	e, err := newExecutor(cfg)
+	r, err := NewRunFeatures(net, cfg, feat, rec, reg)
 	if err != nil {
 		return stats.RunStats{}, err
 	}
-	if rec != nil {
-		e.rec = &trace.Stamper{R: rec}
-	}
-	e.obs = newObserver(reg)
-	e.obs.attach(e)
-	e.net = net
-	e.feat = feat
-	e.cp = buildConsumptionPlan(net)
-	e.residents = make([]*resident, len(net.Layers))
-	e.run = stats.RunStats{
-		Network:  net.Name,
-		Strategy: featureLabel(feat),
-		Batch:    cfg.Batch,
-		ClockMHz: cfg.PE.ClockMHz,
-	}
-	for _, l := range net.Layers {
-		// Cancellation is cooperative at layer granularity: a canceled
-		// job stops before its next layer, leaving no partial-layer
-		// state behind (the per-layer watchdog bounds how long one
-		// layer can take to reach this check).
-		if err := ctx.Err(); err != nil {
-			return stats.RunStats{}, fmt.Errorf("core: %s: canceled before layer %s: %w", net.Name, l.Name, err)
-		}
-		if err := e.execLayer(l); err != nil {
-			return stats.RunStats{}, fmt.Errorf("core: %s: layer %s: %w", net.Name, l.Name, err)
+	// Cancellation is cooperative at layer granularity: a canceled
+	// job stops before its next layer, leaving no partial-layer
+	// state behind (the per-layer watchdog bounds how long one
+	// layer can take to reach this check).
+	for done := false; !done; {
+		if done, err = r.Step(ctx); err != nil {
+			return stats.RunStats{}, err
 		}
 	}
-	return e.finish()
+	return r.Result()
 }
 
 // featureLabel names an ad-hoc feature set for reports.

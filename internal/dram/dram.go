@@ -145,6 +145,16 @@ func (ch *Channel) round(bytes int64) int64 {
 	return (bytes + b - 1) / b * b
 }
 
+// Round applies the channel's burst granularity to a byte count
+// without recording a transfer — for callers (scheduler suspend/resume
+// accounting) that tally traffic in their own ledger.
+func (ch *Channel) Round(bytes int64) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return ch.round(bytes)
+}
+
 // SetObserver installs a per-transfer callback receiving the class,
 // the payload bytes requested, and the burst-rounded bytes moved. A
 // nil observer (the default) costs one predictable branch per

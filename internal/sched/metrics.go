@@ -1,0 +1,96 @@
+package sched
+
+import (
+	"shortcutmining/internal/metrics"
+)
+
+// Scheduler metric names (the per-run simulator metrics live in
+// internal/core; these describe the multi-tenant layer above it).
+const (
+	MetricRequests       = "scm_sched_requests_total"
+	MetricPreemptions    = "scm_sched_preemptions_total"
+	MetricTenancyBytes   = "scm_sched_tenancy_bytes_total"
+	MetricLatencyCycles  = "scm_sched_latency_cycles"
+	MetricQueueCycles    = "scm_sched_queue_wait_cycles"
+	MetricResidentRuns   = "scm_sched_resident_runs_peak"
+	MetricMakespanCycles = "scm_sched_makespan_cycles"
+)
+
+// observer is the scheduler's pre-resolved instrument bundle; a nil
+// *observer disables observation with one branch per site, exactly
+// like core's.
+type observer struct {
+	completedC []*metrics.Counter
+	rejectedC  []*metrics.Counter
+	preemptC   []*metrics.Counter
+	spillC     []*metrics.Counter
+	latencyH   []*metrics.Histogram
+	queueH     []*metrics.Histogram
+	residentG  *metrics.Gauge
+	makespanG  *metrics.Gauge
+}
+
+// newObserver registers the per-stream instrument families on reg.
+// Returns nil for a nil registry.
+func newObserver(reg *metrics.Registry, names []string) *observer {
+	if reg == nil {
+		return nil
+	}
+	o := &observer{
+		residentG: reg.Gauge(MetricResidentRuns, "high-water mark of co-resident runs"),
+		makespanG: reg.Gauge(MetricMakespanCycles, "finish cycle of the last completed request"),
+	}
+	// Latency buckets span one fast layer (~1e4 cycles) to minutes of
+	// queueing at 200 MHz (~1e10 cycles).
+	bounds := metrics.ExpBuckets(1e4, 4, 11)
+	for _, name := range names {
+		l := metrics.L("stream", name)
+		o.completedC = append(o.completedC, reg.Counter(MetricRequests,
+			"requests by terminal state", l, metrics.L("state", "completed")))
+		o.rejectedC = append(o.rejectedC, reg.Counter(MetricRequests,
+			"requests by terminal state", l, metrics.L("state", "rejected")))
+		o.preemptC = append(o.preemptC, reg.Counter(MetricPreemptions,
+			"layer-boundary suspensions per stream", l))
+		o.spillC = append(o.spillC, reg.Counter(MetricTenancyBytes,
+			"bytes spilled at preemption and re-loaded at resumption", l))
+		o.latencyH = append(o.latencyH, reg.Histogram(MetricLatencyCycles,
+			"request latency (arrival to completion) in cycles", bounds, l))
+		o.queueH = append(o.queueH, reg.Histogram(MetricQueueCycles,
+			"cycles between arrival and first executed layer", bounds, l))
+	}
+	return o
+}
+
+func (o *observer) completed(stream int, latency, wait int64) {
+	if o != nil {
+		o.completedC[stream].Inc()
+		o.latencyH[stream].Observe(float64(latency))
+		o.queueH[stream].Observe(float64(wait))
+	}
+}
+
+func (o *observer) rejected(stream int) {
+	if o != nil {
+		o.rejectedC[stream].Inc()
+	}
+}
+
+func (o *observer) preempted(stream int, spillBytes int64) {
+	if o != nil {
+		o.preemptC[stream].Inc()
+		o.spillC[stream].Add(spillBytes)
+	}
+}
+
+func (o *observer) resident(n int) {
+	if o != nil {
+		o.residentG.SetMax(float64(n))
+	}
+}
+
+func (o *observer) finished(makespan int64, peak int) {
+	if o != nil {
+		o.makespanG.Set(float64(makespan))
+		o.residentG.SetMax(float64(peak))
+	}
+}

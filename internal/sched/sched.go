@@ -1,0 +1,418 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"shortcutmining/internal/core"
+	"shortcutmining/internal/dram"
+	"shortcutmining/internal/metrics"
+	"shortcutmining/internal/nn"
+)
+
+// request is one inference arriving on a stream.
+type request struct {
+	stream  int
+	seq     int
+	arrival int64
+}
+
+// tenant is one launched, unfinished run.
+type tenant struct {
+	req     request
+	run     *core.Run
+	start   int64 // cycle of the first executed layer; -1 until then
+	quantum int   // layers executed since the last switch-in
+}
+
+// Run executes the scenario on the platform and returns the per-stream
+// QoS statistics. reg may be nil (no metrics).
+func Run(cfg core.Config, spec *Spec, reg *metrics.Registry) (*Result, error) {
+	return RunContext(context.Background(), cfg, spec, reg)
+}
+
+// RunContext is Run with cooperative cancellation at layer granularity
+// (the same cadence as core.SimulateContext).
+func RunContext(ctx context.Context, cfg core.Config, spec *Spec, reg *metrics.Registry) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	// Scheduled requests are single inferences: the pool holds one
+	// image's working set, and batching across streams is a scheduler
+	// follow-on (see ROADMAP), not an implicit config knob.
+	cfg.Batch = 1
+	cfg.AmortizeWeights = false
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	nets := make([]*nn.Network, len(spec.Streams))
+	for i, st := range spec.Streams {
+		net, err := nn.Build(st.Network)
+		if err != nil {
+			return nil, fmt.Errorf("sched: stream %d: %w", i, err)
+		}
+		nets[i] = net
+	}
+
+	s := &scheduler{
+		ctx:      ctx,
+		cfg:      cfg,
+		spec:     spec,
+		nets:     nets,
+		names:    spec.streamNames(),
+		obs:      newObserver(reg, spec.streamNames()),
+		quantum:  spec.QuantumLayers,
+		arrivals: buildArrivals(spec),
+		perStream: func(n int) []*streamAccum {
+			out := make([]*streamAccum, n)
+			for i := range out {
+				out[i] = &streamAccum{}
+			}
+			return out
+		}(len(spec.Streams)),
+	}
+	if s.quantum <= 0 {
+		s.quantum = DefaultQuantum
+	}
+	if err := s.loop(); err != nil {
+		return nil, err
+	}
+	return s.assemble(), nil
+}
+
+// buildArrivals precomputes every request's arrival cycle. Poisson
+// streams draw exponential gaps from a per-stream RNG derived from the
+// spec seed, so arrival processes are independent of each other and of
+// stream order yet fully reproducible.
+func buildArrivals(spec *Spec) []request {
+	var out []request
+	for i, st := range spec.Streams {
+		// Per-stream RNG: golden-ratio stride decorrelates adjacent
+		// stream seeds without depending on stream count or order.
+		rng := rand.New(rand.NewSource(spec.Seed + int64(i)*0x1E3779B97F4A7C15))
+		t := st.StartCycles
+		for j := 0; j < st.Requests; j++ {
+			if j > 0 {
+				gap := st.GapCycles
+				if st.Poisson && st.GapCycles > 0 {
+					gap = int64(rng.ExpFloat64()*float64(st.GapCycles)) + 1
+				}
+				t += gap
+			}
+			out = append(out, request{stream: i, seq: j, arrival: t})
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].arrival != out[b].arrival {
+			return out[a].arrival < out[b].arrival
+		}
+		if out[a].stream != out[b].stream {
+			return out[a].stream < out[b].stream
+		}
+		return out[a].seq < out[b].seq
+	})
+	return out
+}
+
+// streamAccum accumulates one stream's outcome during the loop.
+type streamAccum struct {
+	completed, rejected int
+	preemptions         int64
+	sched               core.SchedStats
+	serviceCycles       int64
+	traffic             dram.Traffic
+	singleTenant        int64 // one request's single-tenant TotalCycles
+	latencies           []int64
+	queueWaits          []int64
+	requests            []RequestStat
+}
+
+type scheduler struct {
+	ctx   context.Context
+	cfg   core.Config
+	spec  *Spec
+	nets  []*nn.Network
+	names []string
+	obs   *observer
+
+	quantum  int
+	arrivals []request
+	ai       int // next arrival not yet visible
+
+	now     int64
+	waiting []request // arrived, not launched (arrival order)
+	ready   []*tenant // launched, unfinished; ready[0] is the tenant on the accelerator
+	settled int       // completed + rejected
+
+	perStream []*streamAccum
+	makespan  int64
+	peakRes   int
+}
+
+// absorb moves arrivals that have happened by now into the waiting
+// queue (they stay in deterministic arrival order).
+func (s *scheduler) absorb() {
+	for s.ai < len(s.arrivals) && s.arrivals[s.ai].arrival <= s.now {
+		s.waiting = append(s.waiting, s.arrivals[s.ai])
+		s.ai++
+	}
+}
+
+// minBanks is the admission demand of a stream's runs.
+func (s *scheduler) minBanks(stream int) int {
+	if mb := s.spec.Streams[stream].MinBanks; mb > 0 {
+		return mb
+	}
+	return s.cfg.ReserveBanks + 1
+}
+
+// admissible reports whether the stream's demand fits the shared pool.
+func (s *scheduler) admissible(stream int) bool {
+	return s.minBanks(stream) <= s.cfg.Pool.NumBanks
+}
+
+// reject permanently refuses a request whose bank demand cannot fit.
+func (s *scheduler) reject(req request) {
+	s.perStream[req.stream].rejected++
+	s.settled++
+	s.obs.rejected(req.stream)
+}
+
+// launch admits the waiting request at index wi: it leaves the queue
+// and becomes a resident tenant at the back of the ready list.
+func (s *scheduler) launch(wi int) (*tenant, error) {
+	req := s.waiting[wi]
+	s.waiting = append(s.waiting[:wi], s.waiting[wi+1:]...)
+	st := s.spec.Streams[req.stream]
+	run, err := core.NewRun(s.nets[req.stream], s.cfg, st.Strategy, nil, nil)
+	if err != nil {
+		return nil, fmt.Errorf("sched: launching %s request %d: %w", s.names[req.stream], req.seq, err)
+	}
+	t := &tenant{req: req, run: run, start: -1}
+	s.ready = append(s.ready, t)
+	if len(s.ready) > s.peakRes {
+		s.peakRes = len(s.ready)
+	}
+	s.obs.resident(len(s.ready))
+	return t, nil
+}
+
+// roomToLaunch reports whether another run may become resident.
+func (s *scheduler) roomToLaunch() bool {
+	return s.spec.MaxResident == 0 || len(s.ready) < s.spec.MaxResident
+}
+
+// dropRejected filters inadmissible requests off the front of waiting
+// so pick logic only ever sees launchable work.
+func (s *scheduler) dropRejected() {
+	kept := s.waiting[:0]
+	for _, req := range s.waiting {
+		if s.admissible(req.stream) {
+			kept = append(kept, req)
+		} else {
+			s.reject(req)
+		}
+	}
+	s.waiting = kept
+}
+
+// pick chooses the tenant to run next, launching from the waiting
+// queue when the policy calls for it. ready[0] is the current tenant;
+// pick reorders ready so its choice is at the head. Returns nil when
+// nothing is runnable (idle until the next arrival).
+func (s *scheduler) pick() (*tenant, error) {
+	s.dropRejected()
+	switch s.spec.Policy {
+	case FCFS:
+		// Non-preemptive: the resident tenant runs to completion, and
+		// at most one run is resident at a time.
+		if len(s.ready) > 0 {
+			return s.ready[0], nil
+		}
+		if len(s.waiting) > 0 {
+			return s.launch(0)
+		}
+		return nil, nil
+
+	case RoundRobin:
+		// Fill the resident set in arrival order, then rotate on
+		// quantum expiry.
+		for len(s.waiting) > 0 && s.roomToLaunch() {
+			if _, err := s.launch(0); err != nil {
+				return nil, err
+			}
+		}
+		if len(s.ready) == 0 {
+			return nil, nil
+		}
+		if s.ready[0].quantum >= s.quantum && len(s.ready) > 1 {
+			expired := s.ready[0]
+			s.ready = append(s.ready[1:], expired)
+			s.ready[0].quantum = 0
+		}
+		return s.ready[0], nil
+
+	case Priority:
+		// The highest-priority runnable wins; the current tenant is
+		// only preempted by a strictly higher priority, so equal
+		// priorities never thrash.
+		for len(s.waiting) > 0 && s.roomToLaunch() {
+			if _, err := s.launch(0); err != nil {
+				return nil, err
+			}
+		}
+		if len(s.ready) == 0 {
+			return nil, nil
+		}
+		best := 0
+		for i := 1; i < len(s.ready); i++ {
+			if s.prioLess(s.ready[best], s.ready[i]) {
+				best = i
+			}
+		}
+		if best != 0 && s.prio(s.ready[best]) > s.prio(s.ready[0]) {
+			chosen := s.ready[best]
+			s.ready = append(s.ready[:best], s.ready[best+1:]...)
+			s.ready = append([]*tenant{chosen}, s.ready...)
+			s.ready[0].quantum = 0
+		}
+		return s.ready[0], nil
+	}
+	return nil, fmt.Errorf("sched: unknown policy %d", int(s.spec.Policy))
+}
+
+func (s *scheduler) prio(t *tenant) int { return s.spec.Streams[t.req.stream].Priority }
+
+// prioLess reports whether b should be preferred over a: higher
+// priority first, then earlier arrival, then stream order, then seq.
+func (s *scheduler) prioLess(a, b *tenant) bool {
+	if pa, pb := s.prio(a), s.prio(b); pa != pb {
+		return pa < pb
+	}
+	if a.req.arrival != b.req.arrival {
+		return b.req.arrival < a.req.arrival
+	}
+	if a.req.stream != b.req.stream {
+		return b.req.stream < a.req.stream
+	}
+	return b.req.seq < a.req.seq
+}
+
+// suspend preempts a tenant, spilling its working set; the spill
+// cycles serialize onto the shared channel, advancing global time.
+func (s *scheduler) suspend(t *tenant) error {
+	before := t.run.Sched()
+	if _, err := t.run.Suspend(); err != nil {
+		return err
+	}
+	after := t.run.Sched()
+	s.now += after.SpillCycles - before.SpillCycles
+	acc := s.perStream[t.req.stream]
+	acc.preemptions++
+	s.obs.preempted(t.req.stream, after.SpillBytes-before.SpillBytes)
+	return nil
+}
+
+// loop is the deterministic event loop: pick a tenant, execute one
+// layer, account time, repeat until every request settled.
+func (s *scheduler) loop() error {
+	total := len(s.arrivals)
+	var current *tenant
+	for s.settled < total {
+		if err := s.ctx.Err(); err != nil {
+			return fmt.Errorf("sched: canceled at cycle %d: %w", s.now, err)
+		}
+		s.absorb()
+		next, err := s.pick()
+		if err != nil {
+			return err
+		}
+		if next == nil {
+			if s.ai >= len(s.arrivals) {
+				break // only rejected requests remained
+			}
+			s.now = s.arrivals[s.ai].arrival
+			current = nil
+			continue
+		}
+		if current != nil && current != next && !current.run.Done() && !current.run.Suspended() {
+			if err := s.suspend(current); err != nil {
+				return err
+			}
+			next.quantum = 0
+		}
+		current = next
+		if next.start < 0 {
+			next.start = s.now
+		}
+
+		beforeClock := next.run.Clock()
+		beforeSched := next.run.Sched()
+		done, err := next.run.Step(s.ctx)
+		if err != nil {
+			return fmt.Errorf("sched: %s request %d: %w", s.names[next.req.stream], next.req.seq, err)
+		}
+		afterSched := next.run.Sched()
+		s.now += next.run.Clock() - beforeClock
+		s.now += afterSched.ReloadCycles - beforeSched.ReloadCycles
+		next.quantum++
+
+		if done {
+			s.finish(next)
+			current = nil
+		}
+	}
+	s.obs.finished(s.makespan, s.peakRes)
+	return nil
+}
+
+// finish retires a completed tenant and folds its outcome into the
+// stream accumulators.
+func (s *scheduler) finish(t *tenant) {
+	for i, r := range s.ready {
+		if r == t {
+			s.ready = append(s.ready[:i], s.ready[i+1:]...)
+			break
+		}
+	}
+	res, err := t.run.Result()
+	if err != nil {
+		// finish is only called with done == true; Result cannot fail.
+		panic(fmt.Sprintf("sched: finished run has no result: %v", err))
+	}
+	acc := s.perStream[t.req.stream]
+	acc.completed++
+	s.settled++
+	sc := t.run.Sched()
+	acc.sched.Suspends += sc.Suspends
+	acc.sched.Resumes += sc.Resumes
+	acc.sched.SpillBytes += sc.SpillBytes
+	acc.sched.ReloadBytes += sc.ReloadBytes
+	acc.sched.SpillCycles += sc.SpillCycles
+	acc.sched.ReloadCycles += sc.ReloadCycles
+	acc.serviceCycles += res.TotalCycles
+	for c := range res.Traffic {
+		acc.traffic[c] += res.Traffic[c]
+	}
+	acc.singleTenant = res.TotalCycles
+	lat := s.now - t.req.arrival
+	wait := t.start - t.req.arrival
+	acc.latencies = append(acc.latencies, lat)
+	acc.queueWaits = append(acc.queueWaits, wait)
+	acc.requests = append(acc.requests, RequestStat{
+		Stream: s.names[t.req.stream], Seq: t.req.seq,
+		Arrival: t.req.arrival, Start: t.start, Finish: s.now,
+		Latency: lat, QueueWait: wait, ServiceCycles: res.TotalCycles,
+		Preemptions: sc.Suspends, SpillBytes: sc.SpillBytes, ReloadBytes: sc.ReloadBytes,
+	})
+	if s.now > s.makespan {
+		s.makespan = s.now
+	}
+	s.obs.completed(t.req.stream, lat, wait)
+}

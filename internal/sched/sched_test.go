@@ -1,0 +1,294 @@
+package sched
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"shortcutmining/internal/core"
+	"shortcutmining/internal/metrics"
+	"shortcutmining/internal/nn"
+)
+
+// contended is a scenario small enough for -race yet contended enough
+// that round-robin and priority actually preempt.
+const contended = "seed=11;policy=rr;quantum=2;" +
+	"stream=squeezenet-bypass:n=3,gap=100000;" +
+	"stream=densechain:n=4,gap=80000,poisson;" +
+	"stream=squeezenet:n=2,start=50000"
+
+func mustParse(t *testing.T, s string) *Spec {
+	t.Helper()
+	spec, err := ParseSpec(s)
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", s, err)
+	}
+	return spec
+}
+
+func mustNet(t *testing.T, name string) *nn.Network {
+	t.Helper()
+	net, err := nn.Build(name)
+	if err != nil {
+		t.Fatalf("build %s: %v", name, err)
+	}
+	return net
+}
+
+func resultJSON(t *testing.T, r *Result) string {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	return string(b)
+}
+
+// TestDeterminism runs the same seeded scenario twice sequentially and
+// twice concurrently (the -race half of the guarantee): all four
+// results must be byte-identical.
+func TestDeterminism(t *testing.T) {
+	cfg := core.Default()
+	spec := mustParse(t, contended)
+
+	first, err := Run(cfg, spec, nil)
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	second, err := Run(cfg, spec, nil)
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	want := resultJSON(t, first)
+	if got := resultJSON(t, second); got != want {
+		t.Fatalf("sequential reruns diverge:\n got %s\nwant %s", got, want)
+	}
+
+	var wg sync.WaitGroup
+	results := make([]*Result, 2)
+	errs := make([]error, 2)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Each goroutine parses its own spec: concurrent runs must
+			// not share mutable state anywhere.
+			spec := mustParse(t, contended)
+			results[i], errs[i] = Run(cfg, spec, nil)
+		}(i)
+	}
+	wg.Wait()
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("concurrent run %d: %v", i, errs[i])
+		}
+		if got := resultJSON(t, results[i]); got != want {
+			t.Errorf("concurrent run %d diverges from sequential result", i)
+		}
+	}
+}
+
+// TestReconciliation pins the accounting contract: every stream's
+// service cycles and DRAM traffic must equal its completed count times
+// one single-tenant run — multi-tenancy costs live only in the
+// separate tenancy ledger.
+func TestReconciliation(t *testing.T) {
+	cfg := core.Default()
+	spec := mustParse(t, contended)
+	res, err := Run(cfg, spec, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.MakespanCycles == 0 || res.PeakResident < 2 {
+		t.Errorf("contended scenario not contended: makespan=%d peak=%d", res.MakespanCycles, res.PeakResident)
+	}
+	totalPreempt := int64(0)
+	// The scheduler forces batch=1; the single-tenant baseline must
+	// match that.
+	base := cfg
+	base.Batch = 1
+	base.AmortizeWeights = false
+	for _, sr := range res.Streams {
+		if sr.Completed != sr.Requests || sr.Rejected != 0 {
+			t.Errorf("%s: %d/%d completed, %d rejected", sr.Name, sr.Completed, sr.Requests, sr.Rejected)
+		}
+		strat, err := core.ParseStrategy(sr.Strategy)
+		if err != nil {
+			t.Fatalf("%s: %v", sr.Name, err)
+		}
+		single, err := core.Simulate(mustNet(t, sr.Network), base, strat, nil)
+		if err != nil {
+			t.Fatalf("%s: single-tenant run: %v", sr.Name, err)
+		}
+		if sr.SingleTenantCycles != single.TotalCycles {
+			t.Errorf("%s: SingleTenantCycles=%d, independent run says %d",
+				sr.Name, sr.SingleTenantCycles, single.TotalCycles)
+		}
+		if want := single.TotalCycles * int64(sr.Completed); sr.ServiceCycles != want {
+			t.Errorf("%s: ServiceCycles=%d, want completed×single=%d", sr.Name, sr.ServiceCycles, want)
+		}
+		for c := range sr.Traffic {
+			if want := single.Traffic[c] * int64(sr.Completed); sr.Traffic[c] != want {
+				t.Errorf("%s: traffic class %d = %d bytes, want completed×single=%d",
+					sr.Name, c, sr.Traffic[c], want)
+			}
+		}
+		if sr.Sched.SpillBytes != sr.Sched.ReloadBytes {
+			// Every suspended working set is reloaded in full on resume
+			// only when the spilled prefix was resident; the ledger may
+			// legitimately differ, but both directions must be counted.
+			if sr.Sched.Suspends != sr.Sched.Resumes {
+				t.Errorf("%s: suspends=%d resumes=%d", sr.Name, sr.Sched.Suspends, sr.Sched.Resumes)
+			}
+		}
+		if sr.Preemptions != sr.Sched.Suspends {
+			t.Errorf("%s: Preemptions=%d but ledger says %d suspends", sr.Name, sr.Preemptions, sr.Sched.Suspends)
+		}
+		totalPreempt += sr.Preemptions
+	}
+	if totalPreempt == 0 {
+		t.Error("round-robin quantum=2 over 3 streams produced zero preemptions")
+	}
+	if res.TotalTenancyBytes() == 0 {
+		t.Error("preemptive schedule reports zero tenancy traffic")
+	}
+}
+
+// TestFCFSNoTenancyCost pins the FCFS invariant: no preemption, so the
+// multi-tenancy ledger is zero and latency decomposes exactly into
+// queue wait + single-tenant service.
+func TestFCFSNoTenancyCost(t *testing.T) {
+	spec := mustParse(t, "seed=3;policy=fcfs;stream=densechain:n=4,gap=1000;stream=squeezenet:n=2,gap=1000")
+	res, err := Run(core.Default(), spec, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.TotalTenancyBytes() != 0 {
+		t.Errorf("FCFS tenancy bytes = %d, want 0", res.TotalTenancyBytes())
+	}
+	if res.PeakResident != 1 {
+		t.Errorf("FCFS peak resident = %d, want 1", res.PeakResident)
+	}
+	for _, sr := range res.Streams {
+		if sr.Preemptions != 0 {
+			t.Errorf("%s: FCFS preempted %d times", sr.Name, sr.Preemptions)
+		}
+	}
+	for _, rq := range res.Requests {
+		if rq.Latency != rq.QueueWait+rq.ServiceCycles {
+			t.Errorf("%s/%d: latency %d != wait %d + service %d",
+				rq.Stream, rq.Seq, rq.Latency, rq.QueueWait, rq.ServiceCycles)
+		}
+	}
+}
+
+// TestPriorityPreemption: a high-priority stream arriving mid-run must
+// preempt the low-priority tenant and see lower queueing delay.
+func TestPriorityPreemption(t *testing.T) {
+	spec := mustParse(t, "seed=5;policy=prio;"+
+		"stream=resnet18:n=1,name=bulk;"+
+		"stream=densechain:n=2,gap=200000,start=100000,prio=5,name=vip")
+	res, err := Run(core.Default(), spec, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	byName := map[string]StreamResult{}
+	for _, sr := range res.Streams {
+		byName[sr.Name] = sr
+	}
+	if byName["bulk"].Preemptions == 0 {
+		t.Error("bulk stream was never preempted by the vip stream")
+	}
+	if byName["vip"].Preemptions != 0 {
+		t.Errorf("vip stream was preempted %d times by lower priority", byName["vip"].Preemptions)
+	}
+	if v, b := byName["vip"].QueueWait.P95, byName["bulk"].QueueWait.P95; v > b && b > 0 {
+		t.Errorf("vip waits longer than bulk: %d > %d", v, b)
+	}
+}
+
+// TestAdmissionRejection: a stream whose declared bank demand exceeds
+// the pool is refused, while admissible streams still complete.
+func TestAdmissionRejection(t *testing.T) {
+	cfg := core.Default()
+	spec := mustParse(t, "seed=9;policy=fcfs;stream=densechain:n=3,banks=1000;stream=squeezenet:n=2")
+	res, err := Run(cfg, spec, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if sr := res.Streams[0]; sr.Rejected != 3 || sr.Completed != 0 {
+		t.Errorf("oversized stream: rejected=%d completed=%d, want 3/0", sr.Rejected, sr.Completed)
+	}
+	if sr := res.Streams[1]; sr.Completed != 2 || sr.Rejected != 0 {
+		t.Errorf("admissible stream: completed=%d rejected=%d, want 2/0", sr.Completed, sr.Rejected)
+	}
+}
+
+// TestMaxResident bounds co-residency.
+func TestMaxResident(t *testing.T) {
+	spec := mustParse(t, "seed=2;policy=rr;quantum=1;maxresident=2;"+
+		"stream=densechain:n=2;stream=squeezenet:n=2;stream=squeezenet-bypass:n=2")
+	res, err := Run(core.Default(), spec, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.PeakResident > 2 {
+		t.Errorf("peak resident = %d, want <= 2", res.PeakResident)
+	}
+	for _, sr := range res.Streams {
+		if sr.Completed != sr.Requests {
+			t.Errorf("%s: %d/%d completed", sr.Name, sr.Completed, sr.Requests)
+		}
+	}
+}
+
+// TestSchedMetrics checks the observer publishes per-stream series.
+func TestSchedMetrics(t *testing.T) {
+	reg := metrics.New()
+	spec := mustParse(t, contended)
+	if _, err := Run(core.Default(), spec, reg); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	snap := reg.Snapshot()
+	found := map[string]bool{}
+	for _, c := range snap.Counters {
+		found[c.Name] = true
+	}
+	for _, g := range snap.Gauges {
+		found[g.Name] = true
+	}
+	for _, h := range snap.Histograms {
+		found[h.Name] = true
+	}
+	for _, name := range []string{MetricRequests, MetricPreemptions, MetricTenancyBytes,
+		MetricLatencyCycles, MetricQueueCycles, MetricResidentRuns, MetricMakespanCycles} {
+		if !found[name] {
+			t.Errorf("metric %s not in snapshot", name)
+		}
+	}
+}
+
+// TestRunContextCancel verifies cancellation surfaces cleanly.
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, core.Default(), mustParse(t, contended), nil); err == nil {
+		t.Fatal("canceled run: want error")
+	}
+}
+
+// TestQoSTable sanity-checks the rendered table.
+func TestQoSTable(t *testing.T) {
+	res, err := Run(core.Default(), mustParse(t, contended), nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	tbl := res.QoSTable().Markdown()
+	for _, want := range []string{"stream", "lat p95", "preempts", "densechain", "squeezenet-bypass"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("QoS table missing %q:\n%s", want, tbl)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"shortcutmining/internal/core"
+)
+
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpec("seed=42;policy=rr;quantum=4;maxresident=2;" +
+		"stream=resnet34:n=8,gap=2000000,poisson,prio=3,strategy=baseline,banks=10,start=100,name=vip;" +
+		"stream=squeezenet:n=2")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if spec.Seed != 42 || spec.Policy != RoundRobin || spec.QuantumLayers != 4 || spec.MaxResident != 2 {
+		t.Errorf("header fields: %+v", spec)
+	}
+	st := spec.Streams[0]
+	want := StreamSpec{Name: "vip", Network: "resnet34", Strategy: core.Baseline,
+		Requests: 8, GapCycles: 2000000, StartCycles: 100, Poisson: true, Priority: 3, MinBanks: 10}
+	if st != want {
+		t.Errorf("stream 0:\n got %+v\nwant %+v", st, want)
+	}
+	if st := spec.Streams[1]; st.Network != "squeezenet" || st.Requests != 2 || st.Strategy != core.SCM {
+		t.Errorf("stream 1 defaults: %+v", st)
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	in := "seed=7;policy=prio;maxresident=3;" +
+		"stream=resnet34:n=4,gap=1000000;" +
+		"stream=squeezenet:n=6,gap=300000,poisson,prio=2,strategy=fmreuse,name=bg"
+	spec, err := ParseSpec(in)
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	again, err := ParseSpec(spec.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", spec.String(), err)
+	}
+	if spec.String() != again.String() {
+		t.Errorf("spec does not round-trip:\n first %s\nsecond %s", spec.String(), again.String())
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",                          // no streams
+		"policy=lifo;stream=vgg16:", // unknown policy
+		"stream=:n=2",               // empty network
+		"stream=vgg16:n=0",          // zero requests
+		"stream=vgg16:n=x",          // bad int
+		"stream=vgg16:bogus",        // unknown flag
+		"stream=vgg16:wat=1",        // unknown parameter
+		"quantum=-1;stream=vgg16:",  // negative quantum
+		"turbo=1;stream=vgg16:",     // unknown clause
+		"seed",                      // clause without =
+		"stream=vgg16:n=9999999",    // over request cap
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q): want error, got nil", bad)
+		}
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	for _, p := range []Policy{FCFS, RoundRobin, Priority} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParsePolicy("sjf"); err == nil {
+		t.Error("ParsePolicy(sjf): want error")
+	}
+}
+
+func TestStreamNames(t *testing.T) {
+	spec := &Spec{Streams: []StreamSpec{
+		{Network: "resnet34"}, {Network: "resnet34"}, {Network: "vgg16", Name: "vip"}, {Network: "vgg16"},
+	}}
+	got := spec.streamNames()
+	want := []string{"resnet34", "resnet34#2", "vip", "vgg16"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("streamNames = %v, want %v", got, want)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	if q := quantiles(nil); q != (Quantiles{}) {
+		t.Errorf("empty quantiles = %+v", q)
+	}
+	vals := make([]int64, 100)
+	for i := range vals {
+		vals[i] = int64(100 - i) // reverse order: quantiles must sort
+	}
+	q := quantiles(vals)
+	if q.P50 != 50 || q.P95 != 95 || q.P99 != 99 {
+		t.Errorf("quantiles = %+v, want 50/95/99", q)
+	}
+}

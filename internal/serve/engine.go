@@ -12,6 +12,7 @@ import (
 	"shortcutmining/internal/fpga"
 	"shortcutmining/internal/metrics"
 	"shortcutmining/internal/nn"
+	"shortcutmining/internal/sched"
 	"shortcutmining/internal/serve/pool"
 	"shortcutmining/internal/stats"
 )
@@ -31,6 +32,7 @@ const (
 	MetricJobsRejected  = "scm_serve_jobs_rejected_total"
 	MetricCacheHits     = "scm_serve_cache_hits_total"
 	MetricCacheMisses   = "scm_serve_cache_misses_total"
+	MetricCacheLookups  = "scm_serve_cache_lookups"
 	MetricInflightDedup = "scm_serve_inflight_dedup_total"
 	MetricCacheBytes    = "scm_serve_cache_bytes"
 	MetricCacheEntries  = "scm_serve_cache_entries"
@@ -299,6 +301,46 @@ func (e *Engine) SubmitSimulate(req Request) (*Job, error) {
 	})
 }
 
+// ScheduleRequest is one asynchronous multi-tenant scheduling run: N
+// request streams time-sharing the platform's bank pool.
+type ScheduleRequest struct {
+	Cfg core.Config
+	// Spec is the validated scenario; a nil Spec is rejected.
+	Spec *sched.Spec
+}
+
+// SubmitSchedule enqueues a multi-tenant scheduling job. Scheduling
+// runs bypass the result cache (their cost is dominated by the
+// scenario, and the Result is cheap to recompute relative to its
+// size), but they share the worker pool, admission control, and job
+// lifecycle with every other kind.
+func (e *Engine) SubmitSchedule(req ScheduleRequest) (*Job, error) {
+	if req.Spec == nil {
+		return nil, fmt.Errorf("serve: schedule has no spec")
+	}
+	if err := req.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := req.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	j := e.newJob("schedule")
+	return e.admit(j, func(ctx context.Context) {
+		start := time.Now()
+		res, err := sched.RunContext(ctx, req.Cfg, req.Spec, nil)
+		e.mJobSeconds.Observe(time.Since(start).Seconds())
+		switch {
+		case err == nil:
+			e.mJobsDone.Inc()
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			e.mJobsCanceled.Inc()
+		default:
+			e.mJobsFailed.Inc()
+		}
+		j.finishSchedule(res, err)
+	})
+}
+
 // SubmitSweep enqueues a design-space sweep job.
 func (e *Engine) SubmitSweep(req SweepRequest) (*Job, error) {
 	if req.Net == nil {
@@ -436,6 +478,13 @@ func (e *Engine) syncGauges() {
 	e.reg.Gauge(MetricCacheBytes, "encoded bytes held by the result cache").Set(float64(cs.Bytes))
 	e.reg.Gauge(MetricCacheEntries, "entries in the result cache").Set(float64(cs.Entries))
 	e.reg.Gauge(MetricCacheEvicted, "entries evicted by the byte budget").Set(float64(cs.Evictions))
+	// The cache's own cumulative lookup counters: unlike the
+	// scm_serve_cache_{hits,misses}_total engine counters, these cover
+	// every Get on the cache, whichever path issued it.
+	e.reg.Gauge(MetricCacheLookups, "cumulative result-cache lookups by outcome",
+		metrics.L("result", "hit")).Set(float64(cs.Hits))
+	e.reg.Gauge(MetricCacheLookups, "cumulative result-cache lookups by outcome",
+		metrics.L("result", "miss")).Set(float64(cs.Misses))
 	e.reg.Gauge(MetricQueueDepth, "jobs queued but not yet running").Set(float64(e.pool.QueueLen()))
 	e.reg.Gauge(MetricBusyWorkers, "workers currently executing a job").Set(float64(e.pool.Busy()))
 }

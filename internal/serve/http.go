@@ -12,6 +12,7 @@ import (
 	"shortcutmining/internal/core"
 	"shortcutmining/internal/dse"
 	"shortcutmining/internal/nn"
+	"shortcutmining/internal/sched"
 	"shortcutmining/internal/stats"
 )
 
@@ -52,6 +53,21 @@ type sweepBody struct {
 	Pareto   bool            `json:"pareto,omitempty"`
 }
 
+// scheduleBody is the POST /v1/schedule document. Scheduling jobs are
+// always asynchronous (a contended scenario can run for minutes of
+// simulated time): the reply is 202 + a job id, and the Result lands
+// in GET /v1/jobs/{id} under "schedule".
+type scheduleBody struct {
+	// Spec is the compact scheduling grammar, e.g.
+	// "seed=7;policy=rr;stream=resnet34:n=4,gap=2000000;stream=squeezenet:n=6,gap=500000,poisson".
+	Spec string `json:"spec,omitempty"`
+	// Scenario is the structured alternative to Spec. Exactly one of
+	// the two must be set.
+	Scenario *sched.Spec `json:"scenario,omitempty"`
+	// Config overrides platform fields, like in /v1/simulate.
+	Config json.RawMessage `json:"config,omitempty"`
+}
+
 type simulateReply struct {
 	Cached bool            `json:"cached"`
 	Stats  *stats.RunStats `json:"stats"`
@@ -70,6 +86,7 @@ type errorReply struct {
 //
 //	POST /v1/simulate   one simulation (sync by default, async opt-in)
 //	POST /v1/sweep      asynchronous design-space sweep job
+//	POST /v1/schedule   asynchronous multi-tenant scheduling job
 //	GET  /v1/jobs/{id}  job status + result
 //	GET  /healthz       liveness / drain status
 //	GET  /metrics       server metrics, Prometheus text format
@@ -77,6 +94,7 @@ func NewHandler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/simulate", func(w http.ResponseWriter, r *http.Request) { handleSimulate(e, w, r) })
 	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) { handleSweep(e, w, r) })
+	mux.HandleFunc("POST /v1/schedule", func(w http.ResponseWriter, r *http.Request) { handleSchedule(e, w, r) })
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) { handleJob(e, w, r) })
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) { handleHealth(e, w) })
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) { handleMetrics(e, w) })
@@ -218,6 +236,45 @@ func handleSweep(e *Engine, w http.ResponseWriter, r *http.Request) {
 	j, err := e.SubmitSweep(SweepRequest{
 		Net: net, Base: cfg, Space: space, Parallel: body.Parallel, Pareto: body.Pareto,
 	})
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jobReply{Job: j.ID(), State: JobQueued})
+}
+
+func handleSchedule(e *Engine, w http.ResponseWriter, r *http.Request) {
+	var body scheduleBody
+	if !decodeBody(w, r, &body) {
+		return
+	}
+	var spec *sched.Spec
+	switch {
+	case body.Spec != "" && body.Scenario != nil:
+		writeError(w, http.StatusBadRequest, errors.New("set either spec or scenario, not both"))
+		return
+	case body.Spec != "":
+		var err error
+		if spec, err = sched.ParseSpec(body.Spec); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	case body.Scenario != nil:
+		spec = body.Scenario
+		if err := spec.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, errors.New("request needs a spec string or a structured scenario"))
+		return
+	}
+	cfg, err := resolveConfig(body.Config)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := e.SubmitSchedule(ScheduleRequest{Cfg: cfg, Spec: spec})
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"shortcutmining/internal/dse"
+	"shortcutmining/internal/sched"
 	"shortcutmining/internal/stats"
 )
 
@@ -38,6 +39,7 @@ type Job struct {
 	finished time.Time
 	res      *stats.RunStats
 	sweep    []dse.Outcome
+	schedule *sched.Result
 	cancel   context.CancelFunc
 
 	done chan struct{}
@@ -89,6 +91,16 @@ func (j *Job) finishSim(res stats.RunStats, cached bool, err error) {
 	close(j.done)
 }
 
+func (j *Job) finishSchedule(res *sched.Result, err error) {
+	j.mu.Lock()
+	j.finishLocked(err)
+	if err == nil {
+		j.schedule = res
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
 func (j *Job) finishSweep(outcomes []dse.Outcome, err error) {
 	j.mu.Lock()
 	j.finishLocked(err)
@@ -125,6 +137,8 @@ type View struct {
 	Finished *time.Time      `json:"finished,omitempty"`
 	Stats    *stats.RunStats `json:"stats,omitempty"`
 	Outcomes []dse.Outcome   `json:"outcomes,omitempty"`
+	// Schedule is the per-stream QoS outcome of a kind="schedule" job.
+	Schedule *sched.Result `json:"schedule,omitempty"`
 }
 
 // View snapshots the job.
@@ -134,7 +148,7 @@ func (j *Job) View() View {
 	v := View{
 		ID: j.id, Kind: j.kind, State: j.state, Cached: j.cached,
 		Error: j.errMsg, Created: j.created,
-		Stats: j.res, Outcomes: j.sweep,
+		Stats: j.res, Outcomes: j.sweep, Schedule: j.schedule,
 	}
 	if !j.started.IsZero() {
 		t := j.started

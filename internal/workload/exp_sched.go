@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"fmt"
+
+	"shortcutmining/internal/core"
+	"shortcutmining/internal/sched"
+	"shortcutmining/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "E23",
+		Title:  "Multi-tenant scheduling: QoS under shared-pool time-sharing",
+		Anchor: "scheduling extension (not in the paper): because logical buffers are composed at run time from a shared bank pool, nothing ties the pool to one network — co-resident streams can time-share it at layer granularity, paying a P5-style spill/re-load cost per preemption that the scheduler accounts separately, so per-stream traffic still reconciles exactly with the single-tenant baseline.",
+		Run:    runE23,
+	})
+}
+
+// e23Streams is the fixed contended scenario: a latency-sensitive
+// small network, a bulk ResNet stream, and a bursty Poisson stream.
+// The prio variant ranks the latency stream above the rest; priorities
+// are inert under fcfs/rr, so one description serves all policies.
+const e23Streams = "stream=squeezenet-bypass:n=4,gap=3000000,prio=5,name=latency;" +
+	"stream=resnet34:n=3,gap=9000000,name=bulk;" +
+	"stream=densechain:n=6,gap=1500000,poisson,prio=2,name=bursty"
+
+func runE23(cfg core.Config) (Result, error) {
+	res := Result{Metrics: map[string]float64{}}
+	summary := stats.NewTable(
+		fmt.Sprintf("Policy comparison (3 streams, pool = %d banks)", cfg.Pool.NumBanks),
+		"policy", "makespan (Mcyc)", "latency-stream p95 (Mcyc)", "latency-stream slowdown",
+		"preemptions", "tenancy traffic (MB)")
+	for _, pol := range []string{"policy=fcfs", "policy=rr;quantum=8", "policy=prio"} {
+		parsed, err := sched.ParseSpec("seed=23;" + pol + ";" + e23Streams)
+		if err != nil {
+			return Result{}, err
+		}
+		out, err := sched.Run(cfg, parsed, nil)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Tables = append(res.Tables, out.QoSTable())
+
+		var latency sched.StreamResult
+		var preempts int64
+		for _, sr := range out.Streams {
+			if sr.Name == "latency" {
+				latency = sr
+			}
+			preempts += sr.Preemptions
+		}
+		name := parsed.Policy.String()
+		res.Metrics["makespan_mcyc/"+name] = float64(out.MakespanCycles) / 1e6
+		res.Metrics["latency_p95_mcyc/"+name] = float64(latency.Latency.P95) / 1e6
+		res.Metrics["latency_slowdown/"+name] = latency.Slowdown()
+		res.Metrics["tenancy_mb/"+name] = float64(out.TotalTenancyBytes()) / 1e6
+		summary.Add(name,
+			stats.F2(float64(out.MakespanCycles)/1e6),
+			stats.F2(float64(latency.Latency.P95)/1e6),
+			fmt.Sprintf("%.2fx", latency.Slowdown()),
+			fmt.Sprintf("%d", preempts),
+			stats.F2(float64(out.TotalTenancyBytes())/1e6))
+	}
+	res.Tables = append(res.Tables, summary)
+	res.Notes = append(res.Notes,
+		"FCFS is the no-preemption floor: zero tenancy traffic, but the latency-sensitive stream queues behind bulk inferences. "+
+			"Round-robin bounds queueing at the price of spill/re-load traffic per quantum expiry. "+
+			"Priority preemption gives the latency stream near-single-tenant p95 while bulk absorbs the tenancy cost; "+
+			"per-stream service cycles and traffic reconcile exactly with single-tenant runs under every policy (pinned by internal/sched tests).")
+	return res, nil
+}

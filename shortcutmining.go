@@ -31,6 +31,7 @@ import (
 	"shortcutmining/internal/fpga"
 	"shortcutmining/internal/metrics"
 	"shortcutmining/internal/nn"
+	"shortcutmining/internal/sched"
 	"shortcutmining/internal/stats"
 	"shortcutmining/internal/tensor"
 	"shortcutmining/internal/trace"
@@ -291,4 +292,31 @@ func RunExperimentWith(id string, cfg Config) (ExperimentResult, error) {
 	}
 	res.ID, res.Title, res.Anchor = e.ID, e.Title, e.Anchor
 	return res, nil
+}
+
+// Multi-tenant scheduling: N request streams time-share one
+// accelerator's bank pool at layer granularity (internal/sched).
+type (
+	// SchedSpec is a complete multi-tenant scheduling scenario.
+	SchedSpec = sched.Spec
+	// SchedStreamSpec describes one request stream in a SchedSpec.
+	SchedStreamSpec = sched.StreamSpec
+	// SchedResult is the per-stream QoS outcome of a scheduled run.
+	SchedResult = sched.Result
+)
+
+// ParseSchedSpec reads the compact scheduling grammar, e.g.
+// "seed=7;policy=prio;stream=resnet34:n=4,gap=1000000;stream=squeezenet:n=6,gap=300000,prio=2".
+func ParseSchedSpec(s string) (*SchedSpec, error) { return sched.ParseSpec(s) }
+
+// Schedule executes a multi-tenant scenario on the platform and
+// returns per-stream QoS statistics.
+func Schedule(cfg Config, spec *SchedSpec) (*SchedResult, error) {
+	return sched.Run(cfg, spec, nil)
+}
+
+// ScheduleContext is Schedule with cooperative cancellation at layer
+// granularity.
+func ScheduleContext(ctx context.Context, cfg Config, spec *SchedSpec) (*SchedResult, error) {
+	return sched.RunContext(ctx, cfg, spec, nil)
 }
