@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"shortcutmining/internal/analysis"
+)
+
+// modulePattern returns an absolute ./... pattern for the enclosing
+// module so tests do not depend on the process working directory.
+func modulePattern(t *testing.T) string {
+	t.Helper()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root + "/..."
+}
+
+// TestSelfRunClean is the CI gate in miniature: scm-vet over this
+// repository must exit 0 with no findings.
+func TestSelfRunClean(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{modulePattern(t)}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.String() != "" {
+		t.Errorf("clean run produced output:\n%s", stdout.String())
+	}
+}
+
+// TestSelfRunJSON checks the machine-readable clean output: an empty
+// JSON array, not null.
+func TestSelfRunJSON(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-json", modulePattern(t)}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr:\n%s", code, stderr.String())
+	}
+	if got := stdout.String(); got != "[]\n" {
+		t.Errorf("clean -json output = %q, want %q", got, "[]\n")
+	}
+}
+
+// TestUnknownCheckFlag pins usage-error behavior.
+func TestUnknownCheckFlag(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-checks", "bogus", modulePattern(t)}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), `unknown check "bogus"`) {
+		t.Errorf("stderr = %q, want unknown-check message", stderr.String())
+	}
+}
+
+// TestPatternOutsideModule pins the outside-root rejection.
+func TestPatternOutsideModule(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"/"}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2\nstderr:\n%s", code, stderr.String())
+	}
+}

@@ -1,0 +1,289 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	// RelPath is the package directory relative to the module root,
+	// slash-separated ("" for the root package, "internal/core", ...).
+	RelPath string
+	// Path is the full import path.
+	Path string
+	// Dir is the absolute directory.
+	Dir string
+	// Files are the parsed non-test sources, with comments.
+	Files []*ast.File
+	// Src holds the raw bytes of each file in Files (same order);
+	// suppression parsing needs to see line prefixes.
+	Src [][]byte
+	// Pkg and Info are the go/types results.
+	Pkg  *types.Package
+	Info *types.Info
+}
+
+// Module is a fully loaded and type-checked Go module.
+type Module struct {
+	// Root is the absolute module root (the directory with go.mod).
+	Root string
+	// Path is the module path from go.mod.
+	Path string
+	// Fset positions every file of every package.
+	Fset *token.FileSet
+	// Pkgs holds every package in dependency (topological) order.
+	Pkgs []*Package
+}
+
+// RelType renders a named type as "<pkg-rel-path>.<Name>" when the type
+// belongs to this module ("internal/dram.Traffic"), or as its full
+// qualified name otherwise. Configs name ledger types in this form so
+// the same rules apply to the test corpus module.
+func (m *Module) RelType(obj *types.TypeName) string {
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return obj.Name()
+	}
+	path := pkg.Path()
+	if path == m.Path {
+		return "." + obj.Name()
+	}
+	if rest, ok := strings.CutPrefix(path, m.Path+"/"); ok {
+		return rest + "." + obj.Name()
+	}
+	return path + "." + obj.Name()
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p == "" {
+				break
+			}
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module path in %s", gomod)
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod at or above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// chainImporter resolves module-internal imports from the packages
+// already checked and everything else (the standard library) through
+// the compiler's source importer. Using only the source importer keeps
+// the loader dependency-free and independent of prebuilt export data.
+type chainImporter struct {
+	done map[string]*types.Package
+	std  types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.done[path]; ok {
+		return p, nil
+	}
+	return c.std.Import(path)
+}
+
+// LoadModule parses and type-checks every non-test package under root
+// (a directory containing go.mod), using only the standard library.
+// Directories named testdata or vendor, and hidden or underscore
+// directories, are skipped — the same set the go tool ignores.
+func LoadModule(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	mod := &Module{Root: root, Path: modPath, Fset: token.NewFileSet()}
+
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		// A nested module is a separate unit; stay out of it.
+		if path != root {
+			if _, statErr := os.Stat(filepath.Join(path, "go.mod")); statErr == nil {
+				return filepath.SkipDir
+			}
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	byPath := make(map[string]*Package)
+	for _, dir := range dirs {
+		bp, err := build.ImportDir(dir, 0)
+		if err != nil {
+			if _, ok := err.(*build.NoGoError); ok {
+				continue
+			}
+			return nil, fmt.Errorf("analysis: %s: %w", dir, err)
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		rel = filepath.ToSlash(rel)
+		if rel == "." {
+			rel = ""
+		}
+		imp := modPath
+		if rel != "" {
+			imp = modPath + "/" + rel
+		}
+		p := &Package{RelPath: rel, Path: imp, Dir: dir}
+		files := append([]string(nil), bp.GoFiles...)
+		sort.Strings(files)
+		for _, name := range files {
+			full := filepath.Join(dir, name)
+			src, err := os.ReadFile(full)
+			if err != nil {
+				return nil, err
+			}
+			f, err := parser.ParseFile(mod.Fset, full, src, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			p.Files = append(p.Files, f)
+			p.Src = append(p.Src, src)
+		}
+		byPath[imp] = p
+	}
+
+	order, err := topoSort(byPath, modPath)
+	if err != nil {
+		return nil, err
+	}
+
+	done := make(map[string]*types.Package)
+	imp := &chainImporter{done: done, std: importer.ForCompiler(mod.Fset, "source", nil)}
+	for _, p := range order {
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		var terrs []error
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(err error) { terrs = append(terrs, err) },
+		}
+		tpkg, err := conf.Check(p.Path, mod.Fset, p.Files, info)
+		if len(terrs) > 0 {
+			return nil, fmt.Errorf("analysis: type-checking %s: %w", p.Path, terrs[0])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %w", p.Path, err)
+		}
+		done[p.Path] = tpkg
+		p.Pkg, p.Info = tpkg, info
+		mod.Pkgs = append(mod.Pkgs, p)
+	}
+	return mod, nil
+}
+
+// topoSort orders packages so every module-internal import precedes its
+// importer.
+func topoSort(byPath map[string]*Package, modPath string) ([]*Package, error) {
+	paths := make([]string, 0, len(byPath))
+	for p := range byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	const (
+		unvisited = iota
+		visiting
+		visited
+	)
+	state := make(map[string]int)
+	var order []*Package
+	var visit func(path string, stack []string) error
+	visit = func(path string, stack []string) error {
+		switch state[path] {
+		case visited:
+			return nil
+		case visiting:
+			return fmt.Errorf("analysis: import cycle through %s (%s)", path, strings.Join(stack, " -> "))
+		}
+		state[path] = visiting
+		p := byPath[path]
+		var deps []string
+		for _, f := range p.Files {
+			for _, spec := range f.Imports {
+				target := strings.Trim(spec.Path.Value, `"`)
+				if target == modPath || strings.HasPrefix(target, modPath+"/") {
+					if _, ok := byPath[target]; ok {
+						deps = append(deps, target)
+					}
+				}
+			}
+		}
+		sort.Strings(deps)
+		for _, d := range deps {
+			if err := visit(d, append(stack, path)); err != nil {
+				return err
+			}
+		}
+		state[path] = visited
+		order = append(order, p)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p, nil); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

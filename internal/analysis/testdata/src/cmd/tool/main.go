@@ -1,0 +1,19 @@
+// Command tool is cmd-exemption corpus: main programs may panic, read
+// the clock, call Must wrappers, and drop errors without findings.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"example.com/vetcorpus/internal/nn"
+)
+
+func main() {
+	start := time.Now()
+	n := nn.MustBuild("resnet")
+	if n == nil {
+		panic("unreachable")
+	}
+	fmt.Println(n.Name, time.Since(start))
+}

@@ -1,0 +1,3 @@
+module example.com/vetcorpus
+
+go 1.22

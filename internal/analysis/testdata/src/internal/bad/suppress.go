@@ -1,0 +1,25 @@
+// Package bad is suppression-parsing corpus: malformed scmvet:ok
+// annotations are themselves findings, and they do not suppress.
+package bad
+
+import "errors"
+
+func fallible() error { return errors.New("boom") }
+
+// NoReason omits the mandatory justification.
+func NoReason() {
+	// scmvet:ok ignorederr
+	fallible() // want `\[ignorederr\] call discards its error result`
+}
+
+// UnknownCheck names a check that does not exist.
+func UnknownCheck() {
+	// scmvet:ok speling this reason does not save the typo
+	fallible() // want `\[ignorederr\] call discards its error result`
+}
+
+// WrongCheck suppresses a different check than the one firing.
+func WrongCheck() {
+	// scmvet:ok determinism reason aimed at the wrong check
+	fallible() // want `\[ignorederr\] call discards its error result`
+}

@@ -1,0 +1,55 @@
+// Package core is determinism-check corpus: it stands in for a
+// deterministic simulator package, so wall-clock reads, global rand,
+// and map iteration are all violations here.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock two ways.
+func Stamp() (time.Time, time.Duration) {
+	now := time.Now()           // want `\[determinism\] time\.Now reads the wall clock`
+	d := time.Since(now)        // want `\[determinism\] time\.Since reads the wall clock`
+	_ = time.Until(time.Time{}) // want `\[determinism\] time\.Until reads the wall clock`
+	return now, d
+}
+
+// GlobalRand uses the shared process generator.
+func GlobalRand() int {
+	f := rand.Float64() // want `\[determinism\] global rand\.Float64 uses the shared process generator`
+	_ = f
+	return rand.Intn(10) // want `\[determinism\] global rand\.Intn uses the shared process generator`
+}
+
+// SeededRand is the sanctioned construction: an explicit source, then
+// methods on the instance.
+func SeededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// MapOrder iterates maps in a deterministic package.
+func MapOrder(m map[string]int64) int64 {
+	var sum int64
+	for _, v := range m { // want `\[determinism\] map iteration order is not deterministic`
+		sum += v
+	}
+	// scmvet:ok determinism order-independent sum, proven by the test corpus
+	for _, v := range m {
+		sum += v
+	}
+	for _, v := range []int64{1, 2} { // slices are ordered; no finding
+		sum += v
+	}
+	return sum
+}
+
+// SameLine shows a trailing suppression covering its own line.
+func SameLine(m map[string]int64) (n int64) {
+	for range m { // scmvet:ok determinism counting entries, order cannot matter
+		n++
+	}
+	return n
+}

@@ -1,0 +1,38 @@
+// Package dram is accounting-check corpus: it defines the ledger type
+// and is allowed to write it.
+package dram
+
+// NumClasses mirrors the real traffic-class count.
+const NumClasses = 3
+
+// Traffic is the per-class byte ledger named by the test config.
+type Traffic [NumClasses]int64
+
+// Total sums every class.
+func (t Traffic) Total() int64 {
+	var sum int64
+	for _, b := range t {
+		sum += b
+	}
+	return sum
+}
+
+// Add accumulates another tally (a mutating pointer method).
+func (t *Traffic) Add(o Traffic) {
+	for c := range t {
+		t[c] += o[c]
+	}
+}
+
+// Channel is the only sanctioned writer of Traffic.
+type Channel struct {
+	traffic Traffic
+}
+
+// Transfer records bytes; writes here are allowed (defining package).
+func (ch *Channel) Transfer(class int, bytes int64) {
+	ch.traffic[class] += bytes
+}
+
+// Traffic returns the tally.
+func (ch *Channel) Traffic() Traffic { return ch.traffic }

@@ -1,0 +1,10 @@
+// Package metrics is nopanic-exempt corpus: registration-path panics
+// here are sanctioned by the config and produce no findings.
+package metrics
+
+// Register panics on programmer error, like the real registry.
+func Register(name string) {
+	if name == "" {
+		panic("metrics: empty name")
+	}
+}

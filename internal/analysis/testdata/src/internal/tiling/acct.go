@@ -1,0 +1,37 @@
+// Package tiling is accounting-check corpus: a deterministic package
+// that must not write the dram.Traffic ledger.
+package tiling
+
+import "example.com/vetcorpus/internal/dram"
+
+// Stats carries a paper-facing ledger field.
+type Stats struct {
+	Traffic dram.Traffic
+}
+
+// LeakBytes writes ledgers every forbidden way.
+func LeakBytes(s *Stats, ch *dram.Channel, t *dram.Traffic) {
+	s.Traffic[0] += 4096        // want `\[accounting\] write to traffic ledger outside internal/dram/internal/sram`
+	s.Traffic = dram.Traffic{}  // want `\[accounting\] write to traffic ledger outside internal/dram/internal/sram`
+	s.Traffic[1]++              // want `\[accounting\] write to traffic ledger outside internal/dram/internal/sram`
+	t[2] = 7                    // want `\[accounting\] write to traffic ledger outside internal/dram/internal/sram`
+	s.Traffic.Add(ch.Traffic()) // want `\[accounting\] Add mutates a traffic ledger outside internal/dram/internal/sram`
+}
+
+// ScratchMath copies the tally into locals; value-copy arithmetic is
+// not a ledger write.
+func ScratchMath(ch *dram.Channel) int64 {
+	before := ch.Traffic()
+	delta := ch.Traffic()
+	for c := range delta {
+		delta[c] -= before[c]
+	}
+	delta.Add(before) // mutates the local copy only
+	return delta.Total()
+}
+
+// Aggregate is an annotated seam, like RunStats aggregation in the
+// real simulator.
+func Aggregate(s *Stats, ch *dram.Channel) {
+	s.Traffic = ch.Traffic() // scmvet:ok accounting aggregation of the channel's own tally, corpus seam
+}

@@ -1,0 +1,51 @@
+// Package util is ignorederr-check corpus.
+package util
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+func fallible() error { return errors.New("boom") }
+
+func twoResults() (int, error) { return 0, errors.New("boom") }
+
+// Discards drops errors every forbidden way.
+func Discards() {
+	fallible()           // want `\[ignorederr\] call discards its error result`
+	_ = fallible()       // want `\[ignorederr\] error assigned to blank`
+	v, _ := twoResults() // want `\[ignorederr\] error assigned to blank`
+	_ = v
+}
+
+// Handled is the clean variant.
+func Handled() error {
+	if err := fallible(); err != nil {
+		return err
+	}
+	v, err := twoResults()
+	if err != nil {
+		return err
+	}
+	_ = v
+	return nil
+}
+
+// NeverFails exercises the static-nil allowlist: strings.Builder,
+// hash.Hash, and fmt.Fprintf into either.
+func NeverFails() string {
+	var sb strings.Builder
+	sb.WriteString("hello")
+	fmt.Fprintf(&sb, " %d", 42)
+	h := fnv.New64a()
+	h.Write([]byte(sb.String()))
+	return fmt.Sprintf("%x", h.Sum64())
+}
+
+// Annotated documents why the discard is safe.
+func Annotated() {
+	// scmvet:ok ignorederr corpus: failure here is harmless by design
+	fallible()
+}

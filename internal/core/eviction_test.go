@@ -84,7 +84,10 @@ func TestEvictFarthestFunctionallyCorrect(t *testing.T) {
 	cfg := pressureConfig()
 	cfg.Eviction = EvictFarthest
 	for seed := int64(0); seed < 30; seed++ {
-		net := nn.RandomNetwork(seed)
+		net, err := nn.RandomNetwork(seed)
+		if err != nil {
+			t.Fatalf("RandomNetwork(%d): %v", seed, err)
+		}
 		r, err := VerifyFunctional(net, cfg, SCM.Features(), seed)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)

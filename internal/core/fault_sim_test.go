@@ -69,7 +69,10 @@ func TestFunctionalBitExactUnderFaults(t *testing.T) {
 		},
 	}
 	for seed := int64(1); seed <= 3; seed++ {
-		net := nn.RandomNetwork(seed)
+		net, err := nn.RandomNetwork(seed)
+		if err != nil {
+			t.Fatalf("RandomNetwork(%d): %v", seed, err)
+		}
 		for _, banks := range []int{16, 64} {
 			cfg := Default()
 			cfg.Pool = sram.Config{NumBanks: banks, BankBytes: 4 << 10}

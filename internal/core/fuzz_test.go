@@ -15,7 +15,10 @@ import (
 // inside finish).
 func TestFuzzRandomNetworksAnalytical(t *testing.T) {
 	for seed := int64(0); seed < 200; seed++ {
-		net := nn.RandomNetwork(seed)
+		net, err := nn.RandomNetwork(seed)
+		if err != nil {
+			t.Fatalf("RandomNetwork(%d): %v", seed, err)
+		}
 		for _, banks := range []int{8, 16, 64} {
 			cfg := Default()
 			cfg.Pool = sram.Config{NumBanks: banks, BankBytes: 1 << 10}
@@ -66,7 +69,10 @@ func TestFuzzRandomNetworksFunctional(t *testing.T) {
 		t.Skip("functional fuzzing skipped in -short mode")
 	}
 	for seed := int64(0); seed < 120; seed++ {
-		net := nn.RandomNetwork(seed)
+		net, err := nn.RandomNetwork(seed)
+		if err != nil {
+			t.Fatalf("RandomNetwork(%d): %v", seed, err)
+		}
 		for _, banks := range []int{6, 12, 40} {
 			cfg := Default()
 			cfg.Pool = sram.Config{NumBanks: banks, BankBytes: 1 << 10}

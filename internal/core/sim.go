@@ -692,7 +692,7 @@ func (e *executor) execLayer(l *nn.Layer) error {
 	for c := range delta {
 		delta[c] -= before[c]
 	}
-	ls.Traffic = delta
+	ls.Traffic = delta // scmvet:ok accounting per-layer slice of the channel's own tally, no new bytes
 	ls.ComputeCycles = e.cfg.PE.LayerCycles(l)
 	ls.MemCycles = e.memCycles(delta)
 	ls.Cycles = ls.ComputeCycles
@@ -760,12 +760,12 @@ func (e *executor) finish() (stats.RunStats, error) {
 	}
 	batch := int64(e.cfg.Batch)
 	r := &e.run
-	r.Traffic = e.ch.Traffic()
+	r.Traffic = e.ch.Traffic() // scmvet:ok accounting aggregation of the channel's tally into RunStats
 	for c := range r.Traffic {
 		if dram.Class(c) == dram.ClassWeightRead && e.cfg.AmortizeWeights {
 			continue // weights stream once per batch (layer-inner loop)
 		}
-		r.Traffic[c] *= batch
+		r.Traffic[c] *= batch // scmvet:ok accounting batch replication of per-image traffic (layer loop simulates one image)
 	}
 	for _, ls := range r.Layers {
 		r.ComputeCycles += ls.ComputeCycles * batch

@@ -101,7 +101,10 @@ func TestStreamingRecycleFunctionallyCorrect(t *testing.T) {
 	cfg.ReserveBanks = 2
 	cfg.WeightBufBytes = 1 << 20
 	for seed := int64(0); seed < 40; seed++ {
-		net := nn.RandomNetwork(seed)
+		net, err := nn.RandomNetwork(seed)
+		if err != nil {
+			t.Fatalf("RandomNetwork(%d): %v", seed, err)
+		}
 		if _, err := VerifyFunctional(net, cfg, scmPlus(), seed); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

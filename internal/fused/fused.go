@@ -188,7 +188,7 @@ func Simulate(net *nn.Network, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 
-	res.Run.Traffic = ch.Traffic()
+	res.Run.Traffic = ch.Traffic() // scmvet:ok accounting aggregation of the channel's tally into RunStats
 	res.Run.MACs = net.TotalMACs()
 	for _, ls := range res.Run.Layers {
 		res.Run.ComputeCycles += ls.ComputeCycles

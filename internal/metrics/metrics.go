@@ -509,8 +509,8 @@ func (r *Registry) Snapshot() *Snapshot {
 	defer r.mu.Unlock()
 	snap := &Snapshot{}
 	var nc, ng, nh int
-	for _, f := range r.families {
-		switch f.kind {
+	for _, name := range r.order {
+		switch f := r.families[name]; f.kind {
 		case counterKind:
 			nc += len(f.order)
 		case gaugeKind:

@@ -165,7 +165,10 @@ func TestGoogLeNetShortcutShareNearForty(t *testing.T) {
 
 func TestRandomNetworksAlwaysValid(t *testing.T) {
 	for seed := int64(0); seed < 200; seed++ {
-		n := RandomNetwork(seed)
+		n, err := RandomNetwork(seed)
+		if err != nil {
+			t.Fatalf("RandomNetwork(%d): %v", seed, err)
+		}
 		if err := n.Validate(); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -181,7 +184,10 @@ func TestRandomNetworksCoverMechanisms(t *testing.T) {
 	// exercise less than intended.
 	var sawShortcut, sawConcat, sawGroup, sawPool bool
 	for seed := int64(0); seed < 100; seed++ {
-		n := RandomNetwork(seed)
+		n, err := RandomNetwork(seed)
+		if err != nil {
+			t.Fatalf("RandomNetwork(%d): %v", seed, err)
+		}
 		if len(ShortcutEdges(n, tensor.Fixed16)) > 0 {
 			sawShortcut = true
 		}
@@ -203,8 +209,14 @@ func TestRandomNetworksCoverMechanisms(t *testing.T) {
 }
 
 func TestRandomNetworkDeterministic(t *testing.T) {
-	a := RandomNetwork(12345)
-	b := RandomNetwork(12345)
+	a, err := RandomNetwork(12345)
+	if err != nil {
+		t.Fatalf("RandomNetwork(%d): %v", 12345, err)
+	}
+	b, err := RandomNetwork(12345)
+	if err != nil {
+		t.Fatalf("RandomNetwork(%d): %v", 12345, err)
+	}
 	if len(a.Layers) != len(b.Layers) {
 		t.Fatal("same seed, different layer count")
 	}

@@ -12,8 +12,10 @@ import (
 // shortcuts), concat branches, grouped convolutions, and an optional
 // classifier head. It drives the randomized end-to-end tests: any
 // network it can produce must simulate under every strategy, preserve
-// the traffic ordering, and verify functionally.
-func RandomNetwork(seed int64) *Network {
+// the traffic ordering, and verify functionally. A construction error
+// means the generator itself is broken; callers (the randomized tests)
+// treat it as fatal.
+func RandomNetwork(seed int64) (*Network, error) {
 	rng := rand.New(rand.NewSource(seed))
 	channels := []int{4, 8, 12, 16}[rng.Intn(4)]
 	hw := []int{8, 12, 16}[rng.Intn(3)]
@@ -93,5 +95,5 @@ func RandomNetwork(seed int64) *Network {
 	} else {
 		b.Conv("head", cur.name, 8, 1, 1, 0)
 	}
-	return b.MustFinish()
+	return b.Finish()
 }

@@ -384,6 +384,7 @@ func (s *scheduler) finish(t *tenant) {
 	res, err := t.run.Result()
 	if err != nil {
 		// finish is only called with done == true; Result cannot fail.
+		// scmvet:ok nopanic scheduler invariant, not an input error: a done run always has a result
 		panic(fmt.Sprintf("sched: finished run has no result: %v", err))
 	}
 	acc := s.perStream[t.req.stream]
@@ -398,7 +399,7 @@ func (s *scheduler) finish(t *tenant) {
 	acc.sched.ReloadCycles += sc.ReloadCycles
 	acc.serviceCycles += res.TotalCycles
 	for c := range res.Traffic {
-		acc.traffic[c] += res.Traffic[c]
+		acc.traffic[c] += res.Traffic[c] // scmvet:ok accounting fold of a finished tenant's RunStats into the stream ledger
 	}
 	acc.singleTenant = res.TotalCycles
 	lat := s.now - t.req.arrival

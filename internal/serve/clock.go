@@ -1,0 +1,17 @@
+package serve
+
+import "time"
+
+// Clock supplies the engine's wall-clock readings: job lifecycle
+// timestamps and the job-duration histogram. Injecting it keeps the
+// serving subsystem testable with a fake clock and confines the
+// process's sanctioned wall-clock access to one annotated seam — the
+// simulator proper never reads wall time (its clock is the virtual
+// cycle counter), which scm-vet's determinism check enforces.
+type Clock func() time.Time
+
+// systemClock is the production clock, the single wall-clock seam of
+// the module's library code.
+func systemClock() time.Time {
+	return time.Now() // scmvet:ok determinism serving timestamps are wall-clock by design; tests inject a fake via Options.Clock
+}

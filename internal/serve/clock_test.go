@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"shortcutmining/internal/stats"
+)
+
+// fakeClock hands out strictly increasing timestamps one step apart.
+// Every read advances it, so each clock call in the engine lands on a
+// predictable instant and job timing becomes fully deterministic.
+type fakeClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+func newFakeClock(base time.Time, step time.Duration) *fakeClock {
+	return &fakeClock{now: base, step: step}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(c.step)
+	return c.now
+}
+
+// TestInjectedClockDrivesJobTimestamps runs one async job against a
+// stepping fake clock and checks every timestamp in the job view came
+// from it. The clock-call order for a single job on a single worker is
+// fixed: created, started, exec start, exec end, finished.
+func TestInjectedClockDrivesJobTimestamps(t *testing.T) {
+	base := time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)
+	fc := newFakeClock(base, time.Second)
+	e := NewEngine(Options{Workers: 1, Clock: fc.Now})
+	defer e.Drain(context.Background())
+	e.simFn = func(ctx context.Context, req Request) (stats.RunStats, error) {
+		return stats.RunStats{Network: "fake", TotalCycles: 1}, nil
+	}
+
+	j, err := e.SubmitSimulate(engineRequest(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+
+	v := j.View()
+	if want := base.Add(1 * time.Second); !v.Created.Equal(want) {
+		t.Errorf("created = %v, want %v", v.Created, want)
+	}
+	if v.Started == nil || !v.Started.Equal(base.Add(2*time.Second)) {
+		t.Errorf("started = %v, want %v", v.Started, base.Add(2*time.Second))
+	}
+	if v.Finished == nil || !v.Finished.Equal(base.Add(5*time.Second)) {
+		t.Errorf("finished = %v, want %v", v.Finished, base.Add(5*time.Second))
+	}
+	// exec observed ticks 3→4: exactly one step.
+	if got := e.mJobSeconds.Sum(); got != 1.0 {
+		t.Errorf("job-seconds sum = %v, want 1.0", got)
+	}
+	if got := e.mJobSeconds.Count(); got != 1 {
+		t.Errorf("job-seconds count = %d, want 1", got)
+	}
+}
+
+// TestInjectedClockDrivesLatencyHistogram covers the synchronous path:
+// Simulate's latency observation is the fake's step, not wall time.
+func TestInjectedClockDrivesLatencyHistogram(t *testing.T) {
+	base := time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)
+	fc := newFakeClock(base, 250*time.Millisecond)
+	e := NewEngine(Options{Workers: 1, Clock: fc.Now})
+	defer e.Drain(context.Background())
+	e.simFn = func(ctx context.Context, req Request) (stats.RunStats, error) {
+		return stats.RunStats{Network: "fake", TotalCycles: 1}, nil
+	}
+
+	if _, _, err := e.Simulate(context.Background(), engineRequest(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.mJobSeconds.Sum(); got != 0.25 {
+		t.Errorf("job-seconds sum = %v, want 0.25", got)
+	}
+}

@@ -57,6 +57,10 @@ type Options struct {
 	// MaxJobs bounds the finished-job history kept for GET /v1/jobs;
 	// <= 0 means 1024.
 	MaxJobs int
+	// Clock supplies job timestamps and latency measurement; nil means
+	// the system clock. Tests substitute a fake for deterministic
+	// timing assertions.
+	Clock Clock
 	// Registry receives the server-level metrics; nil means a fresh
 	// one (exposed at GET /metrics).
 	Registry *metrics.Registry
@@ -74,6 +78,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Registry == nil {
 		o.Registry = metrics.New()
+	}
+	if o.Clock == nil {
+		o.Clock = systemClock
 	}
 	return o
 }
@@ -94,6 +101,7 @@ type Engine struct {
 	pool  *pool.Pool
 	cache *Cache
 	reg   *metrics.Registry
+	clock Clock
 
 	runCtx    context.Context // parent of every job context
 	runCancel context.CancelFunc
@@ -125,6 +133,7 @@ func NewEngine(opts Options) *Engine {
 		pool:      pool.New(opts.Workers, opts.QueueDepth),
 		cache:     NewCache(opts.CacheBytes),
 		reg:       opts.Registry,
+		clock:     opts.Clock,
 		runCtx:    ctx,
 		runCancel: cancel,
 		flight:    make(map[Key]*flight),
@@ -171,9 +180,9 @@ func (e *Engine) jobContext() (context.Context, context.CancelFunc) {
 // exec runs one simulation, recording duration and terminal-state
 // counters.
 func (e *Engine) exec(ctx context.Context, req Request) (stats.RunStats, error) {
-	start := time.Now()
+	start := e.clock()
 	res, err := e.simFn(ctx, req)
-	e.mJobSeconds.Observe(time.Since(start).Seconds())
+	e.mJobSeconds.Observe(e.clock().Sub(start).Seconds())
 	switch {
 	case err == nil:
 		e.mJobsDone.Inc()
@@ -326,9 +335,9 @@ func (e *Engine) SubmitSchedule(req ScheduleRequest) (*Job, error) {
 	}
 	j := e.newJob("schedule")
 	return e.admit(j, func(ctx context.Context) {
-		start := time.Now()
+		start := e.clock()
 		res, err := sched.RunContext(ctx, req.Cfg, req.Spec, nil)
-		e.mJobSeconds.Observe(time.Since(start).Seconds())
+		e.mJobSeconds.Observe(e.clock().Sub(start).Seconds())
 		switch {
 		case err == nil:
 			e.mJobsDone.Inc()
@@ -351,9 +360,9 @@ func (e *Engine) SubmitSweep(req SweepRequest) (*Job, error) {
 	}
 	j := e.newJob("sweep")
 	return e.admit(j, func(ctx context.Context) {
-		start := time.Now()
+		start := e.clock()
 		outcomes, err := dse.ExploreContext(ctx, req.Net, req.Base, req.Space, fpga.VC709(), req.Parallel)
-		e.mJobSeconds.Observe(time.Since(start).Seconds())
+		e.mJobSeconds.Observe(e.clock().Sub(start).Seconds())
 		switch {
 		case err == nil:
 			e.mJobsDone.Inc()

@@ -27,8 +27,9 @@ const (
 // Job is one tracked asynchronous execution. All accessors are safe
 // for concurrent use; results are read-only once terminal.
 type Job struct {
-	id   string
-	kind string
+	id    string
+	kind  string
+	clock Clock
 
 	mu       sync.Mutex
 	state    JobState
@@ -51,7 +52,7 @@ func (e *Engine) newJob(kind string) *Job {
 	e.seq++
 	id := fmt.Sprintf("j%06d", e.seq)
 	e.mu.Unlock()
-	return &Job{id: id, kind: kind, state: JobQueued, created: time.Now(), done: make(chan struct{})}
+	return &Job{id: id, kind: kind, clock: e.clock, state: JobQueued, created: e.clock(), done: make(chan struct{})}
 }
 
 // ID returns the job identifier ("j000042").
@@ -76,7 +77,7 @@ func (j *Job) setCancel(c context.CancelFunc) {
 func (j *Job) setRunning() {
 	j.mu.Lock()
 	j.state = JobRunning
-	j.started = time.Now()
+	j.started = j.clock()
 	j.mu.Unlock()
 }
 
@@ -112,7 +113,7 @@ func (j *Job) finishSweep(outcomes []dse.Outcome, err error) {
 }
 
 func (j *Job) finishLocked(err error) {
-	j.finished = time.Now()
+	j.finished = j.clock()
 	switch {
 	case err == nil:
 		j.state = JobDone

@@ -255,6 +255,7 @@ func (p *Pool) Stats() Stats { return p.stats }
 // by traces and invariant checks).
 func (p *Pool) Buffers() []*Buffer {
 	out := make([]*Buffer, 0, len(p.buffers))
+	// scmvet:ok determinism collected set is sorted by ID before it is returned
 	for _, b := range p.buffers {
 		out = append(out, b)
 	}
@@ -664,6 +665,7 @@ func (p *Pool) CheckInvariants() error {
 			return fmt.Errorf("sram: retired bank %d on free list", bank)
 		}
 	}
+	// scmvet:ok determinism invariant scan; only the first error of an already-corrupt pool can vary
 	for id, b := range p.buffers {
 		if b.freed {
 			return fmt.Errorf("sram: freed buffer %q still registered", b.tag)
@@ -706,6 +708,7 @@ func (p *Pool) CheckInvariants() error {
 		return fmt.Errorf("sram: %d banks accounted for (+%d retired), pool has %d", len(seen), failed, p.cfg.NumBanks)
 	}
 	pinned := 0
+	// scmvet:ok determinism order-independent sum
 	for _, b := range p.buffers {
 		if b.pinned {
 			pinned += len(b.banks)

@@ -71,7 +71,9 @@ func All() []Experiment {
 
 func idNum(id string) int {
 	n := 0
-	fmt.Sscanf(id, "E%d", &n)
+	if _, err := fmt.Sscanf(id, "E%d", &n); err != nil {
+		return 0 // malformed IDs sort first, together
+	}
 	return n
 }
 
