@@ -1,0 +1,117 @@
+// Command scm-bench is the performance observability harness: it
+// measures the simulator hot path (sim-cycles/sec, runs/sec), the
+// design-space sweep throughput, and the serving stack under a
+// deterministic closed-loop load, then emits a schema-versioned JSON
+// report (BENCH_<n>.json) or a human-readable text rendering.
+//
+// The workload is a pure function of -seed: two runs issue identical
+// request sequences, so committed reports form a performance
+// trajectory across PRs in which only the timings move.
+//
+//	scm-bench -o BENCH_6.json -pr 6          full run, JSON to file
+//	scm-bench -smoke -format text            quick CI smoke, text to stdout
+//	scm-bench -check BENCH_6.json            validate an existing report
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"shortcutmining/internal/bench"
+)
+
+func main() {
+	var (
+		out      = flag.String("o", "", "write the report to this file (default stdout)")
+		format   = flag.String("format", "json", "output format: json | text")
+		smoke    = flag.Bool("smoke", false, "shrink every phase for CI (seconds, not minutes)")
+		seed     = flag.Int64("seed", 1, "workload seed; same seed, same request sequences")
+		pr       = flag.Int("pr", 0, "PR number to stamp into the report")
+		check    = flag.String("check", "", "validate an existing report file and exit")
+		workers  = flag.Int("serve-workers", 0, "engine pool size for the load phase (default GOMAXPROCS)")
+		clients  = flag.Int("serve-clients", 0, "closed-loop client workers (default 8, smoke 4)")
+		perOp    = flag.Int("serve-ops", 0, "planned ops per client (default 150, smoke 25)")
+		duration = flag.Duration("serve-duration", 0, "optional wall-clock cap on the load phase")
+	)
+	flag.Parse()
+
+	if *check != "" {
+		if err := checkFile(*check); err != nil {
+			fmt.Fprintln(os.Stderr, "scm-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid (schema v%d)\n", *check, bench.SchemaVersion)
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	report, err := bench.Run(ctx, bench.Config{
+		Seed:  *seed,
+		PR:    *pr,
+		Smoke: *smoke,
+		Serve: bench.ServeConfig{
+			Workers:     *workers,
+			Concurrency: *clients,
+			PerWorker:   *perOp,
+			Duration:    *duration,
+			Seed:        *seed,
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scm-bench:", err)
+		os.Exit(1)
+	}
+	report.Timestamp = time.Now().UTC().Format(time.RFC3339)
+	if err := report.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "scm-bench: produced an invalid report:", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scm-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(report)
+	case "text":
+		err = report.WriteText(w)
+	default:
+		err = fmt.Errorf("unknown -format %q (want json or text)", *format)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scm-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// checkFile validates an existing report (the CI schema gate).
+func checkFile(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var r bench.Report
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return r.Validate()
+}

@@ -17,6 +17,19 @@
 //	scm-serve                          # :8080, GOMAXPROCS workers
 //	scm-serve -addr :9090 -workers 4 -cache-mib 128
 //	scm-serve -job-timeout 5m -drain-timeout 30s
+//	scm-serve -pprof 127.0.0.1:6060    # profiling endpoints on a side mux
+//
+// Every request gets a correlation ID (X-Request-ID honored or
+// minted) that appears in the structured access log on stderr, in job
+// records, and — for traced simulations — in the Perfetto trace span.
+//
+// The -pprof flag serves net/http/pprof on its own listener, kept off
+// the API address so profiling endpoints are never reachable through
+// the service port:
+//
+//	go tool pprof  http://127.0.0.1:6060/debug/pprof/profile?seconds=10
+//	go tool pprof  http://127.0.0.1:6060/debug/pprof/heap
+//	go tool trace "http://127.0.0.1:6060/debug/pprof/trace?seconds=5"
 package main
 
 import (
@@ -25,7 +38,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -42,6 +57,7 @@ func main() {
 		cacheMiB     = flag.Int64("cache-mib", 64, "result-cache budget in MiB")
 		jobTimeout   = flag.Duration("job-timeout", 10*time.Minute, "per-job execution bound (0 = unbounded)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound before in-flight jobs are canceled")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. 127.0.0.1:6060); empty = off")
 	)
 	flag.Parse()
 
@@ -50,6 +66,7 @@ func main() {
 		QueueDepth: *queue,
 		CacheBytes: *cacheMiB << 20,
 		JobTimeout: *jobTimeout,
+		Logger:     slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -59,6 +76,26 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
+
+	var pprofSrv *http.Server
+	if *pprofAddr != "" {
+		// A dedicated mux, not http.DefaultServeMux: importing
+		// net/http/pprof registers handlers globally, and the API server
+		// must never inherit them.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv = &http.Server{Addr: *pprofAddr, Handler: pm, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("scm-serve: pprof listener: %v", err)
+			}
+		}()
+		log.Printf("scm-serve: pprof on %s", *pprofAddr)
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
@@ -81,6 +118,11 @@ func main() {
 	}
 	if err := engine.Drain(drainCtx); err != nil {
 		log.Printf("scm-serve: in-flight jobs canceled at the drain deadline: %v", err)
+	}
+	if pprofSrv != nil {
+		if err := pprofSrv.Shutdown(drainCtx); err != nil {
+			log.Printf("scm-serve: pprof shutdown: %v", err)
+		}
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)

@@ -80,6 +80,13 @@ type Config struct {
 	// package regardless.
 	DeterministicPkgs []string
 
+	// DeterminismExemptPkgs are library packages the determinism check
+	// skips entirely — measurement code whose contract is reading the
+	// wall clock (internal/bench). The exemption is by package, not by
+	// annotation, because every timing read there is legitimate and
+	// line-level scmvet:ok noise would drown the real annotations.
+	DeterminismExemptPkgs []string
+
 	// NoPanicExemptPkgs may panic: documented must-not-fail registration
 	// paths where returning an error would be worse than crashing.
 	NoPanicExemptPkgs []string
@@ -107,7 +114,8 @@ func DefaultConfig() Config {
 			"internal/dse", "internal/report", "internal/stats",
 			"internal/metrics",
 		},
-		NoPanicExemptPkgs: []string{"internal/metrics"},
+		DeterminismExemptPkgs: []string{"internal/bench"},
+		NoPanicExemptPkgs:     []string{"internal/metrics"},
 		LedgerTypes:       []string{"internal/dram.Traffic"},
 		LedgerWriterPkgs:  []string{"internal/dram", "internal/sram"},
 		NeverFailTypes:    []string{"strings.Builder", "bytes.Buffer", "hash.Hash", "hash.Hash32", "hash.Hash64"},

@@ -1,0 +1,29 @@
+// Package bench is determinism-exempt corpus: measurement code whose
+// contract is reading the wall clock. Nothing here produces findings —
+// the exemption covers time.Now/Since/Until and the global rand
+// generator without per-line annotations.
+package bench
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Measure times fn the way the real harness does: bare wall-clock
+// reads, no injected Clock, no scmvet:ok comments.
+func Measure(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// Deadline uses the third forbidden-elsewhere helper.
+func Deadline(t time.Time) time.Duration {
+	return time.Until(t)
+}
+
+// Jitter draws from the process-global generator, which the exemption
+// also sanctions (benchmark jitter need not be reproducible).
+func Jitter() int {
+	return rand.Int()
+}

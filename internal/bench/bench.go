@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"context"
+	"time"
+
+	"shortcutmining/internal/core"
+)
+
+// Config parameterizes one benchmark run.
+type Config struct {
+	// Seed drives every workload choice; same seed, same workload.
+	Seed int64
+	// PR stamps the report with the repo PR number it belongs to.
+	PR int
+	// Smoke shrinks every phase for CI: fewest networks, smallest
+	// sweep grid, shortest measurement windows.
+	Smoke bool
+	// MinDuration is the per-measurement wall-clock floor (default 1s,
+	// smoke 50ms). Longer windows smooth scheduler noise.
+	MinDuration time.Duration
+	// SweepParallel is the sweep's internal fan-out; <= 0 means
+	// GOMAXPROCS (the dse default).
+	SweepParallel int
+	// Serve configures the load-generation phase; zero values get
+	// smoke-aware defaults.
+	Serve ServeConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MinDuration <= 0 {
+		c.MinDuration = time.Second
+		if c.Smoke {
+			c.MinDuration = 50 * time.Millisecond
+		}
+	}
+	if c.Serve.Seed == 0 {
+		c.Serve.Seed = c.Seed
+	}
+	return c
+}
+
+// Run executes the three phases — simulator hot path, design-space
+// sweep, serving stack under load — and assembles the report. The
+// caller stamps Timestamp (keeping this package's output a pure
+// function of its inputs plus machine speed).
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	platform := core.Default()
+
+	r := &Report{
+		SchemaVersion: SchemaVersion,
+		PR:            cfg.PR,
+		Seed:          cfg.Seed,
+		Smoke:         cfg.Smoke,
+		Host:          CurrentHost(),
+	}
+	var err error
+	if r.Sim, err = runSim(ctx, platform, cfg.Smoke, cfg.MinDuration); err != nil {
+		return nil, err
+	}
+	if r.Sweep, err = runSweep(ctx, platform, cfg.Smoke, cfg.SweepParallel, cfg.MinDuration); err != nil {
+		return nil, err
+	}
+	if r.Serve, err = runServe(ctx, cfg.Serve, cfg.Smoke); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPlanDeterministic is the reproducibility contract: two plans
+// from the same seed are deep-equal, so two scm-bench runs issue
+// identical request sequences and only the timings differ.
+func TestPlanDeterministic(t *testing.T) {
+	a := Plan(42, 8, 200, nil)
+	b := Plan(42, 8, 200, nil)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different plans")
+	}
+	c := Plan(43, 8, 200, nil)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical plans (generator ignores seed)")
+	}
+}
+
+// TestPlanShape checks worker/op counts and that every op is
+// well-formed for its kind.
+func TestPlanShape(t *testing.T) {
+	plan := Plan(7, 3, 50, nil)
+	if len(plan) != 3 {
+		t.Fatalf("workers = %d, want 3", len(plan))
+	}
+	kinds := map[string]int{}
+	for _, ops := range plan {
+		if len(ops) != 50 {
+			t.Fatalf("per-worker ops = %d, want 50", len(ops))
+		}
+		for _, op := range ops {
+			kinds[op.Kind]++
+			switch op.Kind {
+			case OpSimulate, OpSweep:
+				if op.Network == "" || op.Strategy == "" {
+					t.Fatalf("%s op missing network/strategy: %+v", op.Kind, op)
+				}
+			case OpSchedule:
+				if op.Spec == "" {
+					t.Fatalf("schedule op missing spec: %+v", op)
+				}
+			default:
+				t.Fatalf("unknown op kind %q", op.Kind)
+			}
+		}
+	}
+	// With the 8:1:1 default mix over 150 ops, every kind should appear.
+	for _, k := range []string{OpSimulate, OpSweep, OpSchedule} {
+		if kinds[k] == 0 {
+			t.Errorf("mix produced zero %s ops", k)
+		}
+	}
+}
+
+func validReport() *Report {
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		Seed:          1,
+		Host:          CurrentHost(),
+		Sim: []SimResult{{
+			Network: "densechain", Strategy: "scm", Layers: 12, Runs: 10,
+			WallSeconds: 0.1, SimCycles: 90652,
+			SimCyclesPerSec: 9e6, RunsPerSec: 100,
+		}},
+		Serve: &ServeResult{
+			Workers: 2, Concurrency: 4,
+			Requests: 10, Completed: 8, Errors: 1, Rejected: 1,
+			WallSeconds: 0.5, RequestsPerSec: 20,
+			Latency: Latency{P50: 1, P95: 2, P99: 3, Mean: 1.2, Max: 4},
+			Mix:     []MixCount{{Op: OpSimulate, Count: 10}},
+		},
+	}
+}
+
+func TestReportValidate(t *testing.T) {
+	if err := validReport().Validate(); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	breakages := map[string]func(*Report){
+		"schema":        func(r *Report) { r.SchemaVersion = 99 },
+		"no sim":        func(r *Report) { r.Sim = nil },
+		"host":          func(r *Report) { r.Host.CPUs = 0 },
+		"zero runs":     func(r *Report) { r.Sim[0].Runs = 0 },
+		"accounting":    func(r *Report) { r.Serve.Completed = 5 },
+		"quantiles":     func(r *Report) { r.Serve.Latency.P95 = 0.1 },
+		"hit rate":      func(r *Report) { r.Serve.CacheHitRate = 1.5 },
+		"mix total":     func(r *Report) { r.Serve.Mix[0].Count = 3 },
+		"empty network": func(r *Report) { r.Sim[0].Network = "" },
+	}
+	for name, corrupt := range breakages {
+		r := validReport()
+		corrupt(r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s corruption not caught", name)
+		}
+	}
+}
+
+// TestReportJSONRoundTrip pins the schema: a report survives
+// marshal/unmarshal and still validates, and the document carries the
+// schema_version discriminator.
+func TestReportJSONRoundTrip(t *testing.T) {
+	r := validReport()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"schema_version":1`) {
+		t.Fatalf("encoded report lacks schema_version: %s", b)
+	}
+	var back Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped report invalid: %v", err)
+	}
+}
+
+// TestRunSmoke executes a miniature end-to-end benchmark: all three
+// phases complete, the report validates, and the text renderer works.
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end benchmark")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	r, err := Run(ctx, Config{
+		Seed:        1,
+		Smoke:       true,
+		MinDuration: 10 * time.Millisecond,
+		Serve:       ServeConfig{Concurrency: 2, PerWorker: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("smoke report invalid: %v", err)
+	}
+	if r.Serve.Requests != 20 {
+		t.Errorf("requests = %d, want 20 (2 workers x 10 ops)", r.Serve.Requests)
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "simulator hot path") {
+		t.Errorf("text rendering missing sections:\n%s", sb.String())
+	}
+}
+
+func TestQuantileHelpers(t *testing.T) {
+	var ms []float64
+	for i := 1; i <= 100; i++ {
+		ms = append(ms, float64(i))
+	}
+	l := summarize(ms)
+	if l.P50 != 50 || l.P95 != 95 || l.P99 != 99 || l.Max != 100 {
+		t.Fatalf("nearest-rank quantiles wrong: %+v", l)
+	}
+	if l.Mean != 50.5 {
+		t.Fatalf("mean = %g, want 50.5", l.Mean)
+	}
+	if got := (Latency{}); summarize(nil) != got {
+		t.Fatalf("empty summarize = %+v, want zero", summarize(nil))
+	}
+}

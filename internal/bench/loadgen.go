@@ -1,0 +1,305 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"shortcutmining/internal/serve"
+)
+
+// Op kinds the load generator issues.
+const (
+	OpSimulate = "simulate"
+	OpSweep    = "sweep"
+	OpSchedule = "schedule"
+)
+
+// Op is one planned request. The plan is materialized before any
+// request is sent, so the workload is a pure function of the seed.
+type Op struct {
+	Kind     string `json:"kind"`
+	Network  string `json:"network,omitempty"`
+	Strategy string `json:"strategy,omitempty"`
+	// Spec is the scheduling grammar for OpSchedule.
+	Spec string `json:"spec,omitempty"`
+}
+
+// OpWeight is one entry of the request mix.
+type OpWeight struct {
+	Op     string
+	Weight int
+}
+
+// DefaultMix is the standing request mix: mostly synchronous
+// simulations (the cache-friendly hot path) with a trickle of
+// asynchronous sweep and schedule jobs to keep the pool contended.
+func DefaultMix() []OpWeight {
+	return []OpWeight{
+		{OpSimulate, 8},
+		{OpSweep, 1},
+		{OpSchedule, 1},
+	}
+}
+
+// loadNetworks is the model set the generator draws from — small
+// enough that a single op completes in well under a millisecond of
+// simulation, varied enough that the cache sees several keys.
+var loadNetworks = []string{"densechain", "squeezenet", "resnet18"}
+
+// loadStrategies skews toward scm (the paper's design point) with the
+// two ablations mixed in.
+var loadStrategies = []string{"scm", "scm", "fm-reuse", "baseline"}
+
+// loadSpecs are the OpSchedule scenarios (tiny, so async jobs finish
+// inside the benchmark window).
+var loadSpecs = []string{
+	"seed=1;policy=rr;stream=densechain:n=1,gap=0",
+	"seed=2;policy=fcfs;stream=squeezenet:n=1,gap=0",
+}
+
+// Plan deterministically expands (seed, workers, perWorker, mix) into
+// per-worker op sequences. Each worker gets an independent generator
+// seeded from the run seed and its index, so the plan is identical
+// across runs and insensitive to scheduling order.
+func Plan(seed int64, workers, perWorker int, mix []OpWeight) [][]Op {
+	if len(mix) == 0 {
+		mix = DefaultMix()
+	}
+	total := 0
+	for _, m := range mix {
+		total += m.Weight
+	}
+	plan := make([][]Op, workers)
+	for w := range plan {
+		rng := rand.New(rand.NewSource(seed + int64(w)*0x9e3779b9))
+		ops := make([]Op, perWorker)
+		for i := range ops {
+			pick := rng.Intn(total)
+			kind := mix[len(mix)-1].Op
+			for _, m := range mix {
+				if pick < m.Weight {
+					kind = m.Op
+					break
+				}
+				pick -= m.Weight
+			}
+			switch kind {
+			case OpSchedule:
+				ops[i] = Op{Kind: kind, Spec: loadSpecs[rng.Intn(len(loadSpecs))]}
+			default:
+				ops[i] = Op{
+					Kind:     kind,
+					Network:  loadNetworks[rng.Intn(len(loadNetworks))],
+					Strategy: loadStrategies[rng.Intn(len(loadStrategies))],
+				}
+			}
+		}
+		plan[w] = ops
+	}
+	return plan
+}
+
+// ServeConfig parameterizes the load-generation phase.
+type ServeConfig struct {
+	// Workers is the engine worker-pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// Concurrency is the number of closed-loop client workers.
+	Concurrency int
+	// PerWorker is each client's planned op count. Duration (if set)
+	// truncates the deterministic sequence early; it never reorders it.
+	PerWorker int
+	Duration  time.Duration
+	Seed      int64
+	Mix       []OpWeight
+}
+
+func (c ServeConfig) withDefaults(smoke bool) ServeConfig {
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+		if smoke {
+			c.Concurrency = 4
+		}
+	}
+	if c.PerWorker <= 0 {
+		c.PerWorker = 150
+		if smoke {
+			c.PerWorker = 25
+		}
+	}
+	if len(c.Mix) == 0 {
+		c.Mix = DefaultMix()
+	}
+	return c
+}
+
+// tinySweepSpace is the design space OpSweep submits: one point, so an
+// async sweep job costs about one simulation.
+const tinySweepBody = `{"Banks":[16],"BankKiB":[8],"PE":[[32,32]],"FmapGBps":[1.0]}`
+
+// runServe spins up an in-process serve engine + HTTP server on a
+// loopback port, drives it with the planned closed-loop workload, and
+// reduces the observations to a ServeResult.
+func runServe(ctx context.Context, cfg ServeConfig, smoke bool) (*ServeResult, error) {
+	cfg = cfg.withDefaults(smoke)
+	engine := serve.NewEngine(serve.Options{Workers: cfg.Workers})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("bench: listen: %w", err)
+	}
+	srv := &http.Server{Handler: serve.NewHandler(engine)}
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		// scmvet:ok ignorederr Serve always returns ErrServerClosed after Shutdown
+		srv.Serve(ln)
+	}()
+	base := "http://" + ln.Addr().String()
+
+	plan := Plan(cfg.Seed, cfg.Concurrency, cfg.PerWorker, cfg.Mix)
+	deadline := time.Time{}
+	if cfg.Duration > 0 {
+		deadline = time.Now().Add(cfg.Duration)
+	}
+
+	type tally struct {
+		requests, completed, errors, rejected int64
+		latMS                                 []float64
+		mix                                   map[string]int64
+	}
+	tallies := make([]tally, cfg.Concurrency)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := &http.Client{}
+			t := &tallies[w]
+			t.mix = make(map[string]int64)
+			for _, op := range plan[w] {
+				if ctx.Err() != nil {
+					return
+				}
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					return
+				}
+				start := time.Now()
+				status, err := issue(ctx, client, base, op)
+				t.latMS = append(t.latMS, float64(time.Since(start).Microseconds())/1000)
+				t.requests++
+				t.mix[op.Kind]++
+				switch {
+				case err != nil:
+					t.errors++
+				case status == http.StatusTooManyRequests:
+					t.rejected++
+				case status >= 200 && status < 300:
+					t.completed++
+				default:
+					t.errors++
+				}
+			}
+		}(w)
+	}
+	wallStart := time.Now()
+	wg.Wait()
+	wall := time.Since(wallStart)
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	// scmvet:ok ignorederr a shutdown timeout only means stragglers were canceled
+	srv.Shutdown(shutCtx)
+	<-serveDone
+	// scmvet:ok ignorederr drain timeout likewise only forces cancellation
+	engine.Drain(shutCtx)
+
+	res := &ServeResult{
+		Workers:     engine.Workers(),
+		Concurrency: cfg.Concurrency,
+		WallSeconds: wall.Seconds(),
+	}
+	mix := make(map[string]int64)
+	var lat []float64
+	for i := range tallies {
+		t := &tallies[i]
+		res.Requests += t.requests
+		res.Completed += t.completed
+		res.Errors += t.errors
+		res.Rejected += t.rejected
+		lat = append(lat, t.latMS...)
+		for k, v := range t.mix {
+			mix[k] += v
+		}
+	}
+	if res.WallSeconds > 0 {
+		res.RequestsPerSec = float64(res.Requests) / res.WallSeconds
+	}
+	res.Latency = summarize(lat)
+	kinds := make([]string, 0, len(mix))
+	for k := range mix {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		res.Mix = append(res.Mix, MixCount{Op: k, Count: mix[k]})
+	}
+	cs := engine.CacheStats()
+	res.CacheHits, res.CacheMisses = cs.Hits, cs.Misses
+	if n := cs.Hits + cs.Misses; n > 0 {
+		res.CacheHitRate = float64(cs.Hits) / float64(n)
+	}
+	return res, nil
+}
+
+// issue sends one planned op and returns the HTTP status. Synchronous
+// simulations measure full request latency; sweep and schedule are
+// async submissions (202), measuring the admission path.
+func issue(ctx context.Context, client *http.Client, base string, op Op) (int, error) {
+	var path string
+	var body map[string]any
+	switch op.Kind {
+	case OpSimulate:
+		path = "/v1/simulate"
+		body = map[string]any{"network": op.Network, "strategy": op.Strategy}
+	case OpSweep:
+		path = "/v1/sweep"
+		body = map[string]any{
+			"network":  op.Network,
+			"space":    json.RawMessage(tinySweepBody),
+			"parallel": 1,
+		}
+	case OpSchedule:
+		path = "/v1/schedule"
+		body = map[string]any{"spec": op.Spec}
+	default:
+		return 0, fmt.Errorf("bench: unknown op kind %q", op.Kind)
+	}
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(buf))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	// Drain so the connection is reusable; the payload itself is not
+	// part of the measurement.
+	// scmvet:ok ignorederr best-effort drain of an already-answered response
+	io.Copy(io.Discard, resp.Body)
+	// scmvet:ok ignorederr closing a drained response body cannot usefully fail
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}

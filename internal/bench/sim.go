@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"shortcutmining/internal/core"
+	"shortcutmining/internal/dse"
+	"shortcutmining/internal/fpga"
+	"shortcutmining/internal/nn"
+)
+
+// simCase is one (network, strategy) pair on the hot-path list.
+type simCase struct {
+	network  string
+	strategy core.Strategy
+}
+
+// simCases returns the fixed measurement set. The full list spans the
+// paper's network spectrum (shallow chain to ResNet-152) plus the
+// three buffer-management strategies on ResNet-34 so a regression in
+// any one scheduling path shows up; smoke keeps only the two cheapest
+// networks so CI stays fast.
+func simCases(smoke bool) []simCase {
+	if smoke {
+		return []simCase{
+			{"densechain", core.SCM},
+			{"squeezenet", core.SCM},
+		}
+	}
+	return []simCase{
+		{"densechain", core.SCM},
+		{"squeezenet", core.SCM},
+		{"resnet18", core.SCM},
+		{"resnet34", core.Baseline},
+		{"resnet34", core.FMReuse},
+		{"resnet34", core.SCM},
+		{"resnet152", core.SCM},
+	}
+}
+
+// runSim measures core.Simulate for each case: one warmup run, then
+// repeats until minDur of wall clock accumulates (at least one timed
+// run), reporting simulated-cycles/sec and runs/sec.
+func runSim(ctx context.Context, cfg core.Config, smoke bool, minDur time.Duration) ([]SimResult, error) {
+	var out []SimResult
+	for _, c := range simCases(smoke) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		net, err := nn.Build(c.network)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %w", err)
+		}
+		warm, err := core.SimulateContext(ctx, net, cfg, c.strategy, nil)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s/%s: %w", c.network, c.strategy, err)
+		}
+		runs := 0
+		start := time.Now()
+		var wall time.Duration
+		for wall < minDur || runs == 0 {
+			if _, err := core.SimulateContext(ctx, net, cfg, c.strategy, nil); err != nil {
+				return nil, fmt.Errorf("bench: %s/%s: %w", c.network, c.strategy, err)
+			}
+			runs++
+			wall = time.Since(start)
+		}
+		sec := wall.Seconds()
+		out = append(out, SimResult{
+			Network:         c.network,
+			Strategy:        c.strategy.String(),
+			Layers:          len(warm.Layers),
+			Runs:            runs,
+			WallSeconds:     sec,
+			SimCycles:       warm.TotalCycles,
+			SimCyclesPerSec: float64(warm.TotalCycles) * float64(runs) / sec,
+			RunsPerSec:      float64(runs) / sec,
+		})
+	}
+	return out, nil
+}
+
+// sweepSpace returns the design-space grid the sweep benchmark
+// enumerates: the full calibrated grid normally, a 2-point corner in
+// smoke mode.
+func sweepSpace(smoke bool) dse.Space {
+	if smoke {
+		return dse.Space{
+			Banks:    []int{16, 34},
+			BankKiB:  []int{8},
+			PE:       [][2]int{{32, 32}},
+			FmapGBps: []float64{1.0},
+		}
+	}
+	return dse.DefaultSpace()
+}
+
+// runSweep measures dse.ExploreContext round trips: full-grid sweeps
+// per second and individual design points per second.
+func runSweep(ctx context.Context, cfg core.Config, smoke bool, parallel int, minDur time.Duration) (*SweepResult, error) {
+	const network = "resnet34"
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0) // record the resolved fan-out
+	}
+	net, err := nn.Build(network)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	space := sweepSpace(smoke)
+	dev := fpga.VC709()
+	if _, err := dse.ExploreContext(ctx, net, cfg, space, dev, parallel); err != nil { // warmup
+		return nil, fmt.Errorf("bench: sweep warmup: %w", err)
+	}
+	rounds := 0
+	start := time.Now()
+	var wall time.Duration
+	for wall < minDur || rounds == 0 {
+		if _, err := dse.ExploreContext(ctx, net, cfg, space, dev, parallel); err != nil {
+			return nil, fmt.Errorf("bench: sweep: %w", err)
+		}
+		rounds++
+		wall = time.Since(start)
+	}
+	sec := wall.Seconds()
+	return &SweepResult{
+		Network:      network,
+		Points:       space.Size(),
+		Rounds:       rounds,
+		Parallel:     parallel,
+		WallSeconds:  sec,
+		SweepsPerSec: float64(rounds) / sec,
+		PointsPerSec: float64(rounds*space.Size()) / sec,
+	}, nil
+}

@@ -1,0 +1,47 @@
+package core_test
+
+import (
+	"testing"
+
+	"shortcutmining/internal/core"
+	"shortcutmining/internal/nn"
+)
+
+// maxAllocsPerLayer bounds the per-layer allocation budget of the
+// Simulate hot path. The measured baseline is ~14 (densechain) to ~21
+// (resnet34) allocations per layer; the cap leaves roughly 2x headroom
+// so ordinary refactors pass while an accidental per-cycle or
+// per-tile allocation inside the layer loop — which multiplies the
+// count by orders of magnitude — fails immediately.
+const maxAllocsPerLayer = 48.0
+
+// TestSimulateAllocsPerLayer guards the serving throughput measured by
+// scm-bench: the per-layer loop must stay allocation-light or
+// cycles/sec regresses across every caller at once.
+func TestSimulateAllocsPerLayer(t *testing.T) {
+	for _, name := range []string{"densechain", "resnet34"} {
+		net, err := nn.Build(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.Default()
+		layers := 0
+		allocs := testing.AllocsPerRun(10, func() {
+			res, err := core.Simulate(net, cfg, core.SCM, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			layers = len(res.Layers)
+		})
+		if layers == 0 {
+			t.Fatalf("%s: no layers simulated", name)
+		}
+		perLayer := allocs / float64(layers)
+		t.Logf("%s: %.0f allocs over %d layers = %.1f per layer (budget %.0f)",
+			name, allocs, layers, perLayer, maxAllocsPerLayer)
+		if perLayer > maxAllocsPerLayer {
+			t.Errorf("%s: %.1f allocs per layer exceeds the %.0f budget — something in the layer loop started allocating",
+				name, perLayer, maxAllocsPerLayer)
+		}
+	}
+}

@@ -129,14 +129,26 @@ func (g *Gauge) Peak() float64 {
 	return g.peak
 }
 
+// RetainedSamples is how many raw observations a histogram keeps
+// verbatim. While the sample count stays at or below this cap,
+// quantiles are exact (nearest-rank over the retained values); beyond
+// it the retained prefix is no longer representative and Quantile
+// falls back to bucket interpolation. Short series — a load-generator
+// run, a small scheduling scenario — therefore report exact p50/p95/
+// p99 instead of bucket-edge approximations.
+const RetainedSamples = 512
+
 // Histogram is a fixed-bucket distribution. Bounds are inclusive upper
 // edges in ascending order; an implicit +Inf bucket catches the rest.
+// The first RetainedSamples observations are additionally kept raw so
+// small-sample quantiles come out exact.
 type Histogram struct {
-	bounds []float64 // immutable after construction
-	mu     sync.Mutex
-	counts []int64 // len(bounds)+1, non-cumulative
-	sum    float64
-	n      int64
+	bounds  []float64 // immutable after construction
+	mu      sync.Mutex
+	counts  []int64 // len(bounds)+1, non-cumulative
+	sum     float64
+	n       int64
+	samples []float64 // first RetainedSamples raw values
 }
 
 // Observe records one sample.
@@ -149,7 +161,71 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i]++
 	h.sum += v
 	h.n++
+	if len(h.samples) < RetainedSamples {
+		h.samples = append(h.samples, v)
+	}
 	h.mu.Unlock()
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) of the observed
+// distribution. While every sample is still retained (n <=
+// RetainedSamples) the result is the exact nearest-rank value; after
+// that it is linearly interpolated within the covering bucket, with
+// the +Inf bucket clamped to the largest finite bound. Zero samples
+// yield 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if int64(len(h.samples)) == h.n { // every sample retained: exact
+		s := append([]float64(nil), h.samples...)
+		sort.Float64s(s)
+		i := int(q*float64(len(s))+0.999999) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(s) {
+			i = len(s) - 1
+		}
+		return s[i]
+	}
+	// Bucket interpolation: walk to the bucket holding the q-rank,
+	// then interpolate linearly between its edges.
+	rank := q * float64(h.n)
+	var cum int64
+	for i, c := range h.counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank || c == 0 {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		if i >= len(h.bounds) { // +Inf bucket: clamp to the last finite edge
+			if len(h.bounds) == 0 {
+				return h.sum / float64(h.n) // no finite edges: mean is the best estimate
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+		hi := h.bounds[i]
+		frac := (rank - float64(prev)) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	if len(h.bounds) > 0 {
+		return h.bounds[len(h.bounds)-1]
+	}
+	return 0
 }
 
 // snap returns a coherent copy of the mutable state.
@@ -483,12 +559,18 @@ type BucketSnap struct {
 	Count int64  `json:"count"`
 }
 
-// HistogramSnap is one histogram series in a Snapshot.
+// HistogramSnap is one histogram series in a Snapshot. P50/P95/P99
+// are exact nearest-rank values while the series retained every sample
+// (count <= RetainedSamples) and bucket-interpolated estimates beyond
+// that — see Histogram.Quantile.
 type HistogramSnap struct {
 	Name    string       `json:"name"`
 	Labels  []Label      `json:"labels,omitempty"`
 	Count   int64        `json:"count"`
 	Sum     float64      `json:"sum"`
+	P50     float64      `json:"p50"`
+	P95     float64      `json:"p95"`
+	P99     float64      `json:"p99"`
 	Buckets []BucketSnap `json:"buckets"`
 }
 
@@ -537,6 +619,7 @@ func (r *Registry) Snapshot() *Snapshot {
 			case histogramKind:
 				counts, sum, n := s.h.snap()
 				hs := HistogramSnap{Name: name, Labels: labels, Count: n, Sum: sum,
+					P50: s.h.Quantile(0.50), P95: s.h.Quantile(0.95), P99: s.h.Quantile(0.99),
 					Buckets: make([]BucketSnap, 0, len(counts))}
 				var cum int64
 				for i, c := range counts {

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuantileExactSmallSample pins the retained-sample behavior: while
+// every observation is still held raw, quantiles are exact nearest-rank
+// values, not bucket edges. The bounds are deliberately coarse so a
+// bucket-interpolated answer could not accidentally match.
+func TestQuantileExactSmallSample(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", "", []float64{1000})
+	for v := 100; v >= 1; v-- { // reverse order: quantiles must sort
+		h.Observe(float64(v))
+	}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{{0.50, 50}, {0.95, 95}, {0.99, 99}, {1.0, 100}} {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%g) = %g, want exact %g", tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestQuantileBucketFallback: past RetainedSamples the estimate comes
+// from bucket interpolation and must land inside the covering bucket.
+func TestQuantileBucketFallback(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", "", []float64{10, 100, 1000})
+	for i := 0; i < RetainedSamples+500; i++ {
+		h.Observe(float64(50)) // every sample in the (10,100] bucket
+	}
+	p95 := h.Quantile(0.95)
+	if p95 <= 10 || p95 > 100 {
+		t.Errorf("interpolated p95 = %g, want within (10,100]", p95)
+	}
+	// The overflow bucket clamps to the largest finite bound.
+	h.Observe(1e9)
+	if got := h.Quantile(1.0); got != 1000 {
+		t.Errorf("+Inf-bucket quantile = %g, want clamp to 1000", got)
+	}
+}
+
+// TestQuantileEmptyAndNil: zero samples and nil receivers yield 0.
+func TestQuantileEmptyAndNil(t *testing.T) {
+	r := New()
+	if got := r.Histogram("empty", "", []float64{1}).Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", got)
+	}
+	var h *Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram quantile = %g, want 0", got)
+	}
+}
+
+// TestSnapshotQuantiles: the JSON snapshot carries the p50/p95/p99 of
+// each histogram series.
+func TestSnapshotQuantiles(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", "request latency", []float64{1e6})
+	for v := 1; v <= 200; v++ {
+		h.Observe(float64(v))
+	}
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("histograms = %d, want 1", len(snap.Histograms))
+	}
+	hs := snap.Histograms[0]
+	if hs.P50 != 100 || hs.P95 != 190 || hs.P99 != 198 {
+		t.Errorf("snapshot quantiles = %g/%g/%g, want 100/190/198", hs.P50, hs.P95, hs.P99)
+	}
+}
+
+// TestRuntimeCollector: one collection populates the whole family with
+// plausible values, and a nil collector stays inert.
+func TestRuntimeCollector(t *testing.T) {
+	r := New()
+	c := NewRuntimeCollector(r)
+	c.Collect()
+	if v := r.Gauge(MetricRuntimeHeapBytes, "").Value(); v <= 0 {
+		t.Errorf("heap bytes = %g, want > 0", v)
+	}
+	if v := r.Gauge(MetricRuntimeGoroutines, "").Value(); v < 1 {
+		t.Errorf("goroutines = %g, want >= 1", v)
+	}
+	if v := r.Gauge(MetricRuntimeGoroutinesPer, "").Value(); v <= 0 {
+		t.Errorf("goroutines per proc = %g, want > 0", v)
+	}
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		MetricRuntimeHeapBytes, MetricRuntimeSysBytes,
+		MetricRuntimeGCTotal, MetricRuntimeGCPauses, MetricRuntimeGoroutines,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("prom output missing %s", want)
+		}
+	}
+
+	var nilC *RuntimeCollector
+	nilC.Collect() // must not panic
+}

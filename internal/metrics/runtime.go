@@ -1,0 +1,83 @@
+package metrics
+
+import "runtime"
+
+// Runtime metric names: the Go process underneath the simulator, as
+// opposed to the simulated hardware. A serving deployment watches
+// these next to the scm_serve_* family to tell an algorithmic
+// regression from a runtime one (heap growth, GC pressure, goroutine
+// leaks).
+const (
+	MetricRuntimeHeapBytes     = "scm_runtime_heap_alloc_bytes"
+	MetricRuntimeHeapObjects   = "scm_runtime_heap_objects"
+	MetricRuntimeSysBytes      = "scm_runtime_sys_bytes"
+	MetricRuntimeGoroutines    = "scm_runtime_goroutines"
+	MetricRuntimeGCTotal       = "scm_runtime_gc_total"
+	MetricRuntimeGCPauses      = "scm_runtime_gc_pause_seconds"
+	MetricRuntimeGoroutinesPer = "scm_runtime_goroutines_per_proc"
+)
+
+// RuntimeCollector samples Go runtime statistics into a registry: heap
+// occupancy, goroutine count, cumulative GC count, and the individual
+// GC stop-the-world pauses since the previous collection. The
+// goroutines-per-proc gauge is the scheduler-latency proxy: when
+// runnable goroutines pile up faster than GOMAXPROCS can drain them,
+// the ratio climbs before request latency does.
+//
+// Collect is cheap (one runtime.ReadMemStats) but not free; callers
+// sample it at scrape time, not per request.
+type RuntimeCollector struct {
+	heap, objects, sys *Gauge
+	goroutines, perP   *Gauge
+	gcTotal            *Counter
+	pauses             *Histogram
+	lastNumGC          uint32
+}
+
+// NewRuntimeCollector registers the runtime family on reg. A nil
+// registry yields a nil collector, and Collect on a nil collector is a
+// no-op, matching the package's nil-instrument convention.
+func NewRuntimeCollector(reg *Registry) *RuntimeCollector {
+	if reg == nil {
+		return nil
+	}
+	return &RuntimeCollector{
+		heap:       reg.Gauge(MetricRuntimeHeapBytes, "bytes of allocated heap objects"),
+		objects:    reg.Gauge(MetricRuntimeHeapObjects, "number of allocated heap objects"),
+		sys:        reg.Gauge(MetricRuntimeSysBytes, "bytes obtained from the OS"),
+		goroutines: reg.Gauge(MetricRuntimeGoroutines, "goroutines that currently exist"),
+		perP:       reg.Gauge(MetricRuntimeGoroutinesPer, "goroutines per GOMAXPROCS (scheduler-pressure proxy)"),
+		gcTotal:    reg.Counter(MetricRuntimeGCTotal, "completed GC cycles"),
+		pauses: reg.Histogram(MetricRuntimeGCPauses, "stop-the-world GC pause durations in seconds",
+			[]float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1}),
+	}
+}
+
+// Collect samples the runtime into the registered instruments.
+func (c *RuntimeCollector) Collect() {
+	if c == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.heap.Set(float64(ms.HeapAlloc))
+	c.objects.Set(float64(ms.HeapObjects))
+	c.sys.Set(float64(ms.Sys))
+	g := runtime.NumGoroutine()
+	c.goroutines.Set(float64(g))
+	c.perP.Set(float64(g) / float64(runtime.GOMAXPROCS(0)))
+
+	// Feed the pauses that completed since the last collection. The
+	// runtime keeps a 256-entry ring; if more than 256 GCs happened
+	// between collections the overwritten ones are skipped (the count
+	// still lands in gc_total).
+	from := c.lastNumGC
+	if ms.NumGC > from+uint32(len(ms.PauseNs)) {
+		from = ms.NumGC - uint32(len(ms.PauseNs))
+	}
+	for i := from; i < ms.NumGC; i++ {
+		c.pauses.Observe(float64(ms.PauseNs[i%uint32(len(ms.PauseNs))]) / 1e9)
+	}
+	c.gcTotal.Add(int64(ms.NumGC - c.lastNumGC))
+	c.lastNumGC = ms.NumGC
+}

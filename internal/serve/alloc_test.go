@@ -1,0 +1,29 @@
+package serve
+
+import (
+	"testing"
+
+	"shortcutmining/internal/stats"
+)
+
+// TestCacheGetAllocs pins the warm-hit lookup at zero allocations: a
+// cache hit is the serving fast path (scm-bench measures its latency
+// as p50), and the lookup itself — hash already computed — must not
+// allocate. RequestKey hashing is allowed to allocate; Get is not.
+func TestCacheGetAllocs(t *testing.T) {
+	c := NewCache(1 << 20)
+	var k Key
+	k[0] = 7
+	c.Put(k, stats.RunStats{TotalCycles: 123})
+	if _, ok := c.Get(k); !ok {
+		t.Fatal("warm cache missed")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := c.Get(k); !ok {
+			t.Fatal("warm cache missed")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm Cache.Get allocates %.0f times per lookup, want 0", allocs)
+	}
+}

@@ -47,6 +47,10 @@ type Request struct {
 	// a metrics snapshot. Observed and unobserved results are distinct
 	// cache entries (their RunStats differ).
 	Observe bool
+	// RequestID is the serving-layer correlation ID. It deliberately
+	// stays out of the cache key: two clients asking for the same work
+	// under different IDs must share one cached result.
+	RequestID string
 }
 
 // RequestKey computes the content address of req.

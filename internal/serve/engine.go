@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -15,6 +17,7 @@ import (
 	"shortcutmining/internal/sched"
 	"shortcutmining/internal/serve/pool"
 	"shortcutmining/internal/stats"
+	"shortcutmining/internal/trace"
 )
 
 // Sentinel errors the HTTP layer maps onto status codes.
@@ -64,6 +67,10 @@ type Options struct {
 	// Registry receives the server-level metrics; nil means a fresh
 	// one (exposed at GET /metrics).
 	Registry *metrics.Registry
+	// Logger receives the structured access log (one line per HTTP
+	// request, carrying the request ID); nil discards it. cmd/scm-serve
+	// wires a text handler on stderr.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -82,6 +89,9 @@ func (o Options) withDefaults() Options {
 	if o.Clock == nil {
 		o.Clock = systemClock
 	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return o
 }
 
@@ -97,11 +107,13 @@ type flight struct {
 // pool running simulations with per-job registry isolation, fronted by
 // the content-addressed cache and a single-flight table.
 type Engine struct {
-	opts  Options
-	pool  *pool.Pool
-	cache *Cache
-	reg   *metrics.Registry
-	clock Clock
+	opts   Options
+	pool   *pool.Pool
+	cache  *Cache
+	reg    *metrics.Registry
+	clock  Clock
+	logger *slog.Logger
+	rt     *metrics.RuntimeCollector
 
 	runCtx    context.Context // parent of every job context
 	runCancel context.CancelFunc
@@ -117,6 +129,8 @@ type Engine struct {
 
 	// simFn runs one simulation; tests substitute a controllable fake.
 	simFn func(ctx context.Context, req Request) (stats.RunStats, error)
+	// traceFn runs one traced simulation (SimulateTraced path).
+	traceFn func(ctx context.Context, req Request, rec trace.Recorder) (stats.RunStats, error)
 
 	mJobsDone, mJobsFailed, mJobsCanceled *metrics.Counter
 	mRejected                             *metrics.Counter
@@ -134,12 +148,15 @@ func NewEngine(opts Options) *Engine {
 		cache:     NewCache(opts.CacheBytes),
 		reg:       opts.Registry,
 		clock:     opts.Clock,
+		logger:    opts.Logger,
 		runCtx:    ctx,
 		runCancel: cancel,
 		flight:    make(map[Key]*flight),
 		jobs:      make(map[string]*Job),
 		simFn:     runSimulation,
+		traceFn:   runTracedSimulation,
 	}
+	e.rt = metrics.NewRuntimeCollector(e.reg)
 	e.mJobsDone = e.reg.Counter(MetricJobs, "jobs by terminal state", metrics.L("state", "done"))
 	e.mJobsFailed = e.reg.Counter(MetricJobs, "jobs by terminal state", metrics.L("state", "failed"))
 	e.mJobsCanceled = e.reg.Counter(MetricJobs, "jobs by terminal state", metrics.L("state", "canceled"))
@@ -160,6 +177,15 @@ func runSimulation(ctx context.Context, req Request) (stats.RunStats, error) {
 		return core.SimulateObservedContext(ctx, req.Net, req.Cfg, req.Strategy, nil, metrics.New())
 	}
 	return core.SimulateContext(ctx, req.Net, req.Cfg, req.Strategy, nil)
+}
+
+// runTracedSimulation is the production traceFn: like runSimulation
+// but with a trace recorder attached.
+func runTracedSimulation(ctx context.Context, req Request, rec trace.Recorder) (stats.RunStats, error) {
+	if req.Observe {
+		return core.SimulateObservedContext(ctx, req.Net, req.Cfg, req.Strategy, rec, metrics.New())
+	}
+	return core.SimulateContext(ctx, req.Net, req.Cfg, req.Strategy, rec)
 }
 
 // Workers returns the pool size.
@@ -270,6 +296,75 @@ func (e *Engine) Simulate(ctx context.Context, req Request) (stats.RunStats, boo
 	}
 }
 
+// SimulateTraced runs req synchronously with a cycle-level trace
+// recorder attached and returns the recorded events alongside the
+// result. The event stream is closed by a request-level span
+// (trace.KindRequest) tagged with req.RequestID covering cycle 0 to
+// RunStats.TotalCycles, which is what makes the HTTP request findable
+// in the Perfetto export.
+//
+// Traced runs bypass both the result cache and the single-flight table
+// — a cached RunStats carries no event stream, and two identical
+// traced requests each want their own — but share the worker pool and
+// admission control, so tracing cannot starve untraced traffic.
+func (e *Engine) SimulateTraced(ctx context.Context, req Request) (stats.RunStats, []trace.Event, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if req.Net == nil {
+		return stats.RunStats{}, nil, fmt.Errorf("serve: request has no network")
+	}
+	e.mu.Lock()
+	if e.draining {
+		e.mu.Unlock()
+		return stats.RunStats{}, nil, ErrDraining
+	}
+	e.active.Add(1)
+	e.mu.Unlock()
+	e.mCacheMisses.Inc() // a traced run always executes
+
+	buf := &trace.Buffer{}
+	st := &trace.Stamper{R: buf}
+	type outcome struct {
+		res stats.RunStats
+		err error
+	}
+	done := make(chan outcome, 1)
+	jobCtx, cancel := e.jobContext()
+	task := func() {
+		defer e.active.Done()
+		defer cancel()
+		start := e.clock()
+		res, err := e.traceFn(jobCtx, req, st)
+		e.mJobSeconds.Observe(e.clock().Sub(start).Seconds())
+		switch {
+		case err == nil:
+			e.mJobsDone.Inc()
+			st.Record(trace.Event{
+				Kind: trace.KindRequest, Tag: req.RequestID,
+				Cycle: 0, DurCycles: res.TotalCycles,
+			})
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			e.mJobsCanceled.Inc()
+		default:
+			e.mJobsFailed.Inc()
+		}
+		done <- outcome{res, err}
+	}
+	if !e.pool.TrySubmit(task) {
+		e.active.Done()
+		cancel()
+		e.mRejected.Inc()
+		return stats.RunStats{}, nil, ErrBusy
+	}
+	select {
+	case o := <-done:
+		return o.res, buf.Events, o.err
+	case <-ctx.Done():
+		return stats.RunStats{}, nil, ctx.Err()
+	}
+}
+
 // SweepRequest is one asynchronous design-space sweep: every point of
 // Space evaluated on Net (ExploreContext), optionally reduced to the
 // Pareto frontier.
@@ -284,6 +379,9 @@ type SweepRequest struct {
 	Parallel int
 	// Pareto reduces the result to the non-dominated frontier.
 	Pareto bool
+	// RequestID is the serving-layer correlation ID stamped into the
+	// job record.
+	RequestID string
 }
 
 // SubmitSimulate enqueues req as an asynchronous job and returns its
@@ -294,7 +392,7 @@ func (e *Engine) SubmitSimulate(req Request) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	j := e.newJob("simulate")
+	j := e.newJob("simulate", req.RequestID)
 	return e.admit(j, func(ctx context.Context) {
 		if res, ok := e.cache.Get(key); ok {
 			e.mCacheHits.Inc()
@@ -316,6 +414,9 @@ type ScheduleRequest struct {
 	Cfg core.Config
 	// Spec is the validated scenario; a nil Spec is rejected.
 	Spec *sched.Spec
+	// RequestID is the serving-layer correlation ID stamped into the
+	// job record.
+	RequestID string
 }
 
 // SubmitSchedule enqueues a multi-tenant scheduling job. Scheduling
@@ -333,7 +434,7 @@ func (e *Engine) SubmitSchedule(req ScheduleRequest) (*Job, error) {
 	if err := req.Cfg.Validate(); err != nil {
 		return nil, err
 	}
-	j := e.newJob("schedule")
+	j := e.newJob("schedule", req.RequestID)
 	return e.admit(j, func(ctx context.Context) {
 		start := e.clock()
 		res, err := sched.RunContext(ctx, req.Cfg, req.Spec, nil)
@@ -358,7 +459,7 @@ func (e *Engine) SubmitSweep(req SweepRequest) (*Job, error) {
 	if req.Space.Size() == 0 {
 		return nil, fmt.Errorf("serve: sweep has an empty design space")
 	}
-	j := e.newJob("sweep")
+	j := e.newJob("sweep", req.RequestID)
 	return e.admit(j, func(ctx context.Context) {
 		start := e.clock()
 		outcomes, err := dse.ExploreContext(ctx, req.Net, req.Base, req.Space, fpga.VC709(), req.Parallel)
@@ -480,9 +581,11 @@ func (e *Engine) Drain(ctx context.Context) error {
 	return err
 }
 
-// syncGauges copies pool and cache occupancy into the registry so a
-// metrics scrape sees current values.
+// syncGauges copies pool and cache occupancy into the registry and
+// samples the Go runtime family so a metrics scrape sees current
+// values.
 func (e *Engine) syncGauges() {
+	e.rt.Collect()
 	cs := e.cache.Stats()
 	e.reg.Gauge(MetricCacheBytes, "encoded bytes held by the result cache").Set(float64(cs.Bytes))
 	e.reg.Gauge(MetricCacheEntries, "entries in the result cache").Set(float64(cs.Entries))

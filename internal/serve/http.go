@@ -14,6 +14,7 @@ import (
 	"shortcutmining/internal/nn"
 	"shortcutmining/internal/sched"
 	"shortcutmining/internal/stats"
+	"shortcutmining/internal/trace"
 )
 
 // maxBodyBytes bounds request documents (an inline network graph plus
@@ -37,6 +38,10 @@ type simulateBody struct {
 	Strategy string `json:"strategy,omitempty"`
 	// Observe embeds a per-run metrics snapshot in the result.
 	Observe bool `json:"observe,omitempty"`
+	// Trace embeds the cycle-level event stream in the result, closed
+	// by a request-level span carrying this request's ID (synchronous
+	// only; traced runs bypass the result cache).
+	Trace bool `json:"trace,omitempty"`
 	// Async returns 202 + a job id instead of waiting.
 	Async bool `json:"async,omitempty"`
 	// TimeoutMS bounds the synchronous wait (default 2 minutes).
@@ -69,8 +74,13 @@ type scheduleBody struct {
 }
 
 type simulateReply struct {
-	Cached bool            `json:"cached"`
-	Stats  *stats.RunStats `json:"stats"`
+	Cached    bool            `json:"cached"`
+	RequestID string          `json:"request_id,omitempty"`
+	Stats     *stats.RunStats `json:"stats"`
+	// Trace is the recorded event stream of a "trace":true request,
+	// including the request-level span; feed it to trace.WritePerfetto
+	// (or scm-trace) for a timeline searchable by the request ID.
+	Trace []trace.Event `json:"trace,omitempty"`
 }
 
 type jobReply struct {
@@ -90,6 +100,12 @@ type errorReply struct {
 //	GET  /v1/jobs/{id}  job status + result
 //	GET  /healthz       liveness / drain status
 //	GET  /metrics       server metrics, Prometheus text format
+//
+// Every request passes through the correlation middleware: the
+// X-Request-ID header is honored (or an ID minted), echoed in the
+// response, written to the engine's structured access log, stamped
+// into job records, and — for traced simulations — into the
+// request-level trace span.
 func NewHandler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/simulate", func(w http.ResponseWriter, r *http.Request) { handleSimulate(e, w, r) })
@@ -98,7 +114,7 @@ func NewHandler(e *Engine) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) { handleJob(e, w, r) })
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) { handleHealth(e, w) })
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) { handleMetrics(e, w) })
-	return mux
+	return withRequestID(e, mux)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -185,9 +201,14 @@ func handleSimulate(e *Engine, w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	req := Request{Net: net, Cfg: cfg, Strategy: strategy, Observe: body.Observe}
+	reqID := RequestIDFrom(r.Context())
+	req := Request{Net: net, Cfg: cfg, Strategy: strategy, Observe: body.Observe, RequestID: reqID}
 
 	if body.Async {
+		if body.Trace {
+			writeError(w, http.StatusBadRequest, errors.New("trace is synchronous-only; drop async or trace"))
+			return
+		}
 		j, err := e.SubmitSimulate(req)
 		if err != nil {
 			writeError(w, statusFor(err), err)
@@ -203,12 +224,21 @@ func handleSimulate(e *Engine, w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
+	if body.Trace {
+		res, events, err := e.SimulateTraced(ctx, req)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, simulateReply{RequestID: reqID, Stats: &res, Trace: events})
+		return
+	}
 	res, cached, err := e.Simulate(ctx, req)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, simulateReply{Cached: cached, Stats: &res})
+	writeJSON(w, http.StatusOK, simulateReply{Cached: cached, RequestID: reqID, Stats: &res})
 }
 
 func handleSweep(e *Engine, w http.ResponseWriter, r *http.Request) {
@@ -236,6 +266,7 @@ func handleSweep(e *Engine, w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := e.SubmitSweep(SweepRequest{
 		Net: net, Base: cfg, Space: space, Parallel: body.Parallel, Pareto: body.Pareto,
+		RequestID: RequestIDFrom(r.Context()),
 	})
 	if err != nil {
 		writeError(w, statusFor(err), err)
@@ -275,7 +306,7 @@ func handleSchedule(e *Engine, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	j, err := e.SubmitSchedule(ScheduleRequest{Cfg: cfg, Spec: spec})
+	j, err := e.SubmitSchedule(ScheduleRequest{Cfg: cfg, Spec: spec, RequestID: RequestIDFrom(r.Context())})
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return

@@ -29,6 +29,7 @@ const (
 type Job struct {
 	id    string
 	kind  string
+	reqID string // serving-layer correlation ID, "" for direct submissions
 	clock Clock
 
 	mu       sync.Mutex
@@ -46,17 +47,23 @@ type Job struct {
 	done chan struct{}
 }
 
-// newJob allocates the next job handle.
-func (e *Engine) newJob(kind string) *Job {
+// newJob allocates the next job handle, stamped with the originating
+// request's correlation ID (may be empty for direct engine use).
+func (e *Engine) newJob(kind, requestID string) *Job {
 	e.mu.Lock()
 	e.seq++
 	id := fmt.Sprintf("j%06d", e.seq)
 	e.mu.Unlock()
-	return &Job{id: id, kind: kind, clock: e.clock, state: JobQueued, created: e.clock(), done: make(chan struct{})}
+	return &Job{id: id, kind: kind, reqID: requestID, clock: e.clock,
+		state: JobQueued, created: e.clock(), done: make(chan struct{})}
 }
 
 // ID returns the job identifier ("j000042").
 func (j *Job) ID() string { return j.id }
+
+// RequestID returns the correlation ID of the HTTP request that
+// submitted the job, or "" for direct submissions.
+func (j *Job) RequestID() string { return j.reqID }
 
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
@@ -128,16 +135,17 @@ func (j *Job) finishLocked(err error) {
 
 // View is the JSON representation served by GET /v1/jobs/{id}.
 type View struct {
-	ID       string          `json:"id"`
-	Kind     string          `json:"kind"`
-	State    JobState        `json:"state"`
-	Cached   bool            `json:"cached,omitempty"`
-	Error    string          `json:"error,omitempty"`
-	Created  time.Time       `json:"created"`
-	Started  *time.Time      `json:"started,omitempty"`
-	Finished *time.Time      `json:"finished,omitempty"`
-	Stats    *stats.RunStats `json:"stats,omitempty"`
-	Outcomes []dse.Outcome   `json:"outcomes,omitempty"`
+	ID        string          `json:"id"`
+	Kind      string          `json:"kind"`
+	RequestID string          `json:"request_id,omitempty"`
+	State     JobState        `json:"state"`
+	Cached    bool            `json:"cached,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Created   time.Time       `json:"created"`
+	Started   *time.Time      `json:"started,omitempty"`
+	Finished  *time.Time      `json:"finished,omitempty"`
+	Stats     *stats.RunStats `json:"stats,omitempty"`
+	Outcomes  []dse.Outcome   `json:"outcomes,omitempty"`
 	// Schedule is the per-stream QoS outcome of a kind="schedule" job.
 	Schedule *sched.Result `json:"schedule,omitempty"`
 }
@@ -147,7 +155,7 @@ func (j *Job) View() View {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := View{
-		ID: j.id, Kind: j.kind, State: j.state, Cached: j.cached,
+		ID: j.id, Kind: j.kind, RequestID: j.reqID, State: j.state, Cached: j.cached,
 		Error: j.errMsg, Created: j.created,
 		Stats: j.res, Outcomes: j.sweep, Schedule: j.schedule,
 	}

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"shortcutmining/internal/trace"
+)
+
+// syncBuffer is a goroutine-safe sink for the slog handler (the access
+// log is written from handler goroutines).
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestRequestIDEndToEnd follows one correlation ID through the whole
+// observability chain: honored from X-Request-ID, echoed in the
+// response header and body, written to the structured access log, and
+// stamped into the request-level span of the Perfetto export.
+func TestRequestIDEndToEnd(t *testing.T) {
+	logBuf := &syncBuffer{}
+	e := NewEngine(Options{
+		Workers: 2,
+		Logger:  slog.New(slog.NewTextHandler(logBuf, nil)),
+	})
+	defer e.Drain(context.Background())
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	const id = "test-correlation-0042"
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/simulate",
+		strings.NewReader(`{"network":"densechain","strategy":"scm","trace":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(RequestIDHeader, id)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, raw)
+	}
+
+	// 1. Echoed in the response header and body.
+	if got := resp.Header.Get(RequestIDHeader); got != id {
+		t.Errorf("response %s = %q, want %q", RequestIDHeader, got, id)
+	}
+	var reply simulateReply
+	if err := json.Unmarshal(raw, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.RequestID != id {
+		t.Errorf("reply request_id = %q, want %q", reply.RequestID, id)
+	}
+	if reply.Cached {
+		t.Error("traced run reported cached=true; traced runs must bypass the cache")
+	}
+
+	// 2. The embedded event stream ends in a request-level span
+	// carrying the ID and spanning the whole run.
+	if len(reply.Trace) == 0 {
+		t.Fatal("trace:true reply carried no events")
+	}
+	var span *trace.Event
+	for i := range reply.Trace {
+		if reply.Trace[i].Kind == trace.KindRequest {
+			span = &reply.Trace[i]
+		}
+	}
+	if span == nil {
+		t.Fatal("no request-level span in the event stream")
+	}
+	if span.Tag != id {
+		t.Errorf("span tag = %q, want %q", span.Tag, id)
+	}
+	if reply.Stats == nil || span.DurCycles != reply.Stats.TotalCycles {
+		t.Errorf("span covers %d cycles, want TotalCycles %d", span.DurCycles, reply.Stats.TotalCycles)
+	}
+
+	// 3. The Perfetto export is searchable by the request ID.
+	var perfetto bytes.Buffer
+	if err := trace.WritePerfetto(&perfetto, reply.Trace, reply.Stats.ClockMHz); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(perfetto.String(), id) {
+		t.Error("Perfetto export does not contain the request ID")
+	}
+
+	// 4. The structured access log carries the same ID.
+	logLine := logBuf.String()
+	if !strings.Contains(logLine, "request_id="+id) {
+		t.Errorf("access log missing request_id=%s:\n%s", id, logLine)
+	}
+	if !strings.Contains(logLine, "path=/v1/simulate") || !strings.Contains(logLine, "status=200") {
+		t.Errorf("access log missing method/path/status fields:\n%s", logLine)
+	}
+}
+
+// TestRequestIDMinted checks the no-header path: the server mints an
+// ID, echoes it, and the same ID lands in the async job record.
+func TestRequestIDMinted(t *testing.T) {
+	e := NewEngine(Options{Workers: 2})
+	defer e.Drain(context.Background())
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	resp, raw := postJSON(t, srv, "/v1/simulate", `{"network":"densechain","async":true}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, raw)
+	}
+	id := resp.Header.Get(RequestIDHeader)
+	if id == "" {
+		t.Fatal("server did not mint a request ID")
+	}
+
+	var jr jobReply
+	if err := json.Unmarshal(raw, &jr); err != nil {
+		t.Fatal(err)
+	}
+	j, ok := e.Job(jr.Job)
+	if !ok {
+		t.Fatalf("job %q not found", jr.Job)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("async job did not finish")
+	}
+	v := j.View()
+	if v.RequestID != id {
+		t.Errorf("job record request_id = %q, want minted %q", v.RequestID, id)
+	}
+
+	// A second request gets a different ID (process-unique sequence).
+	resp2, _ := postJSON(t, srv, "/v1/simulate", `{"network":"densechain","async":true}`)
+	if id2 := resp2.Header.Get(RequestIDHeader); id2 == "" || id2 == id {
+		t.Errorf("second minted ID %q not unique vs %q", id2, id)
+	}
+}
+
+// TestTraceAsyncRejected pins the API contract: trace is synchronous
+// only.
+func TestTraceAsyncRejected(t *testing.T) {
+	e := NewEngine(Options{Workers: 1})
+	defer e.Drain(context.Background())
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	resp, raw := postJSON(t, srv, "/v1/simulate",
+		`{"network":"densechain","async":true,"trace":true}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("async+trace status = %d, want 400; body %s", resp.StatusCode, raw)
+	}
+}

@@ -14,13 +14,15 @@ import (
 // Track/thread ids of the exported timeline. One synthetic process
 // holds all tracks.
 const (
-	perfettoPid     = 1
-	layerTid        = 1 // layer execution spans
-	dmaTid          = 2 // DRAM transfer spans
-	processName     = "shortcutmining"
-	layerTrackName  = "layers"
-	dmaTrackName    = "dram"
-	bankCounterName = "pool banks"
+	perfettoPid      = 1
+	layerTid         = 1 // layer execution spans
+	dmaTid           = 2 // DRAM transfer spans
+	requestTid       = 3 // serving-layer request spans
+	processName      = "shortcutmining"
+	layerTrackName   = "layers"
+	dmaTrackName     = "dram"
+	requestTrackName = "requests"
+	bankCounterName  = "pool banks"
 )
 
 // perfettoEvent is one entry of the trace_event "traceEvents" array.
@@ -61,6 +63,9 @@ type perfettoFile struct {
 //     it hit.
 //   - layer-end occupancy (used/pinned banks) becomes a "C" counter
 //     event, rendering the pool timeline Perfetto-natively.
+//   - request events become B/E spans on the "requests" track, named by
+//     the serving-layer request ID (Tag), so an X-Request-ID from an
+//     scm-serve log line is searchable in the timeline.
 //
 // Events are emitted sorted by timestamp (stable, so same-cycle events
 // keep stream order), which keeps every track's B/E sequence monotone.
@@ -77,6 +82,8 @@ func WritePerfetto(w io.Writer, events []Event, clockMHz float64) error {
 			Args: map[string]any{"name": layerTrackName}},
 		{Name: "thread_name", Ph: "M", Pid: perfettoPid, Tid: dmaTid,
 			Args: map[string]any{"name": dmaTrackName}},
+		{Name: "thread_name", Ph: "M", Pid: perfettoPid, Tid: requestTid,
+			Args: map[string]any{"name": requestTrackName}},
 	}
 	meta := len(out)
 
@@ -128,6 +135,26 @@ func WritePerfetto(w io.Writer, events []Event, clockMHz float64) error {
 			}
 			out = append(out, perfettoEvent{Name: string(e.Kind), Ph: "i", Ts: ts,
 				Pid: perfettoPid, Tid: layerTid, Cat: "fault", Args: args})
+		case KindRequest:
+			// One serving-layer request span: named by the request ID so
+			// a Perfetto search for the ID from an scm-serve log line
+			// lands on the simulated interval it covers.
+			name := e.Tag
+			if name == "" {
+				name = "request"
+			}
+			args := map[string]any{"request_id": e.Tag}
+			if e.Note != "" {
+				args["note"] = e.Note
+			}
+			end := us(e.Cycle + e.DurCycles)
+			out = append(out, perfettoEvent{Name: name, Ph: "B", Ts: ts,
+				Pid: perfettoPid, Tid: requestTid, Cat: "request", Args: args})
+			out = append(out, perfettoEvent{Name: name, Ph: "E", Ts: end,
+				Pid: perfettoPid, Tid: requestTid, Cat: "request"})
+			if end > lastTs {
+				lastTs = end
+			}
 		case KindDRAM, KindRefill, KindSpill, KindRetry:
 			if e.DurCycles <= 0 {
 				continue // bookkeeping event without a modeled transfer span

@@ -33,6 +33,12 @@ const (
 	KindFault    Kind = "fault"
 	KindRetry    Kind = "retry"
 	KindRelocate Kind = "relocate"
+
+	// KindRequest is a serving-layer span enclosing one HTTP request's
+	// simulation: Tag carries the request ID, Cycle/DurCycles the
+	// simulated interval. It is what correlates an scm-serve request to
+	// its cycle-level Perfetto timeline.
+	KindRequest Kind = "request"
 )
 
 // Event is one scheduler decision. Fields are contextual; unused ones
@@ -189,7 +195,7 @@ type Summary struct {
 // presents columns in).
 var allKinds = []Kind{KindLayerStart, KindAlloc, KindRoleSwitch, KindPin, KindUnpin,
 	KindRecycle, KindSpill, KindRefill, KindFree, KindDRAM,
-	KindFault, KindRetry, KindRelocate, KindLayerEnd}
+	KindFault, KindRetry, KindRelocate, KindLayerEnd, KindRequest}
 
 // Summarize builds the kind × layer census backing scm-trace -summary.
 func Summarize(events []Event) Summary {
