@@ -18,6 +18,18 @@
 //	scm-serve -addr :9090 -workers 4 -cache-mib 128
 //	scm-serve -job-timeout 5m -drain-timeout 30s
 //	scm-serve -pprof 127.0.0.1:6060    # profiling endpoints on a side mux
+//	scm-serve -journal /var/lib/scm/journal -checkpoint-layers 8
+//	scm-serve -journal d -chaos 'seed=7;journal-io:p=0.1'  # fault drill
+//
+// With -journal, every async job's lifecycle is written through an
+// fsync-on-commit write-ahead journal, and a restarted server replays
+// it: finished jobs reappear in the history, accepted jobs run again,
+// checkpointed simulations (-checkpoint-layers) resume mid-network,
+// and orphaned running jobs surface as "interrupted" instead of
+// vanishing. -chaos injects serving-layer faults (journal I/O errors,
+// worker stalls, slow disk, crash points) from a seeded spec for
+// resilience drills; a triggered crash point exits the process with
+// status 137, exactly like the SIGKILL it stands in for.
 //
 // Every request gets a correlation ID (X-Request-ID honored or
 // minted) that appears in the structured access log on stderr, in job
@@ -46,6 +58,8 @@ import (
 	"syscall"
 	"time"
 
+	"shortcutmining/internal/chaos"
+	"shortcutmining/internal/journal"
 	"shortcutmining/internal/serve"
 )
 
@@ -56,18 +70,66 @@ func main() {
 		queue        = flag.Int("queue", 64, "admission queue depth; a full queue answers 429")
 		cacheMiB     = flag.Int64("cache-mib", 64, "result-cache budget in MiB")
 		jobTimeout   = flag.Duration("job-timeout", 10*time.Minute, "per-job execution bound (0 = unbounded)")
+		jobTTL       = flag.Duration("job-ttl", 0, "evict terminal jobs from the history this long after they finish (0 = count-based only)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound before in-flight jobs are canceled")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. 127.0.0.1:6060); empty = off")
+		journalDir   = flag.String("journal", "", "durable job-journal directory; empty = in-memory jobs only")
+		ckptLayers   = flag.Int("checkpoint-layers", 0, "with -journal: checkpoint async simulations every K layer boundaries (0 = off)")
+		chaosSpec    = flag.String("chaos", "", "serving-layer fault-injection spec, e.g. 'seed=7;journal-io:p=0.1;crash@checkpoint:n=3'")
 	)
 	flag.Parse()
 
+	var inj *chaos.Injector
+	if *chaosSpec != "" {
+		spec, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			fatal(err)
+		}
+		if inj, err = chaos.New(spec); err != nil {
+			fatal(err)
+		}
+		inj.SetCrashFn(func(site string) {
+			log.Printf("scm-serve: chaos crash point %q triggered; dying", site)
+			os.Exit(137) // the exit code SIGKILL would produce
+		})
+		log.Printf("scm-serve: chaos injection active: %s", spec)
+	}
+
+	var jnl *journal.Journal
+	var recovered []journal.Record
+	if *journalDir != "" {
+		var err error
+		jnl, recovered, err = journal.Open(*journalDir, journal.Options{
+			Now:      time.Now,
+			WriteErr: inj.JournalWriteErr,
+			Latency:  inj.JournalLatency,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		log.Printf("scm-serve: journal at %s (%d records replayed)", *journalDir, len(recovered))
+	} else if *ckptLayers > 0 {
+		fatal(errors.New("-checkpoint-layers needs -journal"))
+	}
+
 	engine := serve.NewEngine(serve.Options{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		CacheBytes: *cacheMiB << 20,
-		JobTimeout: *jobTimeout,
-		Logger:     slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheBytes:       *cacheMiB << 20,
+		JobTimeout:       *jobTimeout,
+		JobTTL:           *jobTTL,
+		Journal:          jnl,
+		CheckpointLayers: *ckptLayers,
+		Chaos:            inj,
+		Logger:           slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	})
+	if jnl != nil {
+		report, err := engine.Recover(recovered)
+		if err != nil {
+			fatal(err)
+		}
+		log.Printf("scm-serve: journal recovery: %s", report)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           serve.NewHandler(engine),
@@ -122,6 +184,11 @@ func main() {
 	if pprofSrv != nil {
 		if err := pprofSrv.Shutdown(drainCtx); err != nil {
 			log.Printf("scm-serve: pprof shutdown: %v", err)
+		}
+	}
+	if jnl != nil {
+		if err := jnl.Close(); err != nil {
+			log.Printf("scm-serve: journal close: %v", err)
 		}
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {

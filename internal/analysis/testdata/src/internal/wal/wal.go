@@ -1,0 +1,41 @@
+// Package wal is ignorederr-check corpus for durable-write idioms: on
+// an fsync-on-commit path, a discarded Sync or Close error silently
+// converts "durable" into "maybe durable", so the check must see every
+// step of the write→sync→close chain handled.
+package wal
+
+import "os"
+
+// CommitLossy drops errors at each stage of the durable-write chain.
+func CommitLossy(f *os.File, line []byte) {
+	f.Write(line) // want `\[ignorederr\] call discards its error result`
+	f.Sync()      // want `\[ignorederr\] call discards its error result`
+	f.Close()     // want `\[ignorederr\] call discards its error result`
+}
+
+// CommitBlank launders the fsync result through blank instead.
+func CommitBlank(f *os.File, line []byte) {
+	_, _ = f.Write(line) // want `\[ignorederr\] error assigned to blank`
+	_ = f.Sync()         // want `\[ignorederr\] error assigned to blank`
+}
+
+// Commit is the clean variant: a record is committed only when the
+// write and the fsync both succeeded, and a failed close after a clean
+// sync still fails the commit.
+func Commit(f *os.File, line []byte) error {
+	if _, err := f.Write(line); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Abort documents the one legitimate discard: closing a file whose
+// write already failed is cleanup, not commit.
+func Abort(f *os.File, err error) error {
+	// scmvet:ok ignorederr corpus: best-effort close on the error path; the write error is what the caller needs
+	f.Close()
+	return err
+}

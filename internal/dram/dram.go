@@ -212,6 +212,16 @@ func (ch *Channel) Reset() {
 	ch.retry = Traffic{}
 }
 
+// RestoreTraffic overwrites the burst-rounded and payload tallies —
+// the checkpoint/restore seam. A channel rebuilt from a mid-run
+// snapshot continues the original tally so the final traffic ledger is
+// bit-identical to an uninterrupted run. Retry traffic is deliberately
+// absent: snapshots are only taken of fault-free runs.
+func (ch *Channel) RestoreTraffic(traffic, raw Traffic) {
+	ch.traffic = traffic
+	ch.raw = raw
+}
+
 // CyclesAt converts a byte count into channel-occupancy cycles at the
 // given accelerator clock. Partial cycles round up.
 func (ch *Channel) CyclesAt(bytes int64, clockMHz float64) int64 {

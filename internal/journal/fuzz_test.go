@@ -1,0 +1,47 @@
+package journal
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzJournalDecode: the record decoder must never panic and must
+// classify every rejection as exactly one of the frame/checksum/record
+// sentinels — recovery code switches on these to decide between
+// "torn tail, truncate" and "corruption, refuse to start".
+func FuzzJournalDecode(f *testing.F) {
+	valid, err := EncodeRecord(Record{Seq: 1, Job: "j000001", Op: OpAccepted, Kind: "simulate", RequestID: "r-1"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid = valid[:len(valid)-1] // DecodeRecord takes the line without '\n'
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])               // truncated tail
+	f.Add([]byte{})                           // empty line
+	f.Add([]byte("00000000 {}"))              // framed, wrong CRC
+	f.Add([]byte("zzzzzzzz {\"job\":\"j\"}")) // non-hex CRC
+	f.Add([]byte("deadbeef"))                 // no separator
+	flipped := append([]byte(nil), valid...)
+	flipped[0] ^= 0x01 // flipped CRC nibble
+	f.Add(flipped)
+	bodyflip := append([]byte(nil), valid...)
+	bodyflip[len(bodyflip)-2] ^= 0x20 // flipped payload byte
+	f.Add(bodyflip)
+	interleaved := append(append([]byte(nil), valid...), valid...) // two records mashed into one line
+	f.Add(interleaved)
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		rec, err := DecodeRecord(line)
+		if err != nil {
+			if !errors.Is(err, ErrFrame) && !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrRecord) {
+				t.Fatalf("unclassified decode error: %v", err)
+			}
+			return
+		}
+		// Accepted records must re-encode: decode is the inverse of a
+		// valid encode, never a lossy guess.
+		if _, err := EncodeRecord(rec); err != nil {
+			t.Fatalf("decoded record does not re-encode: %+v: %v", rec, err)
+		}
+	})
+}

@@ -1,0 +1,601 @@
+// Package journal is the serving tier's durable job ledger: an
+// append-only, fsync-on-commit write-ahead journal of job lifecycle
+// records. The serve engine writes every async job's transitions
+// (accepted → running → checkpoint… → done/failed/canceled) through
+// it, and a restarted process replays the journal to recover accepted
+// work instead of silently losing it.
+//
+// The design follows the same separation the simulator applies on
+// chip — durable state (the pinned shortcut banks; here, the ledger)
+// is kept apart from volatile execution state (the streaming buffers;
+// here, the worker pool) — so a crash forfeits only the work in
+// flight, never the record of what was accepted.
+//
+// On-disk format: numbered segment files ("wal-000001.jsonl") of
+// CRC-framed JSONL records, one record per line:
+//
+//	crc32c(json) as 8 lowercase hex digits, one space, the JSON
+//	document, '\n'
+//
+// Append marshals, frames, writes, and fsyncs before returning, so a
+// record that Append acknowledged survives SIGKILL. Replay reads the
+// segments in order; a torn tail (partial last line, CRC mismatch on
+// the final record — the signature of a crash mid-write) is truncated
+// away, while corruption anywhere else is a classified error, never a
+// panic. Segments rotate at a byte threshold and Compact rewrites the
+// records of still-live jobs into a fresh segment so the journal does
+// not grow without bound.
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Classified decode errors. Every corruption surfaces as one of these
+// sentinels (wrapped with position detail) so callers can tell a torn
+// tail from mid-file damage and from malformed records.
+var (
+	// ErrFrame reports a line that is not "crc hex, space, payload".
+	ErrFrame = errors.New("journal: malformed record frame")
+	// ErrChecksum reports a frame whose CRC does not match its payload.
+	ErrChecksum = errors.New("journal: record checksum mismatch")
+	// ErrRecord reports a well-framed payload that is not a valid record.
+	ErrRecord = errors.New("journal: malformed record")
+	// ErrClosed reports an append to a closed journal.
+	ErrClosed = errors.New("journal: closed")
+)
+
+// Op is a job lifecycle transition.
+type Op string
+
+// The journaled lifecycle: a job is accepted, starts running,
+// optionally checkpoints every K layers, and ends in exactly one
+// terminal op. Interrupted is written by recovery, not by the engine:
+// it classifies a job that was running when the process died and had
+// no checkpoint to resume from.
+const (
+	OpAccepted    Op = "accepted"
+	OpRunning     Op = "running"
+	OpCheckpoint  Op = "checkpoint"
+	OpDone        Op = "done"
+	OpFailed      Op = "failed"
+	OpCanceled    Op = "canceled"
+	OpInterrupted Op = "interrupted"
+)
+
+// valid reports whether the op is one of the journaled lifecycle ops.
+func (o Op) valid() bool {
+	switch o {
+	case OpAccepted, OpRunning, OpCheckpoint, OpDone, OpFailed, OpCanceled, OpInterrupted:
+		return true
+	}
+	return false
+}
+
+// Terminal reports whether the op ends a job's lifecycle.
+func (o Op) Terminal() bool {
+	return o == OpDone || o == OpFailed || o == OpCanceled || o == OpInterrupted
+}
+
+// Record is one journal entry. Payload carries the op-specific
+// document: the full request for OpAccepted (so recovery can re-run
+// it), a core.RunSnapshot for OpCheckpoint, and the result for OpDone.
+type Record struct {
+	// Seq is the journal-assigned monotone sequence number.
+	Seq uint64 `json:"seq"`
+	// Time is the wall-clock stamp from the journal's injected clock.
+	Time time.Time `json:"time"`
+	// Job is the engine job ID the record belongs to.
+	Job string `json:"job"`
+	// Op is the lifecycle transition.
+	Op Op `json:"op"`
+	// Kind is the job kind (simulate | sweep | schedule), set on
+	// OpAccepted so recovery knows how to decode Payload.
+	Kind string `json:"kind,omitempty"`
+	// RequestID is the serving-layer correlation ID (OpAccepted).
+	RequestID string `json:"request_id,omitempty"`
+	// Layer is the next-layer index of a checkpoint record.
+	Layer int `json:"layer,omitempty"`
+	// Error is the failure reason of OpFailed / OpCanceled /
+	// OpInterrupted records.
+	Error string `json:"error,omitempty"`
+	// Reason classifies a terminal record beyond its op ("timeout",
+	// "interrupted", …) — mirrors the job's Reason field.
+	Reason string `json:"reason,omitempty"`
+	// Payload is the op-specific document.
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// castagnoli is the CRC-32C table (the polynomial used by modern
+// storage stacks; hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodeRecord renders one CRC-framed journal line.
+func EncodeRecord(rec Record) ([]byte, error) {
+	if !rec.Op.valid() {
+		return nil, fmt.Errorf("%w: unknown op %q", ErrRecord, rec.Op)
+	}
+	if rec.Job == "" {
+		return nil, fmt.Errorf("%w: record has no job id", ErrRecord)
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRecord, err)
+	}
+	line := make([]byte, 0, len(payload)+10)
+	line = fmt.Appendf(line, "%08x ", crc32.Checksum(payload, castagnoli))
+	line = append(line, payload...)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// DecodeRecord parses one journal line (without the trailing newline).
+// Every malformed input yields a classified error — ErrFrame,
+// ErrChecksum, or ErrRecord — never a panic.
+func DecodeRecord(line []byte) (Record, error) {
+	if len(line) < 10 || line[8] != ' ' {
+		return Record{}, fmt.Errorf("%w: line of %d bytes", ErrFrame, len(line))
+	}
+	want64, err := strconv.ParseUint(string(line[:8]), 16, 32)
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: bad checksum field %q", ErrFrame, line[:8])
+	}
+	payload := line[9:]
+	if got := crc32.Checksum(payload, castagnoli); got != uint32(want64) {
+		return Record{}, fmt.Errorf("%w: have %08x, frame says %08x", ErrChecksum, got, uint32(want64))
+	}
+	var rec Record
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rec); err != nil {
+		return Record{}, fmt.Errorf("%w: %v", ErrRecord, err)
+	}
+	if !rec.Op.valid() {
+		return Record{}, fmt.Errorf("%w: unknown op %q", ErrRecord, rec.Op)
+	}
+	if rec.Job == "" {
+		return Record{}, fmt.Errorf("%w: record has no job id", ErrRecord)
+	}
+	return rec, nil
+}
+
+// Stats is a point-in-time view of the journal counters.
+type Stats struct {
+	Appends      int64 `json:"appends"`
+	AppendErrors int64 `json:"append_errors"`
+	SyncErrors   int64 `json:"sync_errors"`
+	Rotations    int64 `json:"rotations"`
+	Compactions  int64 `json:"compactions"`
+	// TornRecords counts records dropped by torn-tail truncation at
+	// open (0 after a clean shutdown).
+	TornRecords int64 `json:"torn_records"`
+	// Segments and Bytes describe the on-disk footprint.
+	Segments int   `json:"segments"`
+	Bytes    int64 `json:"bytes"`
+}
+
+// Options configures a journal. The zero value is usable.
+type Options struct {
+	// SegmentBytes is the rotation threshold; <= 0 means 4 MiB.
+	SegmentBytes int64
+	// Now supplies record timestamps; nil means the caller's records
+	// are stamped with the zero time (the serve engine injects its
+	// Clock so the whole process has one wall-clock seam).
+	Now func() time.Time
+	// WriteErr, when non-nil, is consulted before every physical write
+	// ("write") and fsync ("sync") — the chaos-injection seam. A
+	// returned error aborts the append and is reported to the caller.
+	WriteErr func(op string) error
+	// Latency, when non-nil, returns an artificial delay applied before
+	// each physical write (the chaos slow-disk model).
+	Latency func() time.Duration
+}
+
+// Journal is an open, appendable journal. All methods are safe for
+// concurrent use.
+type Journal struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	f      *os.File // active segment
+	seg    int      // active segment index
+	size   int64    // bytes in the active segment
+	seq    uint64   // last assigned sequence number
+	closed bool
+	stats  Stats
+}
+
+// segmentName renders the file name of segment i.
+func segmentName(i int) string { return fmt.Sprintf("wal-%06d.jsonl", i) }
+
+// segmentIndex parses a segment file name, reporting ok=false for
+// foreign files.
+func segmentIndex(name string) (int, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".jsonl") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".jsonl"))
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// segments lists the journal's segment indices in ascending order.
+func segments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: reading %s: %w", dir, err)
+	}
+	var idx []int
+	for _, e := range entries {
+		if n, ok := segmentIndex(e.Name()); ok && !e.IsDir() {
+			idx = append(idx, n)
+		}
+	}
+	sort.Ints(idx)
+	return idx, nil
+}
+
+// replaySegment reads one segment file. last marks the journal's final
+// segment, where a torn tail (partial or corrupt final record — the
+// signature of a crash mid-write) is truncated in place rather than
+// reported; anywhere else corruption is a classified error. It
+// returns the records and how many torn records were dropped.
+func replaySegment(path string, last bool) ([]Record, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("journal: reading segment: %w", err)
+	}
+	var recs []Record
+	offset := 0
+	for offset < len(data) {
+		nl := bytes.IndexByte(data[offset:], '\n')
+		if nl < 0 {
+			// Unterminated final line: a torn write.
+			if !last {
+				return nil, 0, fmt.Errorf("journal: %s: unterminated record at byte %d in non-final segment: %w",
+					filepath.Base(path), offset, ErrFrame)
+			}
+			if err := os.Truncate(path, int64(offset)); err != nil {
+				return nil, 0, fmt.Errorf("journal: truncating torn tail of %s: %w", filepath.Base(path), err)
+			}
+			return recs, 1, nil
+		}
+		line := data[offset : offset+nl]
+		rec, derr := DecodeRecord(line)
+		if derr != nil {
+			atTail := offset+nl+1 == len(data)
+			if last && atTail {
+				// Torn final record (e.g. crash between write and sync
+				// left a half-flushed page): truncate and recover.
+				if err := os.Truncate(path, int64(offset)); err != nil {
+					return nil, 0, fmt.Errorf("journal: truncating torn tail of %s: %w", filepath.Base(path), err)
+				}
+				return recs, 1, nil
+			}
+			return nil, 0, fmt.Errorf("journal: %s: record at byte %d: %w", filepath.Base(path), offset, derr)
+		}
+		recs = append(recs, rec)
+		offset += nl + 1
+	}
+	return recs, 0, nil
+}
+
+// Open opens (creating if needed) the journal in dir, replays every
+// existing segment, truncates a torn tail, and positions the journal
+// to append. It returns the recovered records in sequence order.
+// Mid-journal corruption (a bad record that is not the torn tail)
+// fails Open with a classified error: the operator must decide, the
+// journal will not silently skip history.
+func Open(dir string, opts Options) (*Journal, []Record, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 4 << 20
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("journal: creating %s: %w", dir, err)
+	}
+	idx, err := segments(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	j := &Journal{dir: dir, opts: opts, seg: 0}
+	var recovered []Record
+	for i, n := range idx {
+		recs, torn, err := replaySegment(filepath.Join(dir, segmentName(n)), i == len(idx)-1)
+		if err != nil {
+			return nil, nil, err
+		}
+		j.stats.TornRecords += torn
+		recovered = append(recovered, recs...)
+		j.seg = n
+	}
+	for _, r := range recovered {
+		if r.Seq > j.seq {
+			j.seq = r.Seq
+		}
+	}
+	j.stats.Segments = len(idx)
+	for _, n := range idx {
+		if fi, err := os.Stat(filepath.Join(dir, segmentName(n))); err == nil {
+			j.stats.Bytes += fi.Size()
+		}
+	}
+	// Always append to a fresh segment: old segments stay immutable
+	// after recovery, so a replayed prefix can never be half-rewritten.
+	if err := j.openSegmentLocked(j.seg + 1); err != nil {
+		return nil, nil, err
+	}
+	return j, recovered, nil
+}
+
+// openSegmentLocked creates segment n and makes it the append target.
+// The caller holds j.mu (or is constructing the journal).
+func (j *Journal) openSegmentLocked(n int) error {
+	path := filepath.Join(j.dir, segmentName(n))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: creating segment: %w", err)
+	}
+	// The new segment must itself survive a crash: fsync the directory
+	// so the directory entry is durable before any record lands in it.
+	if err := syncDir(j.dir); err != nil {
+		closeErr := f.Close()
+		return errors.Join(fmt.Errorf("journal: syncing directory: %w", err), closeErr)
+	}
+	if j.f != nil {
+		if err := j.f.Close(); err != nil {
+			closeErr := f.Close()
+			return errors.Join(fmt.Errorf("journal: closing previous segment: %w", err), closeErr)
+		}
+	}
+	j.f = f
+	j.seg = n
+	j.size = 0
+	j.stats.Segments++
+	return nil
+}
+
+// syncDir fsyncs a directory so file creations/removals inside it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	syncErr := d.Sync()
+	closeErr := d.Close()
+	return errors.Join(syncErr, closeErr)
+}
+
+// Append assigns the next sequence number, stamps the record, writes
+// it to the active segment, and fsyncs before returning: a nil error
+// means the record survives SIGKILL. On error the record is not
+// acknowledged (a torn partial write, if any, is truncated away by the
+// next Open).
+func (j *Journal) Append(rec Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if j.opts.Now != nil {
+		rec.Time = j.opts.Now()
+	}
+	rec.Seq = j.seq + 1
+	line, err := EncodeRecord(rec)
+	if err != nil {
+		j.stats.AppendErrors++
+		return err
+	}
+	if j.size+int64(len(line)) > j.opts.SegmentBytes && j.size > 0 {
+		if err := j.openSegmentLocked(j.seg + 1); err != nil {
+			j.stats.AppendErrors++
+			return err
+		}
+		j.stats.Rotations++
+	}
+	if j.opts.Latency != nil {
+		if d := j.opts.Latency(); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	if j.opts.WriteErr != nil {
+		if err := j.opts.WriteErr("write"); err != nil {
+			j.stats.AppendErrors++
+			return err
+		}
+	}
+	if _, err := j.f.Write(line); err != nil {
+		j.stats.AppendErrors++
+		return fmt.Errorf("journal: writing record: %w", err)
+	}
+	if j.opts.WriteErr != nil {
+		if err := j.opts.WriteErr("sync"); err != nil {
+			j.stats.AppendErrors++
+			j.stats.SyncErrors++
+			return err
+		}
+	}
+	if err := j.f.Sync(); err != nil {
+		// A failed fsync means the record's durability is unknown; the
+		// caller must treat it as not committed (and the engine degrades
+		// its health) even though the bytes may be in the page cache.
+		j.stats.AppendErrors++
+		j.stats.SyncErrors++
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	j.seq = rec.Seq
+	j.size += int64(len(line))
+	j.stats.Bytes += int64(len(line))
+	j.stats.Appends++
+	return nil
+}
+
+// Seq returns the last acknowledged sequence number.
+func (j *Journal) Seq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Stats returns the current counters.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stats
+}
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Compact rewrites the journal so it holds only the records for which
+// keep returns true (typically: jobs that are not yet terminal, plus
+// terminal jobs still inside the history TTL). The surviving records
+// are rewritten into the active segment's successor and every older
+// segment is removed. Records keep their original sequence numbers, so
+// replay order is unaffected.
+func (j *Journal) Compact(records []Record, keep func(r Record) bool) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	old, err := segments(j.dir)
+	if err != nil {
+		return err
+	}
+	if err := j.openSegmentLocked(j.seg + 1); err != nil {
+		return err
+	}
+	var kept int64
+	for _, rec := range records {
+		if keep != nil && !keep(rec) {
+			continue
+		}
+		line, err := EncodeRecord(rec)
+		if err != nil {
+			return err
+		}
+		if _, err := j.f.Write(line); err != nil {
+			return fmt.Errorf("journal: compaction write: %w", err)
+		}
+		j.size += int64(len(line))
+		kept++
+	}
+	if err := j.f.Sync(); err != nil {
+		j.stats.SyncErrors++
+		return fmt.Errorf("journal: compaction fsync: %w", err)
+	}
+	// Only after the survivors are durable may history disappear.
+	for _, n := range old {
+		if n == j.seg {
+			continue
+		}
+		if err := os.Remove(filepath.Join(j.dir, segmentName(n))); err != nil {
+			return fmt.Errorf("journal: removing compacted segment: %w", err)
+		}
+		j.stats.Segments--
+	}
+	if err := syncDir(j.dir); err != nil {
+		return fmt.Errorf("journal: syncing directory after compaction: %w", err)
+	}
+	j.stats.Compactions++
+	j.recountBytesLocked()
+	return nil
+}
+
+// recountBytesLocked refreshes the on-disk byte tally after
+// compaction. The caller holds j.mu.
+func (j *Journal) recountBytesLocked() {
+	idx, err := segments(j.dir)
+	if err != nil {
+		return // counters are advisory; the next Stats call may be stale
+	}
+	var total int64
+	for _, n := range idx {
+		if fi, err := os.Stat(filepath.Join(j.dir, segmentName(n))); err == nil {
+			total += fi.Size()
+		}
+	}
+	j.stats.Bytes = total
+	j.stats.Segments = len(idx)
+}
+
+// Close syncs and closes the active segment. Further Appends fail with
+// ErrClosed.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if j.f == nil {
+		return nil
+	}
+	syncErr := j.f.Sync()
+	closeErr := j.f.Close()
+	j.f = nil
+	if syncErr != nil {
+		j.stats.SyncErrors++
+		return fmt.Errorf("journal: close fsync: %w", syncErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("journal: close: %w", closeErr)
+	}
+	return nil
+}
+
+// ReadAll replays every record in dir without opening the journal for
+// writing — the inspection path used by tests and tooling. Unlike
+// Open, it never mutates the on-disk state: a torn tail is skipped,
+// not truncated.
+func ReadAll(dir string) ([]Record, error) {
+	idx, err := segments(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for i, n := range idx {
+		path := filepath.Join(dir, segmentName(n))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("journal: reading segment: %w", err)
+		}
+		last := i == len(idx)-1
+		offset := 0
+		for offset < len(data) {
+			nl := bytes.IndexByte(data[offset:], '\n')
+			if nl < 0 {
+				if !last {
+					return nil, fmt.Errorf("journal: %s: unterminated record in non-final segment: %w",
+						filepath.Base(path), ErrFrame)
+				}
+				return out, nil // torn tail: ignore
+			}
+			rec, derr := DecodeRecord(data[offset : offset+nl])
+			if derr != nil {
+				if last && offset+nl+1 == len(data) {
+					return out, nil // torn final record: ignore
+				}
+				return nil, fmt.Errorf("journal: %s: record at byte %d: %w", filepath.Base(path), offset, derr)
+			}
+			out = append(out, rec)
+			offset += nl + 1
+		}
+	}
+	return out, nil
+}

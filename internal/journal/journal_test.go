@@ -1,0 +1,409 @@
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a deterministic, strictly increasing clock.
+func fakeClock() func() time.Time {
+	t := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	return func() time.Time {
+		t = t.Add(time.Second)
+		return t
+	}
+}
+
+func mustAppend(t *testing.T, j *Journal, rec Record) {
+	t.Helper()
+	if err := j.Append(rec); err != nil {
+		t.Fatalf("Append(%+v): %v", rec, err)
+	}
+}
+
+// TestAppendReplayRoundtrip: records written through Append come back
+// from a reopened journal in order, with sequence numbers and
+// payloads intact.
+func TestAppendReplayRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	j, recovered, err := Open(dir, Options{Now: fakeClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 0 {
+		t.Fatalf("fresh journal recovered %d records", len(recovered))
+	}
+	payload, _ := json.Marshal(map[string]string{"network": "resnet34"})
+	mustAppend(t, j, Record{Job: "j000001", Op: OpAccepted, Kind: "simulate", RequestID: "r-1", Payload: payload})
+	mustAppend(t, j, Record{Job: "j000001", Op: OpRunning})
+	mustAppend(t, j, Record{Job: "j000001", Op: OpCheckpoint, Layer: 8, Payload: payload})
+	mustAppend(t, j, Record{Job: "j000001", Op: OpDone, Payload: payload})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Job: "x", Op: OpDone}); !errors.Is(err, ErrClosed) {
+		t.Errorf("append after close = %v, want ErrClosed", err)
+	}
+
+	_, recs, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("recovered %d records, want 4", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) {
+			t.Errorf("record %d has seq %d", i, r.Seq)
+		}
+		if r.Job != "j000001" {
+			t.Errorf("record %d job = %q", i, r.Job)
+		}
+		if r.Time.IsZero() {
+			t.Errorf("record %d has zero timestamp", i)
+		}
+	}
+	if recs[2].Op != OpCheckpoint || recs[2].Layer != 8 {
+		t.Errorf("checkpoint record = %+v", recs[2])
+	}
+	if string(recs[3].Payload) != string(payload) {
+		t.Errorf("payload lost: %s", recs[3].Payload)
+	}
+}
+
+// TestTornTailTruncation: a partial final line (crash mid-write) is
+// truncated on open; the intact prefix survives.
+func TestTornTailTruncation(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, Record{Job: "j1", Op: OpAccepted, Kind: "simulate"})
+	mustAppend(t, j, Record{Job: "j1", Op: OpRunning})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a torn write: append half a record with no newline.
+	seg := filepath.Join(dir, segmentName(1))
+	f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`deadbeef {"seq":3,"job":"j1","op":"do`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("recovered %d records, want 2 (torn third dropped)", len(recs))
+	}
+	if st := j2.Stats(); st.TornRecords != 1 {
+		t.Errorf("TornRecords = %d, want 1", st.TornRecords)
+	}
+	// The truncation is physical: a third open sees a clean journal.
+	if _, recs3, err := Open(dir, Options{}); err != nil || len(recs3) != 2 {
+		t.Errorf("post-truncation open: %d records, err %v", len(recs3), err)
+	}
+}
+
+// TestTornTerminatedTailTruncation: a complete-looking final line with
+// a bad CRC (half-flushed page) is likewise truncated.
+func TestTornTerminatedTailTruncation(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, Record{Job: "j1", Op: OpAccepted})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segmentName(1))
+	f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("00000000 {\"seq\":2,\"job\":\"j1\",\"op\":\"done\"}\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open with corrupt terminated tail: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("recovered %d records, want 1", len(recs))
+	}
+}
+
+// TestMidFileCorruptionClassified: damage that is NOT the torn tail
+// fails Open with a classified error instead of silently skipping
+// history.
+func TestMidFileCorruptionClassified(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		mustAppend(t, j, Record{Job: fmt.Sprintf("j%d", i), Op: OpAccepted})
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segmentName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[2] ^= 0xff // flip a CRC byte of the first record
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Open(dir, Options{})
+	if err == nil {
+		t.Fatal("open with mid-file corruption succeeded")
+	}
+	if !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrFrame) {
+		t.Errorf("corruption error not classified: %v", err)
+	}
+}
+
+// TestSegmentRotation: appends past the byte threshold roll into new
+// segments, and replay stitches them back together in order.
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		mustAppend(t, j, Record{Job: fmt.Sprintf("j%06d", i), Op: OpAccepted, Kind: "simulate"})
+	}
+	st := j.Stats()
+	if st.Rotations == 0 {
+		t.Fatalf("no rotations after %d appends with a 256-byte segment cap: %+v", n, st)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) < 3 {
+		t.Errorf("segments on disk = %v, want several", idx)
+	}
+	_, recs, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n {
+		t.Fatalf("recovered %d records, want %d", len(recs), n)
+	}
+	for i, r := range recs {
+		if want := fmt.Sprintf("j%06d", i); r.Job != want {
+			t.Fatalf("record %d out of order: job %q, want %q", i, r.Job, want)
+		}
+	}
+}
+
+// TestCompaction: Compact keeps only the records the predicate
+// accepts, removes old segments, and the survivors replay cleanly.
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		mustAppend(t, j, Record{Job: fmt.Sprintf("j%d", i), Op: OpAccepted})
+		mustAppend(t, j, Record{Job: fmt.Sprintf("j%d", i), Op: OpDone})
+	}
+	mustAppend(t, j, Record{Job: "live", Op: OpAccepted})
+	all, err := ReadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Compact(all, func(r Record) bool { return r.Job == "live" }); err != nil {
+		t.Fatal(err)
+	}
+	if st := j.Stats(); st.Compactions != 1 || st.Segments != 1 {
+		t.Errorf("post-compaction stats = %+v, want 1 compaction, 1 segment", st)
+	}
+	// The journal stays appendable after compaction.
+	mustAppend(t, j, Record{Job: "live", Op: OpRunning})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Job != "live" || recs[1].Op != OpRunning {
+		t.Fatalf("post-compaction replay = %+v, want live accepted+running", recs)
+	}
+	if recs[0].Seq >= recs[1].Seq {
+		t.Errorf("sequence order lost across compaction: %d then %d", recs[0].Seq, recs[1].Seq)
+	}
+}
+
+// TestInjectedIOErrors: the chaos seam turns writes and fsyncs into
+// classified failures; a failed append is not acknowledged and the
+// journal keeps working once the fault clears.
+func TestInjectedIOErrors(t *testing.T) {
+	dir := t.TempDir()
+	var failing bool
+	injected := errors.New("chaos: injected journal I/O error")
+	j, _, err := Open(dir, Options{WriteErr: func(op string) error {
+		if failing {
+			return fmt.Errorf("%w (%s)", injected, op)
+		}
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, Record{Job: "j1", Op: OpAccepted})
+	failing = true
+	if err := j.Append(Record{Job: "j1", Op: OpRunning}); !errors.Is(err, injected) {
+		t.Fatalf("append under injection = %v, want injected error", err)
+	}
+	failing = false
+	mustAppend(t, j, Record{Job: "j1", Op: OpRunning})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := j.Stats()
+	if st.AppendErrors != 1 || st.Appends != 2 {
+		t.Errorf("stats = %+v, want 1 append error, 2 appends", st)
+	}
+	_, recs, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("recovered %d records, want 2 (failed append unacknowledged)", len(recs))
+	}
+}
+
+// TestEncodeDecodeErrors pins the record-level validation.
+func TestEncodeDecodeErrors(t *testing.T) {
+	if _, err := EncodeRecord(Record{Op: OpDone}); !errors.Is(err, ErrRecord) {
+		t.Errorf("encode without job = %v, want ErrRecord", err)
+	}
+	if _, err := EncodeRecord(Record{Job: "j", Op: "sideways"}); !errors.Is(err, ErrRecord) {
+		t.Errorf("encode with bad op = %v, want ErrRecord", err)
+	}
+	cases := []struct {
+		name string
+		line string
+		want error
+	}{
+		{"empty", "", ErrFrame},
+		{"short", "abc", ErrFrame},
+		{"no space", "0123456789abcdef", ErrFrame},
+		{"bad hex", "zzzzzzzz {}", ErrFrame},
+		{"crc mismatch", "00000000 {\"seq\":1,\"job\":\"j\",\"op\":\"done\"}", ErrChecksum},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeRecord([]byte(tc.line)); !errors.Is(err, tc.want) {
+			t.Errorf("%s: DecodeRecord = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	// A correctly framed payload that is not a record.
+	line, err := EncodeRecord(Record{Job: "j", Op: OpDone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := DecodeRecord(line[:len(line)-1])
+	if err != nil || rec.Job != "j" {
+		t.Fatalf("roundtrip = %+v, %v", rec, err)
+	}
+	if !OpDone.Terminal() || OpCheckpoint.Terminal() {
+		t.Error("Terminal misclassifies ops")
+	}
+}
+
+// TestForeignFilesIgnored: non-segment files in the directory are not
+// treated as journal state.
+func TestForeignFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("not a segment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "wal-abc.jsonl"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, recs, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("recovered %d records from foreign files", len(recs))
+	}
+	mustAppend(t, j, Record{Job: "j1", Op: OpAccepted})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadAllNonDestructive: ReadAll skips a torn tail without
+// truncating the file.
+func TestReadAllNonDestructive(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, Record{Job: "j1", Op: OpAccepted})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segmentName(1))
+	before, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("torn"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadAll(dir)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("ReadAll = %d recs, %v", len(recs), err)
+	}
+	after, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before)+4 {
+		t.Errorf("ReadAll mutated the segment: %d bytes, had %d+4", len(after), len(before))
+	}
+	if !strings.HasSuffix(string(after), "torn") {
+		t.Error("torn tail removed by ReadAll")
+	}
+}

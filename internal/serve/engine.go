@@ -9,9 +9,11 @@ import (
 	"sync"
 	"time"
 
+	"shortcutmining/internal/chaos"
 	"shortcutmining/internal/core"
 	"shortcutmining/internal/dse"
 	"shortcutmining/internal/fpga"
+	"shortcutmining/internal/journal"
 	"shortcutmining/internal/metrics"
 	"shortcutmining/internal/nn"
 	"shortcutmining/internal/sched"
@@ -43,6 +45,11 @@ const (
 	MetricQueueDepth    = "scm_serve_queue_depth"
 	MetricBusyWorkers   = "scm_serve_busy_workers"
 	MetricJobSeconds    = "scm_serve_job_seconds"
+
+	// Durability metrics (exported only when a journal is configured).
+	MetricJournalAppendFailures = "scm_journal_append_failures_total"
+	MetricJournalCheckpoints    = "scm_journal_checkpoints_total"
+	MetricRecoveredJobs         = "scm_recovery_jobs_total"
 )
 
 // Options configures an Engine. The zero value is usable: GOMAXPROCS
@@ -60,6 +67,27 @@ type Options struct {
 	// MaxJobs bounds the finished-job history kept for GET /v1/jobs;
 	// <= 0 means 1024.
 	MaxJobs int
+	// JobTTL evicts terminal jobs from the history this long after they
+	// finish (measured on Clock); 0 keeps them until MaxJobs pushes
+	// them out. MaxJobs stays in force as the backstop either way.
+	JobTTL time.Duration
+	// Journal, when set, makes the engine crash-resilient: every async
+	// job's lifecycle is written through the journal (fsync before the
+	// transition is acknowledged), and Recover replays it after a
+	// restart. Nil runs the engine in the original in-memory mode.
+	// The engine owns appends; opening and closing the journal is the
+	// caller's job.
+	Journal *journal.Journal
+	// CheckpointLayers, with Journal set, checkpoints eligible simulate
+	// jobs every K layer boundaries (core.Run suspend + snapshot into a
+	// journal record) so a restarted server resumes mid-network.
+	// Eligible means: not observed, no fault injection. 0 disables
+	// checkpointing.
+	CheckpointLayers int
+	// Chaos injects serving-layer faults (journal I/O errors, worker
+	// stalls, crash points); nil injects nothing. The caller wires the
+	// same injector into the journal's Options hooks.
+	Chaos *chaos.Injector
 	// Clock supplies job timestamps and latency measurement; nil means
 	// the system clock. Tests substitute a fake for deterministic
 	// timing assertions.
@@ -118,12 +146,17 @@ type Engine struct {
 	runCtx    context.Context // parent of every job context
 	runCancel context.CancelFunc
 
-	mu       sync.Mutex
-	draining bool
-	flight   map[Key]*flight
-	jobs     map[string]*Job
-	jobOrder []string // creation order, for pruning
-	seq      int
+	mu         sync.Mutex
+	draining   bool
+	recovering bool
+	flight     map[Key]*flight
+	jobs       map[string]*Job
+	jobOrder   []string // creation order, for pruning
+	seq        int
+
+	// Durability state (zero-valued when Options.Journal is nil).
+	lastJournalErr   error
+	lastJournalErrAt time.Time
 
 	active sync.WaitGroup // every admitted task, queued or running
 
@@ -136,6 +169,7 @@ type Engine struct {
 	mRejected                             *metrics.Counter
 	mCacheHits, mCacheMisses, mDedup      *metrics.Counter
 	mJobSeconds                           *metrics.Histogram
+	mJournalFailures, mCheckpoints        *metrics.Counter
 }
 
 // NewEngine builds and starts an engine.
@@ -166,6 +200,10 @@ func NewEngine(opts Options) *Engine {
 	e.mDedup = e.reg.Counter(MetricInflightDedup, "requests that joined an identical in-flight execution")
 	e.mJobSeconds = e.reg.Histogram(MetricJobSeconds, "wall-clock seconds per executed job",
 		[]float64{0.001, 0.01, 0.1, 1, 10, 60, 600})
+	e.mJournalFailures = e.reg.Counter(MetricJournalAppendFailures,
+		"journal appends that failed (the job proceeded, health degraded)")
+	e.mCheckpoints = e.reg.Counter(MetricJournalCheckpoints,
+		"layer-boundary checkpoints written to the journal")
 	return e
 }
 
@@ -203,20 +241,28 @@ func (e *Engine) jobContext() (context.Context, context.CancelFunc) {
 	return context.WithCancel(e.runCtx)
 }
 
+// countOutcome folds one execution's error into the terminal-state
+// counters. A deadline expiry is the service failing the work it
+// accepted, so it counts as failed; only a genuine cancellation
+// (caller hung up, engine draining) counts as canceled.
+func (e *Engine) countOutcome(err error) {
+	switch {
+	case err == nil:
+		e.mJobsDone.Inc()
+	case errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded):
+		e.mJobsCanceled.Inc()
+	default:
+		e.mJobsFailed.Inc()
+	}
+}
+
 // exec runs one simulation, recording duration and terminal-state
 // counters.
 func (e *Engine) exec(ctx context.Context, req Request) (stats.RunStats, error) {
 	start := e.clock()
 	res, err := e.simFn(ctx, req)
 	e.mJobSeconds.Observe(e.clock().Sub(start).Seconds())
-	switch {
-	case err == nil:
-		e.mJobsDone.Inc()
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		e.mJobsCanceled.Inc()
-	default:
-		e.mJobsFailed.Inc()
-	}
+	e.countOutcome(err)
 	return res, err
 }
 
@@ -337,17 +383,12 @@ func (e *Engine) SimulateTraced(ctx context.Context, req Request) (stats.RunStat
 		start := e.clock()
 		res, err := e.traceFn(jobCtx, req, st)
 		e.mJobSeconds.Observe(e.clock().Sub(start).Seconds())
-		switch {
-		case err == nil:
-			e.mJobsDone.Inc()
+		e.countOutcome(err)
+		if err == nil {
 			st.Record(trace.Event{
 				Kind: trace.KindRequest, Tag: req.RequestID,
 				Cycle: 0, DurCycles: res.TotalCycles,
 			})
-		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-			e.mJobsCanceled.Inc()
-		default:
-			e.mJobsFailed.Inc()
 		}
 		done <- outcome{res, err}
 	}
@@ -388,24 +429,44 @@ type SweepRequest struct {
 // handle immediately. Async jobs share the result cache but not the
 // single-flight table (each submission is a tracked job of its own).
 func (e *Engine) SubmitSimulate(req Request) (*Job, error) {
-	key, err := RequestKey(req)
-	if err != nil {
+	if _, err := RequestKey(req); err != nil {
 		return nil, err
 	}
 	j := e.newJob("simulate", req.RequestID)
-	return e.admit(j, func(ctx context.Context) {
+	payload, err := e.encodePayload(simPayload(req))
+	if err != nil {
+		return nil, err
+	}
+	return e.admit(j, payload, e.simTask(req, j, nil))
+}
+
+// simTask builds the closure that runs one async simulation. A non-nil
+// snap continues a checkpointed run instead of starting from layer 0
+// (crash recovery).
+func (e *Engine) simTask(req Request, j *Job, snap *core.RunSnapshot) func(ctx context.Context) {
+	return func(ctx context.Context) {
+		key, err := RequestKey(req)
+		if err != nil { // re-validated; the submit path already checked
+			j.finishSim(stats.RunStats{}, false, err)
+			return
+		}
 		if res, ok := e.cache.Get(key); ok {
 			e.mCacheHits.Inc()
 			j.finishSim(res, true, nil)
 			return
 		}
 		e.mCacheMisses.Inc()
-		res, err := e.exec(ctx, req)
+		var res stats.RunStats
+		if snap != nil || e.checkpointable(req) {
+			res, err = e.execCheckpointed(ctx, req, j, snap)
+		} else {
+			res, err = e.exec(ctx, req)
+		}
 		if err == nil {
 			e.cache.Put(key, res)
 		}
 		j.finishSim(res, false, err)
-	})
+	}
 }
 
 // ScheduleRequest is one asynchronous multi-tenant scheduling run: N
@@ -435,20 +496,21 @@ func (e *Engine) SubmitSchedule(req ScheduleRequest) (*Job, error) {
 		return nil, err
 	}
 	j := e.newJob("schedule", req.RequestID)
-	return e.admit(j, func(ctx context.Context) {
+	payload, err := e.encodePayload(schedulePayload(req))
+	if err != nil {
+		return nil, err
+	}
+	return e.admit(j, payload, e.scheduleTask(req, j))
+}
+
+func (e *Engine) scheduleTask(req ScheduleRequest, j *Job) func(ctx context.Context) {
+	return func(ctx context.Context) {
 		start := e.clock()
 		res, err := sched.RunContext(ctx, req.Cfg, req.Spec, nil)
 		e.mJobSeconds.Observe(e.clock().Sub(start).Seconds())
-		switch {
-		case err == nil:
-			e.mJobsDone.Inc()
-		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-			e.mJobsCanceled.Inc()
-		default:
-			e.mJobsFailed.Inc()
-		}
+		e.countOutcome(err)
 		j.finishSchedule(res, err)
-	})
+	}
 }
 
 // SubmitSweep enqueues a design-space sweep job.
@@ -460,28 +522,32 @@ func (e *Engine) SubmitSweep(req SweepRequest) (*Job, error) {
 		return nil, fmt.Errorf("serve: sweep has an empty design space")
 	}
 	j := e.newJob("sweep", req.RequestID)
-	return e.admit(j, func(ctx context.Context) {
+	payload, err := e.encodePayload(sweepPayload(req))
+	if err != nil {
+		return nil, err
+	}
+	return e.admit(j, payload, e.sweepTask(req, j))
+}
+
+func (e *Engine) sweepTask(req SweepRequest, j *Job) func(ctx context.Context) {
+	return func(ctx context.Context) {
 		start := e.clock()
 		outcomes, err := dse.ExploreContext(ctx, req.Net, req.Base, req.Space, fpga.VC709(), req.Parallel)
 		e.mJobSeconds.Observe(e.clock().Sub(start).Seconds())
-		switch {
-		case err == nil:
-			e.mJobsDone.Inc()
-			if req.Pareto {
-				outcomes = dse.ParetoFront(outcomes)
-			}
-		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-			e.mJobsCanceled.Inc()
-		default:
-			e.mJobsFailed.Inc()
+		e.countOutcome(err)
+		if err == nil && req.Pareto {
+			outcomes = dse.ParetoFront(outcomes)
 		}
 		j.finishSweep(outcomes, err)
-	})
+	}
 }
 
-// admit registers the job and submits its task through admission
-// control; a rejected job is never visible through Job lookups.
-func (e *Engine) admit(j *Job, run func(ctx context.Context)) (*Job, error) {
+// admit registers the job, writes its accepted record through the
+// journal (durability first: the record is fsynced before the task can
+// produce any effect), and submits its task through admission control;
+// a rejected job is never visible through Job lookups. payload is the
+// journaled re-submission document (nil when no journal is configured).
+func (e *Engine) admit(j *Job, payload []byte, run func(ctx context.Context)) (*Job, error) {
 	e.mu.Lock()
 	if e.draining {
 		e.mu.Unlock()
@@ -493,13 +559,26 @@ func (e *Engine) admit(j *Job, run func(ctx context.Context)) (*Job, error) {
 	e.active.Add(1)
 	e.mu.Unlock()
 
+	e.journalJob(j, journal.OpAccepted, 0, "", payload)
 	jobCtx, cancel := e.jobContext()
 	j.setCancel(cancel)
 	task := func() {
 		defer e.active.Done()
 		defer cancel()
+		if d := e.opts.Chaos.StallDelay(); d > 0 {
+			stall := time.NewTimer(d)
+			select {
+			case <-stall.C:
+			case <-jobCtx.Done():
+				stall.Stop()
+			}
+		}
 		j.setRunning()
+		e.journalJob(j, journal.OpRunning, 0, "", nil)
+		e.opts.Chaos.Hit("job-start")
 		run(jobCtx)
+		e.journalTerminal(j)
+		e.opts.Chaos.Hit("job-end")
 	}
 	if !e.pool.TrySubmit(task) {
 		e.mu.Lock()
@@ -511,13 +590,30 @@ func (e *Engine) admit(j *Job, run func(ctx context.Context)) (*Job, error) {
 		e.active.Done()
 		cancel()
 		e.mRejected.Inc()
+		// The accepted record (if any) stays in the journal with no
+		// terminal state; recovery would re-enqueue it, so mark the
+		// rejection durably too.
+		e.journalJob(j, journal.OpFailed, 0, "rejected", nil)
 		return nil, ErrBusy
 	}
 	return j, nil
 }
 
-// pruneLocked evicts the oldest finished jobs beyond the history cap.
+// pruneLocked evicts terminal jobs past their retention TTL, then the
+// oldest finished jobs beyond the history cap (the backstop).
 func (e *Engine) pruneLocked() {
+	if ttl := e.opts.JobTTL; ttl > 0 {
+		now := e.clock()
+		kept := e.jobOrder[:0]
+		for _, id := range e.jobOrder {
+			if j := e.jobs[id]; j != nil && j.expired(now, ttl) {
+				delete(e.jobs, id)
+				continue
+			}
+			kept = append(kept, id)
+		}
+		e.jobOrder = kept
+	}
 	for len(e.jobOrder) > e.opts.MaxJobs {
 		pruned := false
 		for i, id := range e.jobOrder {
@@ -599,4 +695,13 @@ func (e *Engine) syncGauges() {
 		metrics.L("result", "miss")).Set(float64(cs.Misses))
 	e.reg.Gauge(MetricQueueDepth, "jobs queued but not yet running").Set(float64(e.pool.QueueLen()))
 	e.reg.Gauge(MetricBusyWorkers, "workers currently executing a job").Set(float64(e.pool.Busy()))
+	if e.opts.Journal != nil {
+		js := e.opts.Journal.Stats()
+		e.reg.Gauge("scm_journal_appends", "journal records appended and fsynced").Set(float64(js.Appends))
+		e.reg.Gauge("scm_journal_append_errors", "journal appends refused by write errors").Set(float64(js.AppendErrors))
+		e.reg.Gauge("scm_journal_sync_errors", "journal fsyncs that failed").Set(float64(js.SyncErrors))
+		e.reg.Gauge("scm_journal_torn_records", "torn tail records truncated at replay").Set(float64(js.TornRecords))
+		e.reg.Gauge("scm_journal_segments", "journal segments on disk").Set(float64(js.Segments))
+		e.reg.Gauge("scm_journal_bytes", "journal bytes on disk").Set(float64(js.Bytes))
+	}
 }

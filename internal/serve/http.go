@@ -323,9 +323,12 @@ func handleJob(e *Engine, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.View())
 }
 
-// healthReply is the GET /healthz document.
+// healthReply is the GET /healthz document: structured readiness.
+// Status is "ok", "degraded" (still serving — journal write failures
+// or recovery in progress, detailed in Reasons), or "draining".
 type healthReply struct {
 	Status   string     `json:"status"`
+	Reasons  []string   `json:"reasons,omitempty"`
 	Draining bool       `json:"draining"`
 	Workers  int        `json:"workers"`
 	Busy     int        `json:"busy"`
@@ -334,17 +337,18 @@ type healthReply struct {
 }
 
 func handleHealth(e *Engine, w http.ResponseWriter) {
+	status, reasons := e.Health()
 	reply := healthReply{
-		Status:   "ok",
-		Draining: e.Draining(),
+		Status:   status,
+		Reasons:  reasons,
+		Draining: status == "draining",
 		Workers:  e.pool.Workers(),
 		Busy:     e.pool.Busy(),
 		Queued:   e.pool.QueueLen(),
 		Cache:    e.CacheStats(),
 	}
-	code := http.StatusOK
+	code := http.StatusOK // degraded still serves: 200, details in the body
 	if reply.Draining {
-		reply.Status = "draining"
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, reply)

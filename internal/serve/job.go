@@ -15,14 +15,24 @@ import (
 // JobState is a job's lifecycle position.
 type JobState string
 
-// Job lifecycle: Queued → Running → one of Done / Failed / Canceled.
+// Job lifecycle: Queued → Running → one of Done / Failed / Canceled /
+// Interrupted.
 const (
 	JobQueued   JobState = "queued"
 	JobRunning  JobState = "running"
 	JobDone     JobState = "done"
 	JobFailed   JobState = "failed"
 	JobCanceled JobState = "canceled"
+	// JobInterrupted marks a job that was running when the process died
+	// and could not be resumed from a checkpoint: classified, not lost.
+	// Only crash recovery produces it.
+	JobInterrupted JobState = "interrupted"
 )
+
+// ReasonTimeout is the Reason a job carries when it failed because its
+// configured JobTimeout expired (as opposed to a caller hanging up,
+// which cancels).
+const ReasonTimeout = "timeout"
 
 // Job is one tracked asynchronous execution. All accessors are safe
 // for concurrent use; results are read-only once terminal.
@@ -36,6 +46,7 @@ type Job struct {
 	state    JobState
 	cached   bool
 	errMsg   string
+	reason   string // machine-readable failure class ("timeout", …)
 	created  time.Time
 	started  time.Time
 	finished time.Time
@@ -72,7 +83,30 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 func (j *Job) terminal() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.state == JobDone || j.state == JobFailed || j.state == JobCanceled
+	return j.state.Terminal()
+}
+
+// Terminal reports whether the state is a terminal one.
+func (s JobState) Terminal() bool {
+	switch s {
+	case JobDone, JobFailed, JobCanceled, JobInterrupted:
+		return true
+	}
+	return false
+}
+
+// status snapshots the fields the journal's terminal record needs.
+func (j *Job) status() (state JobState, errMsg, reason string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.errMsg, j.reason
+}
+
+// expired reports whether the job has been terminal longer than ttl.
+func (j *Job) expired(now time.Time, ttl time.Duration) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state.Terminal() && !j.finished.IsZero() && now.Sub(j.finished) >= ttl
 }
 
 func (j *Job) setCancel(c context.CancelFunc) {
@@ -124,7 +158,14 @@ func (j *Job) finishLocked(err error) {
 	switch {
 	case err == nil:
 		j.state = JobDone
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, context.DeadlineExceeded):
+		// The engine's JobTimeout expired: the service failed to finish
+		// the work it accepted, which is a failure of the job, not a
+		// client hanging up.
+		j.state = JobFailed
+		j.errMsg = err.Error()
+		j.reason = ReasonTimeout
+	case errors.Is(err, context.Canceled):
 		j.state = JobCanceled
 		j.errMsg = err.Error()
 	default:
@@ -141,6 +182,9 @@ type View struct {
 	State     JobState        `json:"state"`
 	Cached    bool            `json:"cached,omitempty"`
 	Error     string          `json:"error,omitempty"`
+	// Reason classifies a failure in machine-readable form ("timeout",
+	// "interrupted", …); empty for successes.
+	Reason string `json:"reason,omitempty"`
 	Created   time.Time       `json:"created"`
 	Started   *time.Time      `json:"started,omitempty"`
 	Finished  *time.Time      `json:"finished,omitempty"`
@@ -156,7 +200,7 @@ func (j *Job) View() View {
 	defer j.mu.Unlock()
 	v := View{
 		ID: j.id, Kind: j.kind, RequestID: j.reqID, State: j.state, Cached: j.cached,
-		Error: j.errMsg, Created: j.created,
+		Error: j.errMsg, Reason: j.reason, Created: j.created,
 		Stats: j.res, Outcomes: j.sweep, Schedule: j.schedule,
 	}
 	if !j.started.IsZero() {

@@ -251,6 +251,13 @@ func (p *Pool) PinnedBanks() int { return p.pinned }
 // Stats returns a copy of the accumulated telemetry.
 func (p *Pool) Stats() Stats { return p.stats }
 
+// RestoreStats overwrites the accumulated telemetry — the
+// checkpoint/restore seam. A pool rebuilt from a mid-run snapshot
+// continues the original counters and high-water marks (noteUsage
+// keeps taking maxima on top), so the finished RunStats is
+// bit-identical to an uninterrupted run.
+func (p *Pool) RestoreStats(s Stats) { p.stats = s }
+
 // Buffers returns the live buffers sorted by ID (deterministic; used
 // by traces and invariant checks).
 func (p *Pool) Buffers() []*Buffer {
