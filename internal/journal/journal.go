@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -54,6 +55,10 @@ var (
 	ErrRecord = errors.New("journal: malformed record")
 	// ErrClosed reports an append to a closed journal.
 	ErrClosed = errors.New("journal: closed")
+	// ErrDamaged reports an append refused because a previous failed
+	// write left unacknowledged bytes in the active segment that could
+	// not be truncated away. Each refused append retries the repair.
+	ErrDamaged = errors.New("journal: active segment damaged")
 )
 
 // Op is a job lifecycle transition.
@@ -177,6 +182,9 @@ type Stats struct {
 	SyncErrors   int64 `json:"sync_errors"`
 	Rotations    int64 `json:"rotations"`
 	Compactions  int64 `json:"compactions"`
+	// Repairs counts failed appends whose unacknowledged bytes were
+	// truncated back out of the active segment.
+	Repairs int64 `json:"repairs"`
 	// TornRecords counts records dropped by torn-tail truncation at
 	// open (0 after a clean shutdown).
 	TornRecords int64 `json:"torn_records"`
@@ -196,6 +204,9 @@ type Options struct {
 	// WriteErr, when non-nil, is consulted before every physical write
 	// ("write") and fsync ("sync") — the chaos-injection seam. A
 	// returned error aborts the append and is reported to the caller.
+	// An injected "write" error first lands a partial frame in the
+	// segment (the short write a real ENOSPC produces), so chaos runs
+	// exercise the same truncate-back repair as physical faults.
 	WriteErr func(op string) error
 	// Latency, when non-nil, returns an artificial delay applied before
 	// each physical write (the chaos slow-disk model).
@@ -208,13 +219,14 @@ type Journal struct {
 	dir  string
 	opts Options
 
-	mu     sync.Mutex
-	f      *os.File // active segment
-	seg    int      // active segment index
-	size   int64    // bytes in the active segment
-	seq    uint64   // last assigned sequence number
-	closed bool
-	stats  Stats
+	mu      sync.Mutex
+	f       *os.File // active segment
+	seg     int      // active segment index
+	size    int64    // acknowledged bytes in the active segment
+	seq     uint64   // last acknowledged sequence number
+	closed  bool
+	damaged bool // unacknowledged bytes sit past size in the active segment
+	stats   Stats
 }
 
 // segmentName renders the file name of segment i.
@@ -383,13 +395,23 @@ func syncDir(dir string) error {
 // Append assigns the next sequence number, stamps the record, writes
 // it to the active segment, and fsyncs before returning: a nil error
 // means the record survives SIGKILL. On error the record is not
-// acknowledged (a torn partial write, if any, is truncated away by the
-// next Open).
+// acknowledged and the active segment is truncated back to the last
+// acknowledged byte, so the failed record can neither replay as
+// committed (a failed fsync leaves its bytes in the file) nor become
+// mid-segment corruption once a later append succeeds (a short write
+// leaves a partial frame). If the truncation itself fails, the
+// journal refuses further appends with ErrDamaged — retrying the
+// repair on each attempt — so the damage stays a torn tail the next
+// Open can truncate, never buried history.
 func (j *Journal) Append(rec Record) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
 		return ErrClosed
+	}
+	if j.damaged && !j.repairLocked() {
+		j.stats.AppendErrors++
+		return fmt.Errorf("%w: unacknowledged bytes past offset %d", ErrDamaged, j.size)
 	}
 	if j.opts.Now != nil {
 		rec.Time = j.opts.Now()
@@ -414,34 +436,78 @@ func (j *Journal) Append(rec Record) error {
 	}
 	if j.opts.WriteErr != nil {
 		if err := j.opts.WriteErr("write"); err != nil {
-			j.stats.AppendErrors++
-			return err
+			// Land the short write a real ENOSPC would produce before
+			// failing, so injected write faults drive the same repair
+			// path as physical ones.
+			// scmvet:ok ignorederr best-effort fault emulation; the append fails with the injected error either way
+			j.f.Write(line[:len(line)/2])
+			return j.failAppendLocked(false, err)
 		}
 	}
 	if _, err := j.f.Write(line); err != nil {
-		j.stats.AppendErrors++
-		return fmt.Errorf("journal: writing record: %w", err)
+		return j.failAppendLocked(false, fmt.Errorf("journal: writing record: %w", err))
 	}
 	if j.opts.WriteErr != nil {
 		if err := j.opts.WriteErr("sync"); err != nil {
-			j.stats.AppendErrors++
-			j.stats.SyncErrors++
-			return err
+			return j.failAppendLocked(true, err)
 		}
 	}
 	if err := j.f.Sync(); err != nil {
 		// A failed fsync means the record's durability is unknown; the
 		// caller must treat it as not committed (and the engine degrades
 		// its health) even though the bytes may be in the page cache.
-		j.stats.AppendErrors++
-		j.stats.SyncErrors++
-		return fmt.Errorf("journal: fsync: %w", err)
+		return j.failAppendLocked(true, fmt.Errorf("journal: fsync: %w", err))
 	}
 	j.seq = rec.Seq
 	j.size += int64(len(line))
 	j.stats.Bytes += int64(len(line))
 	j.stats.Appends++
 	return nil
+}
+
+// failAppendLocked accounts a failed append whose bytes may have
+// reached the active segment, repairs the segment, and passes the
+// classified error through. The caller holds j.mu.
+func (j *Journal) failAppendLocked(sync bool, err error) error {
+	j.stats.AppendErrors++
+	if sync {
+		j.stats.SyncErrors++
+	}
+	j.damaged = true
+	j.repairLocked()
+	return err
+}
+
+// repairLocked truncates the active segment back to the last
+// acknowledged size and repositions the write offset, erasing the
+// bytes of any record whose Append returned an error. It reports
+// whether the segment is clean again; on failure the journal stays
+// damaged and every Append retries the repair before writing. The
+// caller holds j.mu.
+func (j *Journal) repairLocked() bool {
+	if !j.damaged {
+		return true
+	}
+	if j.f == nil {
+		return false
+	}
+	if err := j.f.Truncate(j.size); err != nil {
+		return false
+	}
+	if _, err := j.f.Seek(j.size, io.SeekStart); err != nil {
+		return false
+	}
+	// Persist the truncation so the erased bytes cannot resurface from
+	// the page cache after a crash (any tail they could leave behind is
+	// past every acknowledged record, but a clean cut is cheaper than
+	// relying on torn-tail recovery).
+	if err := j.f.Sync(); err != nil {
+		j.stats.SyncErrors++
+		return false
+	}
+	j.damaged = false
+	j.stats.Repairs++
+	return true
 }
 
 // Seq returns the last acknowledged sequence number.
@@ -473,6 +539,53 @@ func (j *Journal) Compact(records []Record, keep func(r Record) bool) error {
 	if j.closed {
 		return ErrClosed
 	}
+	if j.damaged && !j.repairLocked() {
+		return fmt.Errorf("%w: unacknowledged bytes past offset %d", ErrDamaged, j.size)
+	}
+	return j.rewriteLocked(records, keep)
+}
+
+// CompactSelf compacts the journal from its own on-disk state: it
+// replays every segment under the journal lock (appends are quiesced,
+// and every acknowledged record is already fsynced, so the read sees
+// exactly the committed history), reduces the record set, and rewrites
+// the survivors. This is the runtime-compaction entry point — boot-time
+// compaction uses Compact with the records Open already replayed. A
+// nil reduce keeps everything (still reclaiming rotated segments).
+func (j *Journal) CompactSelf(reduce func(recs []Record) []Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if j.damaged && !j.repairLocked() {
+		return fmt.Errorf("%w: unacknowledged bytes past offset %d", ErrDamaged, j.size)
+	}
+	idx, err := segments(j.dir)
+	if err != nil {
+		return err
+	}
+	var recs []Record
+	for _, n := range idx {
+		// Strict replay everywhere: failed appends were truncated back
+		// out above, so a torn tail here is real corruption, not a
+		// crash artifact — surface it, don't truncate it.
+		rs, _, err := replaySegment(filepath.Join(j.dir, segmentName(n)), false)
+		if err != nil {
+			return err
+		}
+		recs = append(recs, rs...)
+	}
+	if reduce != nil {
+		recs = reduce(recs)
+	}
+	return j.rewriteLocked(recs, nil)
+}
+
+// rewriteLocked writes the kept records into a fresh segment and
+// removes every older segment once the survivors are durable. The
+// caller holds j.mu.
+func (j *Journal) rewriteLocked(records []Record, keep func(r Record) bool) error {
 	old, err := segments(j.dir)
 	if err != nil {
 		return err
@@ -490,6 +603,8 @@ func (j *Journal) Compact(records []Record, keep func(r Record) bool) error {
 			return err
 		}
 		if _, err := j.f.Write(line); err != nil {
+			j.damaged = true
+			j.repairLocked()
 			return fmt.Errorf("journal: compaction write: %w", err)
 		}
 		j.size += int64(len(line))

@@ -304,6 +304,141 @@ func TestInjectedIOErrors(t *testing.T) {
 	}
 }
 
+// TestFailedWriteRepair: an injected write fault lands a short write
+// (the ENOSPC signature) mid-segment, and the journal truncates it
+// back out — later successful appends land after the last acknowledged
+// record, so the journal reopens cleanly instead of failing with
+// mid-file corruption.
+func TestFailedWriteRepair(t *testing.T) {
+	dir := t.TempDir()
+	var failOp string
+	j, _, err := Open(dir, Options{WriteErr: func(op string) error {
+		if op == failOp {
+			return fmt.Errorf("injected %s failure", op)
+		}
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, Record{Job: "j1", Op: OpAccepted})
+	failOp = "write"
+	if err := j.Append(Record{Job: "j1", Op: OpRunning}); err == nil {
+		t.Fatal("append under write fault succeeded")
+	}
+	failOp = ""
+	// The append after the fault must not land behind partial bytes.
+	mustAppend(t, j, Record{Job: "j1", Op: OpRunning})
+	mustAppend(t, j, Record{Job: "j1", Op: OpDone})
+	if st := j.Stats(); st.Repairs != 1 {
+		t.Errorf("Repairs = %d, want 1", st.Repairs)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after repaired write fault: %v", err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("recovered %d records, want 3 (failed append erased)", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) {
+			t.Errorf("record %d seq = %d, want %d (monotone, no gaps from the repair)", i, r.Seq, i+1)
+		}
+	}
+}
+
+// TestFailedSyncRepair: when the write lands but the fsync fails, the
+// record's bytes are truncated back out — the caller was told the
+// append failed, so the record must not replay as committed, and the
+// sequence number must not appear twice.
+func TestFailedSyncRepair(t *testing.T) {
+	dir := t.TempDir()
+	var failSync bool
+	j, _, err := Open(dir, Options{WriteErr: func(op string) error {
+		if failSync && op == "sync" {
+			return fmt.Errorf("injected sync failure")
+		}
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, Record{Job: "j1", Op: OpAccepted})
+	failSync = true
+	if err := j.Append(Record{Job: "j1", Op: OpRunning, Error: "unacknowledged"}); err == nil {
+		t.Fatal("append under sync fault succeeded")
+	}
+	failSync = false
+	mustAppend(t, j, Record{Job: "j1", Op: OpDone})
+	if st := j.Stats(); st.Repairs != 1 || st.SyncErrors != 1 {
+		t.Errorf("stats = %+v, want 1 repair, 1 sync error", st)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("recovered %d records, want 2 (unacknowledged record must not replay)", len(recs))
+	}
+	seen := map[uint64]bool{}
+	for _, r := range recs {
+		if r.Error == "unacknowledged" {
+			t.Fatalf("record the caller was told failed replayed as committed: %+v", r)
+		}
+		if seen[r.Seq] {
+			t.Fatalf("duplicate sequence number %d on disk", r.Seq)
+		}
+		seen[r.Seq] = true
+	}
+}
+
+// TestCompactSelf: runtime compaction replays the journal's own
+// segments, applies the reducer, and reclaims the old segments — no
+// caller-supplied replay needed.
+func TestCompactSelf(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		mustAppend(t, j, Record{Job: fmt.Sprintf("j%d", i), Op: OpAccepted})
+		mustAppend(t, j, Record{Job: fmt.Sprintf("j%d", i), Op: OpDone})
+	}
+	mustAppend(t, j, Record{Job: "live", Op: OpAccepted})
+	if err := j.CompactSelf(func(recs []Record) []Record {
+		var out []Record
+		for _, r := range recs {
+			if r.Job == "live" {
+				out = append(out, r)
+			}
+		}
+		return out
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := j.Stats(); st.Compactions != 1 || st.Segments != 1 {
+		t.Errorf("post-CompactSelf stats = %+v, want 1 compaction, 1 segment", st)
+	}
+	mustAppend(t, j, Record{Job: "live", Op: OpRunning})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Job != "live" || recs[1].Op != OpRunning {
+		t.Fatalf("post-CompactSelf replay = %+v, want live accepted+running", recs)
+	}
+}
+
 // TestEncodeDecodeErrors pins the record-level validation.
 func TestEncodeDecodeErrors(t *testing.T) {
 	if _, err := EncodeRecord(Record{Op: OpDone}); !errors.Is(err, ErrRecord) {

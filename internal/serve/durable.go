@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -42,7 +43,61 @@ func (e *Engine) journalAppend(rec journal.Record) {
 	if err := e.opts.Journal.Append(rec); err != nil {
 		e.noteJournalErr(err)
 		e.logger.Error("journal append failed", "job", rec.Job, "op", string(rec.Op), "error", err)
+		return
 	}
+	e.maybeCompactJournal()
+}
+
+// maybeCompactJournal kicks off a background compaction every
+// CompactEvery acknowledged appends — the uptime half of the
+// bounded-journal contract (Recover compacts the other half at boot).
+// Without it, terminal-job records, superseded checkpoint snapshots,
+// and rotated segments would accumulate for the life of the process.
+func (e *Engine) maybeCompactJournal() {
+	if e.journalAppends.Add(1)%int64(e.opts.CompactEvery) != 0 {
+		return
+	}
+	if !e.compacting.CompareAndSwap(false, true) {
+		return // one at a time; the next cadence tick retries
+	}
+	go func() {
+		defer e.compacting.Store(false)
+		err := e.opts.Journal.CompactSelf(compactLiveRecords)
+		if err != nil && !errors.Is(err, journal.ErrClosed) {
+			e.noteJournalErr(err)
+			e.logger.Error("journal compaction failed", "error", err)
+		}
+	}()
+}
+
+// compactLiveRecords is the compaction policy shared by runtime
+// compaction and Recover: a job whose journaled lifecycle already
+// ended contributes nothing to a future recovery, and of a live job's
+// checkpoints only the newest is worth replaying. Everything else —
+// accepted payloads and lifecycle transitions of live jobs — survives
+// with its original sequence numbers.
+func compactLiveRecords(recs []journal.Record) []journal.Record {
+	terminal := make(map[string]bool)
+	newestCkpt := make(map[string]uint64)
+	for _, r := range recs {
+		if r.Op.Terminal() {
+			terminal[r.Job] = true
+		}
+		if r.Op == journal.OpCheckpoint && r.Seq >= newestCkpt[r.Job] {
+			newestCkpt[r.Job] = r.Seq
+		}
+	}
+	var out []journal.Record
+	for _, r := range recs {
+		if terminal[r.Job] {
+			continue
+		}
+		if r.Op == journal.OpCheckpoint && r.Seq != newestCkpt[r.Job] {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
 }
 
 // journalJob writes one lifecycle record for j.
@@ -152,11 +207,22 @@ func (e *Engine) runCheckpointed(ctx context.Context, req Request, j *Job, snap 
 			if _, err := r.Suspend(); err != nil {
 				return stats.RunStats{}, err
 			}
-			if cp, err := r.Snapshot(); err == nil {
-				if b, err := json.Marshal(cp); err == nil {
-					e.journalJob(j, journal.OpCheckpoint, cp.Next, "", b)
-					e.mCheckpoints.Inc()
-				}
+			cp, cpErr := r.Snapshot()
+			var b []byte
+			if cpErr == nil {
+				b, cpErr = json.Marshal(cp)
+			}
+			if cpErr != nil {
+				// The job keeps running, but this interval's crash-resume
+				// coverage is gone — after a crash it restarts from the
+				// previous checkpoint (or layer 0). Count and log it so
+				// the gap is visible, not assumed covered.
+				e.mCheckpointFailures.Inc()
+				e.logger.Error("checkpoint snapshot failed; crash-resume coverage lost for this interval",
+					"job", j.id, "layer", r.NextLayer(), "error", cpErr)
+			} else {
+				e.journalJob(j, journal.OpCheckpoint, cp.Next, "", b)
+				e.mCheckpoints.Inc()
 			}
 			e.opts.Chaos.Hit("checkpoint")
 			// The next Step auto-resumes the suspended run.
@@ -184,9 +250,12 @@ type payloadDoc struct {
 	Scenario *sched.Spec `json:"scenario,omitempty"`
 }
 
-// encodePayload marshals a payload document, skipping the work when no
-// journal is configured. The (doc, err) signature lets call sites
-// write encodePayload(simPayload(req)).
+// encodePayload marshals a payload document. The (doc, err) signature
+// lets call sites write encodePayload(simPayload(req)) — but Go
+// evaluates arguments eagerly, so the sites themselves guard the whole
+// call with Options.Journal != nil; that guard, not the backstop check
+// here, is what skips the graph+config encode when nothing would be
+// journaled.
 func (e *Engine) encodePayload(doc payloadDoc, err error) ([]byte, error) {
 	if e.opts.Journal == nil {
 		return nil, nil
@@ -409,9 +478,6 @@ func (e *Engine) Recover(records []journal.Record) (RecoveryReport, error) {
 		e.mu.Unlock()
 	}()
 	e.opts.Chaos.Hit("recover")
-	if len(records) == 0 {
-		return rep, nil
-	}
 
 	byJob := make(map[string]*jobReplay)
 	var order []string
@@ -445,13 +511,12 @@ func (e *Engine) Recover(records []journal.Record) (RecoveryReport, error) {
 	}
 	e.mu.Unlock()
 
-	// Compact before re-admission appends anything: terminal jobs'
-	// records go, incomplete jobs' full history (payloads, checkpoints)
-	// survives.
-	if err := e.opts.Journal.Compact(records, func(r journal.Record) bool {
-		rp := byJob[r.Job]
-		return rp != nil && !rp.last.Op.Terminal()
-	}); err != nil {
+	// Compact before re-admission appends anything — and even when the
+	// replay is empty: every Open starts a fresh segment, so a restart
+	// loop would otherwise leak one empty segment per boot. Terminal
+	// jobs' records go; a live job keeps its payload, lifecycle, and
+	// newest checkpoint.
+	if err := e.opts.Journal.Compact(compactLiveRecords(records), nil); err != nil {
 		e.noteJournalErr(err)
 		e.logger.Error("journal compaction failed", "error", err)
 	}

@@ -431,6 +431,90 @@ func TestRecoverClassifiesEveryJob(t *testing.T) {
 	}
 }
 
+// TestRuntimeJournalCompaction: during normal uptime — no restart —
+// the engine compacts the journal on its append cadence, so terminal
+// jobs' records are reclaimed instead of accumulating for the life of
+// the process.
+func TestRuntimeJournalCompaction(t *testing.T) {
+	jnl, dir := openTestJournal(t, journal.Options{})
+	// Each async job appends accepted+running+done = 3 records, so
+	// CompactEvery=3 triggers a compaction at each job's terminal append.
+	e := NewEngine(Options{Workers: 1, Journal: jnl, CompactEvery: 3})
+	e.simFn = func(ctx context.Context, req Request) (stats.RunStats, error) {
+		return stats.RunStats{Network: "fake"}, nil
+	}
+
+	j, err := e.SubmitSimulate(engineRequest(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	waitUntil(t, "runtime compaction", func() bool {
+		return jnl.Stats().Compactions >= 1
+	})
+	recs, err := journal.ReadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("terminal job's records survived runtime compaction: %+v", recs)
+	}
+
+	// The journal keeps working after a runtime compaction: a second
+	// job writes through and compacts again.
+	j2, err := e.SubmitSimulate(engineRequest(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j2.Done()
+	waitUntil(t, "second runtime compaction", func() bool {
+		return jnl.Stats().Compactions >= 2
+	})
+	if err := e.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := jnl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := jnl.Stats(); st.Segments != 1 {
+		t.Errorf("segments after runtime compactions = %d, want 1", st.Segments)
+	}
+}
+
+// TestRecoverCompactsEmptyReplay: every Open starts a fresh segment,
+// so a crash-restart loop accretes empty segments; Recover must
+// reclaim them even when the replay carried zero records.
+func TestRecoverCompactsEmptyReplay(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 3; i++ { // a restart loop: open, nothing durable, exit
+		jnl, recs, err := journal.Open(dir, journal.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 0 {
+			t.Fatalf("boot %d replayed %d records", i, len(recs))
+		}
+		if err := jnl.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jnl, recs, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(Options{Workers: 1, Journal: jnl})
+	defer func() {
+		e.Drain(context.Background())
+		jnl.Close()
+	}()
+	if _, err := e.Recover(recs); err != nil {
+		t.Fatal(err)
+	}
+	if st := jnl.Stats(); st.Segments != 1 {
+		t.Errorf("segments after empty-replay recovery = %d, want 1 (restart loop must not leak segments)", st.Segments)
+	}
+}
+
 // TestRecoverBadPayloadInterrupts: an accepted record whose payload
 // cannot be decoded is classified, not dropped and not crashed on.
 func TestRecoverBadPayloadInterrupts(t *testing.T) {

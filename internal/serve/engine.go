@@ -7,6 +7,7 @@ import (
 	"io"
 	"log/slog"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"shortcutmining/internal/chaos"
@@ -47,9 +48,10 @@ const (
 	MetricJobSeconds    = "scm_serve_job_seconds"
 
 	// Durability metrics (exported only when a journal is configured).
-	MetricJournalAppendFailures = "scm_journal_append_failures_total"
-	MetricJournalCheckpoints    = "scm_journal_checkpoints_total"
-	MetricRecoveredJobs         = "scm_recovery_jobs_total"
+	MetricJournalAppendFailures     = "scm_journal_append_failures_total"
+	MetricJournalCheckpoints        = "scm_journal_checkpoints_total"
+	MetricJournalCheckpointFailures = "scm_journal_checkpoint_failures_total"
+	MetricRecoveredJobs             = "scm_recovery_jobs_total"
 )
 
 // Options configures an Engine. The zero value is usable: GOMAXPROCS
@@ -84,6 +86,13 @@ type Options struct {
 	// Eligible means: not observed, no fault injection. 0 disables
 	// checkpointing.
 	CheckpointLayers int
+	// CompactEvery, with Journal set, compacts the journal in the
+	// background after this many acknowledged appends: terminal jobs'
+	// records are dropped and only each live job's newest checkpoint
+	// survives, so a long-running server's journal is bounded by its
+	// live work, not its history (Recover compacts once more at boot).
+	// <= 0 means 512.
+	CompactEvery int
 	// Chaos injects serving-layer faults (journal I/O errors, worker
 	// stalls, crash points); nil injects nothing. The caller wires the
 	// same injector into the journal's Options hooks.
@@ -110,6 +119,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxJobs <= 0 {
 		o.MaxJobs = 1024
+	}
+	if o.CompactEvery <= 0 {
+		o.CompactEvery = 512
 	}
 	if o.Registry == nil {
 		o.Registry = metrics.New()
@@ -157,6 +169,8 @@ type Engine struct {
 	// Durability state (zero-valued when Options.Journal is nil).
 	lastJournalErr   error
 	lastJournalErrAt time.Time
+	journalAppends   atomic.Int64 // acknowledged appends, for the compaction cadence
+	compacting       atomic.Bool  // a background compaction is in flight
 
 	active sync.WaitGroup // every admitted task, queued or running
 
@@ -169,7 +183,8 @@ type Engine struct {
 	mRejected                             *metrics.Counter
 	mCacheHits, mCacheMisses, mDedup      *metrics.Counter
 	mJobSeconds                           *metrics.Histogram
-	mJournalFailures, mCheckpoints        *metrics.Counter
+	mJournalFailures                      *metrics.Counter
+	mCheckpoints, mCheckpointFailures     *metrics.Counter
 }
 
 // NewEngine builds and starts an engine.
@@ -204,6 +219,8 @@ func NewEngine(opts Options) *Engine {
 		"journal appends that failed (the job proceeded, health degraded)")
 	e.mCheckpoints = e.reg.Counter(MetricJournalCheckpoints,
 		"layer-boundary checkpoints written to the journal")
+	e.mCheckpointFailures = e.reg.Counter(MetricJournalCheckpointFailures,
+		"layer-boundary checkpoints lost to snapshot or encode errors (crash-resume coverage gaps)")
 	return e
 }
 
@@ -433,9 +450,12 @@ func (e *Engine) SubmitSimulate(req Request) (*Job, error) {
 		return nil, err
 	}
 	j := e.newJob("simulate", req.RequestID)
-	payload, err := e.encodePayload(simPayload(req))
-	if err != nil {
-		return nil, err
+	var payload []byte
+	if e.opts.Journal != nil {
+		var err error
+		if payload, err = e.encodePayload(simPayload(req)); err != nil {
+			return nil, err
+		}
 	}
 	return e.admit(j, payload, e.simTask(req, j, nil))
 }
@@ -496,9 +516,12 @@ func (e *Engine) SubmitSchedule(req ScheduleRequest) (*Job, error) {
 		return nil, err
 	}
 	j := e.newJob("schedule", req.RequestID)
-	payload, err := e.encodePayload(schedulePayload(req))
-	if err != nil {
-		return nil, err
+	var payload []byte
+	if e.opts.Journal != nil {
+		var err error
+		if payload, err = e.encodePayload(schedulePayload(req)); err != nil {
+			return nil, err
+		}
 	}
 	return e.admit(j, payload, e.scheduleTask(req, j))
 }
@@ -522,9 +545,12 @@ func (e *Engine) SubmitSweep(req SweepRequest) (*Job, error) {
 		return nil, fmt.Errorf("serve: sweep has an empty design space")
 	}
 	j := e.newJob("sweep", req.RequestID)
-	payload, err := e.encodePayload(sweepPayload(req))
-	if err != nil {
-		return nil, err
+	var payload []byte
+	if e.opts.Journal != nil {
+		var err error
+		if payload, err = e.encodePayload(sweepPayload(req)); err != nil {
+			return nil, err
+		}
 	}
 	return e.admit(j, payload, e.sweepTask(req, j))
 }
@@ -701,6 +727,8 @@ func (e *Engine) syncGauges() {
 		e.reg.Gauge("scm_journal_append_errors", "journal appends refused by write errors").Set(float64(js.AppendErrors))
 		e.reg.Gauge("scm_journal_sync_errors", "journal fsyncs that failed").Set(float64(js.SyncErrors))
 		e.reg.Gauge("scm_journal_torn_records", "torn tail records truncated at replay").Set(float64(js.TornRecords))
+		e.reg.Gauge("scm_journal_repairs", "failed appends whose unacknowledged bytes were truncated away").Set(float64(js.Repairs))
+		e.reg.Gauge("scm_journal_compactions", "journal compactions, boot-time and runtime").Set(float64(js.Compactions))
 		e.reg.Gauge("scm_journal_segments", "journal segments on disk").Set(float64(js.Segments))
 		e.reg.Gauge("scm_journal_bytes", "journal bytes on disk").Set(float64(js.Bytes))
 	}
