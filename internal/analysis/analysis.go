@@ -112,13 +112,13 @@ func DefaultConfig() Config {
 			"internal/core", "internal/sched", "internal/sram",
 			"internal/dram", "internal/tiling", "internal/fused",
 			"internal/dse", "internal/report", "internal/stats",
-			"internal/metrics",
+			"internal/metrics", "internal/noc", "internal/cluster",
 		},
 		DeterminismExemptPkgs: []string{"internal/bench"},
 		NoPanicExemptPkgs:     []string{"internal/metrics"},
-		LedgerTypes:       []string{"internal/dram.Traffic"},
-		LedgerWriterPkgs:  []string{"internal/dram", "internal/sram"},
-		NeverFailTypes:    []string{"strings.Builder", "bytes.Buffer", "hash.Hash", "hash.Hash32", "hash.Hash64"},
+		LedgerTypes:           []string{"internal/dram.Traffic"},
+		LedgerWriterPkgs:      []string{"internal/dram", "internal/sram"},
+		NeverFailTypes:        []string{"strings.Builder", "bytes.Buffer", "hash.Hash", "hash.Hash32", "hash.Hash64"},
 	}
 }
 

@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"fmt"
+
+	"shortcutmining/internal/metrics"
+)
+
+// Cluster and interconnect metric names (the per-run simulator metrics
+// live in internal/core, the single-chip scheduler's in internal/sched;
+// these describe the sharding layer above both).
+const (
+	MetricRequests       = "scm_cluster_requests_total"
+	MetricCrossings      = "scm_cluster_crossings_total"
+	MetricInterchipBytes = "scm_cluster_interchip_bytes_total"
+	MetricLatencyCycles  = "scm_cluster_latency_cycles"
+	MetricMakespanCycles = "scm_cluster_makespan_cycles"
+	MetricChipCompute    = "scm_cluster_chip_compute_cycles"
+
+	MetricNocTransfers    = "scm_noc_transfers_total"
+	MetricNocBytes        = "scm_noc_bytes_total"
+	MetricNocBusyCycles   = "scm_noc_busy_cycles_total"
+	MetricNocBackpressure = "scm_noc_backpressure_cycles_total"
+)
+
+// publish exports a finished result onto the registry. The simulation
+// is a deterministic batch, so instruments are written once from the
+// assembled ledgers rather than streamed mid-run.
+func publish(reg *metrics.Registry, r *Result) {
+	if reg == nil {
+		return
+	}
+	bounds := metrics.ExpBuckets(1e4, 4, 11)
+	for _, s := range r.Streams {
+		l := metrics.L("stream", s.Name)
+		reg.Counter(MetricRequests, "sharded requests completed", l).Add(int64(s.Completed))
+		reg.Counter(MetricCrossings, "chip-boundary handoffs", l).Add(s.Crossings)
+		reg.Counter(MetricInterchipBytes, "bytes moved over the interconnect", l).Add(s.InterchipBytes)
+	}
+	lat := reg.Histogram(MetricLatencyCycles, "sharded request latency (arrival to completion) in cycles", bounds)
+	for _, q := range r.Requests {
+		lat.Observe(float64(q.Latency))
+	}
+	reg.Gauge(MetricMakespanCycles, "finish cycle of the last completed sharded request").Set(float64(r.MakespanCycles))
+	for _, c := range r.ChipStats {
+		reg.Gauge(MetricChipCompute, "run-attributed compute cycles per chip",
+			metrics.L("chip", fmt.Sprintf("c%d", c.Chip))).Set(float64(c.ComputeCycles))
+	}
+	for _, ln := range r.Noc.Links {
+		l := metrics.L("link", ln.Name)
+		reg.Counter(MetricNocTransfers, "occupancy windows granted per link", l).Add(ln.Transfers)
+		reg.Counter(MetricNocBytes, "flit-rounded bytes per link", l).Add(ln.Bytes)
+		reg.Counter(MetricNocBusyCycles, "link occupancy cycles", l).Add(ln.BusyCycles)
+		reg.Counter(MetricNocBackpressure, "cycles transfers queued behind in-flight occupants", l).Add(ln.BackpressureCycles)
+	}
+}

@@ -168,6 +168,39 @@ func (r *Run) Footprint() Footprint {
 	}
 }
 
+// Handoff describes what a cross-chip boundary at the current layer
+// boundary would have to move: the live on-chip bytes split into
+// ordinary feature-map state and pinned shortcut state. Procedures
+// P2–P5 keep the latter resident across a span of layers, so a
+// placement cut through a shortcut span forces the pinned banks over
+// the interconnect link — the quantity shortcut-affinity placement
+// (internal/cluster) exists to minimize.
+type Handoff struct {
+	FmapBytes     int64 `json:"fmap_bytes"`
+	ShortcutBytes int64 `json:"shortcut_bytes"`
+}
+
+// Total is the full payload a chip-to-chip handoff must carry.
+func (h Handoff) Total() int64 { return h.FmapBytes + h.ShortcutBytes }
+
+// Handoff reports the current cross-chip handoff payload. Like
+// Footprint it is a read-only snapshot; Suspend remains the mechanism
+// that actually evacuates the state.
+func (r *Run) Handoff() Handoff {
+	var h Handoff
+	for _, res := range r.e.residents {
+		if res == nil || res.buf == nil || res.buf.Freed() {
+			continue
+		}
+		if res.buf.Pinned() {
+			h.ShortcutBytes += res.onChip
+		} else {
+			h.FmapBytes += res.onChip
+		}
+	}
+	return h
+}
+
 // fail parks the run in its terminal error state.
 func (r *Run) fail(err error) error {
 	r.err = err

@@ -29,6 +29,10 @@ const (
 	ClassSpillWrite
 	// ClassSpillRead is the reload of previously spilled bytes.
 	ClassSpillRead
+	// ClassInterchip is feature-map / pinned-shortcut bytes handed off
+	// across a chip-to-chip interconnect link when a sharded scenario
+	// crosses a placement boundary (internal/cluster).
+	ClassInterchip
 
 	// NumClasses is the number of traffic classes.
 	NumClasses int = iota
@@ -49,6 +53,8 @@ func (c Class) String() string {
 		return "spill-write"
 	case ClassSpillRead:
 		return "spill-read"
+	case ClassInterchip:
+		return "interchip"
 	}
 	return fmt.Sprintf("Class(%d)", int(c))
 }

@@ -1,0 +1,328 @@
+// Package noc models the chip-to-chip interconnect of a multi-chip
+// accelerator cluster as a set of contended links. A transfer acquires
+// an occupancy window on every link of its route: it waits for the
+// earliest window that fits behind in-flight transfers (first-fit over
+// the link's busy intervals), accumulating backpressure cycles, then
+// occupies the link for its serialization time plus the per-hop
+// latency. The fabric is fully deterministic — the same send sequence
+// always yields the same windows — and single-threaded by design, like
+// the bank pool and DRAM channel it sits beside.
+package noc
+
+import "fmt"
+
+// Default link parameters: a chip-to-chip SerDes link is narrower and
+// slower than the on-package DRAM channel, which is exactly why
+// placement matters.
+const (
+	// DefaultLinkGBps is the per-link sustained bandwidth.
+	DefaultLinkGBps = 16.0
+	// DefaultHopLatency is the fixed router+wire latency per hop, in
+	// accelerator cycles.
+	DefaultHopLatency = 64
+	// DefaultFlitBytes is the transfer granularity; payloads round up.
+	DefaultFlitBytes = 64
+)
+
+// Config describes the fabric.
+type Config struct {
+	// Chips is the number of endpoints.
+	Chips int
+	// Topology arranges the links between them.
+	Topology Topology
+	// LinkGBps is the sustained bandwidth of one link (1e9 bytes/s).
+	LinkGBps float64
+	// HopLatency is the fixed per-hop latency in cycles.
+	HopLatency int64
+	// FlitBytes is the link transaction granularity; transfers round up.
+	FlitBytes int
+	// ClockMHz converts bandwidth into bytes per accelerator cycle.
+	ClockMHz float64
+}
+
+// WithDefaults fills zero tuning fields with the package defaults.
+// Negative values are left for Validate to reject.
+func (c Config) WithDefaults() Config {
+	if c.LinkGBps == 0 {
+		c.LinkGBps = DefaultLinkGBps
+	}
+	if c.HopLatency == 0 {
+		c.HopLatency = DefaultHopLatency
+	}
+	if c.FlitBytes == 0 {
+		c.FlitBytes = DefaultFlitBytes
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Chips < 2 {
+		return fmt.Errorf("noc: need at least 2 chips, got %d", c.Chips)
+	}
+	if c.Chips > MaxChips {
+		return fmt.Errorf("noc: %d chips (max %d)", c.Chips, MaxChips)
+	}
+	switch c.Topology {
+	case Ring, Mesh, AllToAll:
+	default:
+		return fmt.Errorf("noc: unknown topology %d", int(c.Topology))
+	}
+	if c.LinkGBps <= 0 {
+		return fmt.Errorf("noc: link bandwidth must be positive, got %g", c.LinkGBps)
+	}
+	if c.HopLatency < 0 {
+		return fmt.Errorf("noc: negative hop latency %d", c.HopLatency)
+	}
+	if c.FlitBytes <= 0 {
+		return fmt.Errorf("noc: flit size must be positive, got %d", c.FlitBytes)
+	}
+	if c.ClockMHz <= 0 {
+		return fmt.Errorf("noc: clock must be positive, got %g", c.ClockMHz)
+	}
+	return nil
+}
+
+// MaxChips bounds the fabric size (all-to-all grows quadratically).
+const MaxChips = 64
+
+// window is one half-open busy interval [start, end) on a link.
+type window struct{ start, end int64 }
+
+// link is one directed channel between adjacent chips.
+type link struct {
+	name string
+	// busy holds the granted occupancy windows, sorted by start and
+	// pairwise disjoint. Transfers first-fit into the gaps.
+	busy  []window
+	stats LinkStats
+}
+
+// LinkStats is the per-link ledger.
+type LinkStats struct {
+	// Name identifies the directed link, e.g. "c0>c1".
+	Name string `json:"name"`
+	// Transfers counts occupancy windows granted on this link.
+	Transfers int64 `json:"transfers"`
+	// Bytes is the flit-rounded payload moved across the link.
+	Bytes int64 `json:"bytes"`
+	// BusyCycles is the total occupancy (serialization + hop latency).
+	BusyCycles int64 `json:"busy_cycles"`
+	// BackpressureCycles is the total time transfers waited behind
+	// in-flight occupants before their window was granted.
+	BackpressureCycles int64 `json:"backpressure_cycles"`
+}
+
+// Transfer is the outcome of one Send.
+type Transfer struct {
+	From, To int
+	// Bytes is the flit-rounded payload.
+	Bytes int64
+	// Depart is the requested departure cycle; Start when the first
+	// link granted a window; Arrive when the payload fully landed.
+	Depart, Start, Arrive int64
+	// QueueCycles is the total backpressure across all hops; Occupancy
+	// the total link-busy cycles the transfer consumed.
+	QueueCycles, Occupancy int64
+	// Hops is the route length in links.
+	Hops int
+}
+
+// Latency is the end-to-end transfer time from requested departure.
+func (t Transfer) Latency() int64 { return t.Arrive - t.Depart }
+
+// SpanFunc receives one granted link-occupancy window: the directed
+// link name, the transferred (flit-rounded) bytes, and the window
+// [start, start+dur). The cluster layer forwards these into the trace
+// recorder as Perfetto "noc" spans.
+type SpanFunc func(link string, bytes, start, dur int64)
+
+// Fabric is the contended interconnect: precomputed deterministic
+// routes plus per-link occupancy state.
+type Fabric struct {
+	cfg    Config
+	links  []*link
+	routes [][][]int // routes[src][dst] = link indices, in hop order
+	span   SpanFunc
+
+	transfers int64
+	bytes     int64
+}
+
+// New builds a fabric. Tuning fields at zero take the package
+// defaults; Chips, Topology, and ClockMHz must be set.
+func New(cfg Config) (*Fabric, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Fabric{cfg: cfg}
+	if err := f.build(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Config returns the (default-filled) fabric configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// SetSpanFunc installs the link-occupancy observer; nil disables it.
+func (f *Fabric) SetSpanFunc(fn SpanFunc) { f.span = fn }
+
+// NumLinks returns the number of directed links.
+func (f *Fabric) NumLinks() int { return len(f.links) }
+
+// RouteNames returns the directed link names of the src→dst route, for
+// tests and diagnostics.
+func (f *Fabric) RouteNames(src, dst int) ([]string, error) {
+	if err := f.checkEndpoints(src, dst); err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, li := range f.routes[src][dst] {
+		out = append(out, f.links[li].name)
+	}
+	return out, nil
+}
+
+func (f *Fabric) checkEndpoints(src, dst int) error {
+	if src < 0 || src >= f.cfg.Chips || dst < 0 || dst >= f.cfg.Chips {
+		return fmt.Errorf("noc: endpoints %d>%d outside 0..%d", src, dst, f.cfg.Chips-1)
+	}
+	return nil
+}
+
+// round applies flit granularity.
+func (f *Fabric) round(bytes int64) int64 {
+	b := int64(f.cfg.FlitBytes)
+	return (bytes + b - 1) / b * b
+}
+
+// serCycles is the serialization time of a rounded payload on one link.
+func (f *Fabric) serCycles(bytes int64) int64 {
+	bytesPerCycle := f.cfg.LinkGBps * 1e9 / (f.cfg.ClockMHz * 1e6)
+	cycles := float64(bytes) / bytesPerCycle
+	n := int64(cycles)
+	if float64(n) < cycles {
+		n++
+	}
+	return n
+}
+
+// Send moves bytes from src to dst, departing no earlier than depart.
+// The payload is flit-rounded, then store-and-forwarded hop by hop:
+// each link grants the earliest occupancy window at or after the
+// payload's arrival at that hop, queuing behind in-flight transfers.
+// Zero or negative payloads still traverse the route (a control-only
+// handoff costs the hop latency). src == dst is free and touches no
+// link.
+func (f *Fabric) Send(src, dst int, bytes, depart int64) (Transfer, error) {
+	if err := f.checkEndpoints(src, dst); err != nil {
+		return Transfer{}, err
+	}
+	if bytes < 0 {
+		bytes = 0
+	}
+	tr := Transfer{From: src, To: dst, Depart: depart, Start: depart, Arrive: depart}
+	if src == dst {
+		return tr, nil
+	}
+	tr.Bytes = f.round(bytes)
+	occ := f.cfg.HopLatency + f.serCycles(tr.Bytes)
+	t := depart
+	route := f.routes[src][dst]
+	for hop, li := range route {
+		l := f.links[li]
+		grant := l.reserve(t, occ)
+		if hop == 0 {
+			tr.Start = grant
+		}
+		wait := grant - t
+		tr.QueueCycles += wait
+		tr.Occupancy += occ
+		l.stats.Transfers++
+		l.stats.Bytes += tr.Bytes
+		l.stats.BusyCycles += occ
+		l.stats.BackpressureCycles += wait
+		if f.span != nil {
+			f.span(l.name, tr.Bytes, grant, occ)
+		}
+		t = grant + occ
+	}
+	tr.Arrive = t
+	tr.Hops = len(route)
+	f.transfers++
+	f.bytes += tr.Bytes
+	return tr, nil
+}
+
+// reserve grants the earliest window of length occ starting at or
+// after t, first-fitting into the gaps between existing windows, and
+// records it.
+func (l *link) reserve(t, occ int64) int64 {
+	start := t
+	idx := len(l.busy)
+	for i, w := range l.busy {
+		if w.end <= start {
+			continue // entirely before our candidate start
+		}
+		if w.start >= start+occ {
+			idx = i // fits in the gap before window i
+			break
+		}
+		// Overlaps the candidate: push the start past this window.
+		if w.end > start {
+			start = w.end
+		}
+	}
+	if idx == len(l.busy) {
+		// Re-scan for the insertion point of the final start.
+		idx = len(l.busy)
+		for i, w := range l.busy {
+			if w.start > start {
+				idx = i
+				break
+			}
+		}
+	}
+	l.busy = append(l.busy, window{})
+	copy(l.busy[idx+1:], l.busy[idx:])
+	l.busy[idx] = window{start: start, end: start + occ}
+	return start
+}
+
+// FabricStats is the fabric-wide ledger: totals plus the per-link
+// breakdown, in deterministic link-declaration order.
+type FabricStats struct {
+	Topology string `json:"topology"`
+	Chips    int    `json:"chips"`
+	// Transfers counts Send calls that crossed at least one link;
+	// Bytes their flit-rounded payload (counted once per transfer, not
+	// per hop).
+	Transfers int64 `json:"transfers"`
+	Bytes     int64 `json:"bytes"`
+	// BusyCycles / BackpressureCycles sum the per-link ledgers (a
+	// multi-hop transfer contributes once per hop).
+	BusyCycles         int64 `json:"busy_cycles"`
+	BackpressureCycles int64 `json:"backpressure_cycles"`
+
+	Links []LinkStats `json:"links"`
+}
+
+// Stats snapshots the fabric ledger.
+func (f *Fabric) Stats() FabricStats {
+	s := FabricStats{
+		Topology:  f.cfg.Topology.String(),
+		Chips:     f.cfg.Chips,
+		Transfers: f.transfers,
+		Bytes:     f.bytes,
+	}
+	for _, l := range f.links {
+		s.BusyCycles += l.stats.BusyCycles
+		s.BackpressureCycles += l.stats.BackpressureCycles
+		ls := l.stats
+		ls.Name = l.name
+		s.Links = append(s.Links, ls)
+	}
+	return s
+}

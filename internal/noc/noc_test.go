@@ -1,0 +1,364 @@
+package noc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func testConfig(chips int, topo Topology) Config {
+	return Config{Chips: chips, Topology: topo, ClockMHz: 1000}
+}
+
+func mustFabric(t *testing.T, cfg Config) *Fabric {
+	t.Helper()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return f
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"one chip", testConfig(1, Ring)},
+		{"too many", testConfig(MaxChips+1, Ring)},
+		{"bad topology", Config{Chips: 4, Topology: Topology(99), ClockMHz: 1000}},
+		{"no clock", Config{Chips: 4, Topology: Ring}},
+		{"negative bandwidth", Config{Chips: 4, Topology: Ring, LinkGBps: -1, ClockMHz: 1000}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg); err == nil {
+			t.Errorf("%s: New accepted invalid config", tc.name)
+		}
+	}
+	f := mustFabric(t, testConfig(4, Ring))
+	got := f.Config()
+	if got.LinkGBps != DefaultLinkGBps || got.HopLatency != DefaultHopLatency || got.FlitBytes != DefaultFlitBytes {
+		t.Errorf("defaults not applied: %+v", got)
+	}
+}
+
+func TestRingRoutes(t *testing.T) {
+	f := mustFabric(t, testConfig(5, Ring))
+	cases := []struct {
+		src, dst int
+		want     []string
+	}{
+		{0, 1, []string{"c0>c1"}},
+		{0, 2, []string{"c0>c1", "c1>c2"}},
+		// Distance 3 clockwise vs 2 counter-clockwise: go backwards.
+		{0, 3, []string{"c0>c4", "c4>c3"}},
+		{4, 0, []string{"c4>c0"}},
+		{1, 4, []string{"c1>c0", "c0>c4"}},
+	}
+	for _, tc := range cases {
+		got, err := f.RouteNames(tc.src, tc.dst)
+		if err != nil {
+			t.Fatalf("RouteNames(%d,%d): %v", tc.src, tc.dst, err)
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("route %d>%d = %v, want %v", tc.src, tc.dst, got, tc.want)
+		}
+	}
+	// Even ring, tie distance: clockwise wins.
+	f4 := mustFabric(t, testConfig(4, Ring))
+	got, err := f4.RouteNames(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"c0>c1", "c1>c2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("tie route 0>2 = %v, want %v", got, want)
+	}
+}
+
+func TestMeshRoutes(t *testing.T) {
+	// 7 chips on a 3-wide grid: rows [0 1 2], [3 4 5], [6] (ragged).
+	f := mustFabric(t, testConfig(7, Mesh))
+	cases := []struct {
+		src, dst int
+		want     []string
+	}{
+		{0, 2, []string{"c0>c1", "c1>c2"}},
+		// Toward a narrower row: x first (in the wide row), then y.
+		{2, 6, []string{"c2>c1", "c1>c0", "c0>c3", "c3>c6"}},
+		// Toward a wider row: y first, then x.
+		{6, 2, []string{"c6>c3", "c3>c0", "c0>c1", "c1>c2"}},
+		{5, 0, []string{"c5>c2", "c2>c1", "c1>c0"}},
+	}
+	for _, tc := range cases {
+		got, err := f.RouteNames(tc.src, tc.dst)
+		if err != nil {
+			t.Fatalf("RouteNames(%d,%d): %v", tc.src, tc.dst, err)
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("route %d>%d = %v, want %v", tc.src, tc.dst, got, tc.want)
+		}
+	}
+}
+
+func TestMeshRoutesAlwaysValid(t *testing.T) {
+	// Every chip count up to a few rows: New fails internally if any
+	// route would pass through a nonexistent ragged-grid cell.
+	for n := 2; n <= 20; n++ {
+		f := mustFabric(t, testConfig(n, Mesh))
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if _, err := f.RouteNames(s, d); err != nil {
+					t.Fatalf("n=%d route %d>%d: %v", n, s, d, err)
+				}
+			}
+		}
+	}
+}
+
+func TestAllToAllRoutes(t *testing.T) {
+	f := mustFabric(t, testConfig(4, AllToAll))
+	if f.NumLinks() != 12 {
+		t.Fatalf("NumLinks = %d, want 12", f.NumLinks())
+	}
+	for s := 0; s < 4; s++ {
+		for d := 0; d < 4; d++ {
+			if s == d {
+				continue
+			}
+			r, err := f.RouteNames(s, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(r) != 1 {
+				t.Errorf("route %d>%d has %d hops, want 1", s, d, len(r))
+			}
+		}
+	}
+}
+
+func TestSendContention(t *testing.T) {
+	// 1 GB/s link at 1000 MHz = 1 byte/cycle; hop latency 10.
+	cfg := Config{Chips: 4, Topology: AllToAll, LinkGBps: 1, HopLatency: 10, FlitBytes: 64, ClockMHz: 1000}
+	f := mustFabric(t, cfg)
+
+	// First transfer: 64B on a free link → departs on time, occupancy 74.
+	tr1, err := f.Send(0, 1, 64, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr1.Start != 100 || tr1.Arrive != 174 || tr1.QueueCycles != 0 {
+		t.Fatalf("tr1 = %+v", tr1)
+	}
+
+	// Second transfer on the same link while busy → queues behind it.
+	tr2, err := f.Send(0, 1, 64, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Start != 174 || tr2.QueueCycles != 54 || tr2.Arrive != 248 {
+		t.Fatalf("tr2 = %+v", tr2)
+	}
+
+	// A different link is unaffected.
+	tr3, err := f.Send(2, 3, 64, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr3.Start != 120 || tr3.QueueCycles != 0 {
+		t.Fatalf("tr3 = %+v", tr3)
+	}
+
+	// An earlier departure can first-fit into the gap before tr1.
+	tr4, err := f.Send(0, 1, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr4.Start != 0 || tr4.QueueCycles != 0 || tr4.Arrive != 74 {
+		t.Fatalf("tr4 = %+v", tr4)
+	}
+
+	// A transfer too big for the gap queues past both windows.
+	tr5, err := f.Send(0, 1, 640, 0) // occupancy 650, no gap fits
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr5.Start != 248 || tr5.QueueCycles != 248 {
+		t.Fatalf("tr5 = %+v", tr5)
+	}
+
+	// Self-send is free.
+	tr6, err := f.Send(1, 1, 1<<20, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr6.Bytes != 0 || tr6.Arrive != 42 || tr6.Hops != 0 {
+		t.Fatalf("tr6 = %+v", tr6)
+	}
+
+	if _, err := f.Send(0, 9, 64, 0); err == nil {
+		t.Error("Send accepted out-of-range endpoint")
+	}
+}
+
+func TestFlitRoundingAndZeroBytes(t *testing.T) {
+	cfg := Config{Chips: 2, Topology: Ring, LinkGBps: 1, HopLatency: 10, FlitBytes: 64, ClockMHz: 1000}
+	f := mustFabric(t, cfg)
+	tr, err := f.Send(0, 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Bytes != 64 {
+		t.Errorf("1 byte rounded to %d, want 64", tr.Bytes)
+	}
+	tr, err = f.Send(0, 1, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Bytes != 0 || tr.Arrive != 1010 {
+		t.Errorf("zero-byte control handoff = %+v, want arrive 1010", tr)
+	}
+}
+
+// sendPattern drives a deterministic seeded all-pairs burst workload.
+func sendPattern(t *testing.T, f *Fabric, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := f.Config().Chips
+	for i := 0; i < 200; i++ {
+		src := rng.Intn(n)
+		dst := rng.Intn(n)
+		bytes := int64(1+rng.Intn(64)) * 1024
+		depart := int64(rng.Intn(20000))
+		if _, err := f.Send(src, dst, bytes, depart); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestGoldenTopologySweep pins the backpressure cycles of an identical
+// seeded workload on each topology: the three wirings must produce
+// distinct, stable contention. Changing routing or the occupancy model
+// changes these numbers — update deliberately.
+func TestGoldenTopologySweep(t *testing.T) {
+	want := map[Topology]int64{
+		Ring:     goldenRingBackpressure,
+		Mesh:     goldenMeshBackpressure,
+		AllToAll: goldenAllBackpressure,
+	}
+	got := make(map[Topology]int64)
+	for _, topo := range []Topology{Ring, Mesh, AllToAll} {
+		cfg := Config{Chips: 6, Topology: topo, LinkGBps: 4, HopLatency: 32, FlitBytes: 64, ClockMHz: 1000}
+		f := mustFabric(t, cfg)
+		sendPattern(t, f, 7)
+		st := f.Stats()
+		got[topo] = st.BackpressureCycles
+		if st.BackpressureCycles != want[topo] {
+			t.Errorf("%s backpressure = %d, want %d", topo, st.BackpressureCycles, want[topo])
+		}
+	}
+	if got[Ring] == got[Mesh] || got[Mesh] == got[AllToAll] || got[Ring] == got[AllToAll] {
+		t.Errorf("topologies not distinct: %v", got)
+	}
+	if !(got[Ring] > got[Mesh] && got[Mesh] > got[AllToAll]) {
+		t.Errorf("expected ring > mesh > all-to-all contention, got %v", got)
+	}
+}
+
+// Pinned by TestGoldenTopologySweep.
+const (
+	goldenRingBackpressure = 18055310
+	goldenMeshBackpressure = 14877806
+	goldenAllBackpressure  = 3413309
+)
+
+func TestDeterminism(t *testing.T) {
+	for _, topo := range []Topology{Ring, Mesh, AllToAll} {
+		a := mustFabric(t, testConfig(5, topo))
+		b := mustFabric(t, testConfig(5, topo))
+		sendPattern(t, a, 99)
+		sendPattern(t, b, 99)
+		if !reflect.DeepEqual(a.Stats(), b.Stats()) {
+			t.Errorf("%s: identical workloads produced different stats", topo)
+		}
+	}
+}
+
+func TestStatsReconcile(t *testing.T) {
+	cfg := Config{Chips: 6, Topology: Mesh, LinkGBps: 2, HopLatency: 16, FlitBytes: 64, ClockMHz: 1000}
+	f := mustFabric(t, cfg)
+	rng := rand.New(rand.NewSource(3))
+	var wantQueue, wantOcc, wantBytes, wantSends int64
+	for i := 0; i < 300; i++ {
+		src, dst := rng.Intn(6), rng.Intn(6)
+		tr, err := f.Send(src, dst, int64(rng.Intn(8192)), int64(rng.Intn(5000)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantQueue += tr.QueueCycles
+		wantOcc += tr.Occupancy
+		if tr.Hops > 0 {
+			wantBytes += tr.Bytes
+			wantSends++
+		}
+		if lat := tr.Latency(); lat < 0 {
+			t.Fatalf("negative latency: %+v", tr)
+		}
+	}
+	st := f.Stats()
+	if st.BackpressureCycles != wantQueue {
+		t.Errorf("ledger backpressure %d != sum of transfer queue cycles %d", st.BackpressureCycles, wantQueue)
+	}
+	if st.BusyCycles != wantOcc {
+		t.Errorf("ledger busy %d != sum of transfer occupancy %d", st.BusyCycles, wantOcc)
+	}
+	if st.Bytes != wantBytes || st.Transfers != wantSends {
+		t.Errorf("ledger bytes/transfers = %d/%d, want %d/%d", st.Bytes, st.Transfers, wantBytes, wantSends)
+	}
+	var linkQueue, linkBusy int64
+	for _, l := range st.Links {
+		linkQueue += l.BackpressureCycles
+		linkBusy += l.BusyCycles
+	}
+	if linkQueue != wantQueue || linkBusy != wantOcc {
+		t.Errorf("per-link sums %d/%d != totals %d/%d", linkQueue, linkBusy, wantQueue, wantOcc)
+	}
+}
+
+func TestSpanFunc(t *testing.T) {
+	cfg := Config{Chips: 3, Topology: Ring, LinkGBps: 1, HopLatency: 8, FlitBytes: 64, ClockMHz: 1000}
+	f := mustFabric(t, cfg)
+	type span struct {
+		link       string
+		bytes, dur int64
+	}
+	var spans []span
+	f.SetSpanFunc(func(link string, bytes, start, dur int64) {
+		spans = append(spans, span{link, bytes, dur})
+	})
+	if _, err := f.Send(0, 2, 64, 0); err != nil { // 0>2 goes backwards: one hop
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].link != "c0>c2" || spans[0].bytes != 64 || spans[0].dur != 72 {
+		t.Fatalf("spans = %+v", spans)
+	}
+}
+
+func TestReserveWindowsDisjointSorted(t *testing.T) {
+	cfg := Config{Chips: 2, Topology: Ring, LinkGBps: 1, HopLatency: 4, FlitBytes: 64, ClockMHz: 1000}
+	f := mustFabric(t, cfg)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		if _, err := f.Send(0, 1, int64(rng.Intn(512)), int64(rng.Intn(3000))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range f.links {
+		for i := 1; i < len(l.busy); i++ {
+			if l.busy[i].start < l.busy[i-1].end {
+				t.Fatalf("link %s windows overlap or unsorted at %d: %+v %+v",
+					l.name, i, l.busy[i-1], l.busy[i])
+			}
+		}
+	}
+}

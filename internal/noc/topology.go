@@ -1,0 +1,189 @@
+package noc
+
+import "fmt"
+
+// Topology selects how chips are wired together.
+type Topology int
+
+const (
+	// Ring links chip i to i±1 (mod N); routes take the shorter
+	// direction, ties broken clockwise (increasing index).
+	Ring Topology = iota
+	// Mesh arranges chips row-major on a ceil(sqrt(N))-wide grid
+	// (the last row may be ragged) with links between grid neighbors;
+	// routes are dimension-ordered toward the wider row first.
+	Mesh
+	// AllToAll gives every ordered pair its own direct link.
+	AllToAll
+)
+
+// String returns the spec-grammar name of the topology.
+func (t Topology) String() string {
+	switch t {
+	case Ring:
+		return "ring"
+	case Mesh:
+		return "mesh"
+	case AllToAll:
+		return "all"
+	default:
+		return fmt.Sprintf("topology(%d)", int(t))
+	}
+}
+
+// ParseTopology parses a spec-grammar topology name.
+func ParseTopology(s string) (Topology, error) {
+	switch s {
+	case "ring":
+		return Ring, nil
+	case "mesh":
+		return Mesh, nil
+	case "all", "alltoall", "all-to-all":
+		return AllToAll, nil
+	default:
+		return 0, fmt.Errorf("noc: unknown topology %q (want ring, mesh, or all)", s)
+	}
+}
+
+// build creates the directed links and precomputes every src→dst
+// route. Link order — and therefore FabricStats.Links order — is a
+// deterministic function of (Chips, Topology).
+func (f *Fabric) build() error {
+	n := f.cfg.Chips
+	// linkAt[a][b] is the index of the directed link a→b, or -1.
+	linkAt := make([][]int, n)
+	for i := range linkAt {
+		linkAt[i] = make([]int, n)
+		for j := range linkAt[i] {
+			linkAt[i][j] = -1
+		}
+	}
+	addLink := func(a, b int) {
+		if linkAt[a][b] >= 0 {
+			return
+		}
+		linkAt[a][b] = len(f.links)
+		f.links = append(f.links, &link{name: fmt.Sprintf("c%d>c%d", a, b)})
+	}
+
+	switch f.cfg.Topology {
+	case Ring:
+		for i := 0; i < n; i++ {
+			addLink(i, (i+1)%n)
+			addLink(i, (i-1+n)%n)
+		}
+	case Mesh:
+		w := meshWidth(n)
+		for i := 0; i < n; i++ {
+			x, y := i%w, i/w
+			if x+1 < w && i+1 < n { // east-west neighbor
+				addLink(i, i+1)
+				addLink(i+1, i)
+			}
+			if i+w < n { // north-south neighbor
+				addLink(i, i+w)
+				addLink(i+w, i)
+			}
+			_ = y
+		}
+	case AllToAll:
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if a != b {
+					addLink(a, b)
+				}
+			}
+		}
+	default:
+		return fmt.Errorf("noc: unknown topology %d", int(f.cfg.Topology))
+	}
+
+	f.routes = make([][][]int, n)
+	for src := 0; src < n; src++ {
+		f.routes[src] = make([][]int, n)
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			hops := f.path(src, dst)
+			route := make([]int, 0, len(hops)-1)
+			for h := 0; h+1 < len(hops); h++ {
+				li := linkAt[hops[h]][hops[h+1]]
+				if li < 0 {
+					return fmt.Errorf("noc: internal: no link c%d>c%d on %s route c%d..c%d",
+						hops[h], hops[h+1], f.cfg.Topology, src, dst)
+				}
+				route = append(route, li)
+			}
+			f.routes[src][dst] = route
+		}
+	}
+	return nil
+}
+
+// meshWidth is the grid width for n chips: ceil(sqrt(n)).
+func meshWidth(n int) int {
+	w := 1
+	for w*w < n {
+		w++
+	}
+	return w
+}
+
+// path lists the chips visited from src to dst, inclusive of both.
+func (f *Fabric) path(src, dst int) []int {
+	n := f.cfg.Chips
+	hops := []int{src}
+	switch f.cfg.Topology {
+	case Ring:
+		cw := (dst - src + n) % n  // clockwise distance
+		ccw := (src - dst + n) % n // counter-clockwise distance
+		step := 1
+		if ccw < cw {
+			step = n - 1 // i.e. -1 mod n
+		}
+		for at := src; at != dst; {
+			at = (at + step) % n
+			hops = append(hops, at)
+		}
+	case Mesh:
+		w := meshWidth(n)
+		sx, sy := src%w, src/w
+		dx, dy := dst%w, dst/w
+		x, y := sx, sy
+		// Rows are prefix-filled, so widths are non-increasing with y.
+		// Moving toward a narrower row (dy > sy): correct x first while
+		// still in the wide row — column dx exists in every row up to
+		// dy. Moving toward a wider row (dy < sy): correct y first —
+		// column sx exists in every wider row. Same-row: x only.
+		if dy > sy {
+			for x != dx {
+				x += sign(dx - x)
+				hops = append(hops, y*w+x)
+			}
+			for y != dy {
+				y += sign(dy - y)
+				hops = append(hops, y*w+x)
+			}
+		} else {
+			for y != dy {
+				y += sign(dy - y)
+				hops = append(hops, y*w+x)
+			}
+			for x != dx {
+				x += sign(dx - x)
+				hops = append(hops, y*w+x)
+			}
+		}
+	case AllToAll:
+		hops = append(hops, dst)
+	}
+	return hops
+}
+
+func sign(d int) int {
+	if d < 0 {
+		return -1
+	}
+	return 1
+}

@@ -76,7 +76,7 @@ func TestGenerateFullDocument(t *testing.T) {
 		"# EXPERIMENTS",
 		"## Headline scorecard",
 		"## Suite output (generated)",
-		"## E1 —", "## E9 —", "## E19 —", "## E23 —",
+		"## E1 —", "## E9 —", "## E19 —", "## E23 —", "## E24 —",
 		"53.3%", "1.93×",
 	} {
 		if !strings.Contains(doc, want) {
@@ -84,7 +84,7 @@ func TestGenerateFullDocument(t *testing.T) {
 		}
 	}
 	// Every registered experiment appears.
-	if got := strings.Count(doc, "*Paper anchor:*"); got != 23 {
-		t.Errorf("document has %d experiments, want 23", got)
+	if got := strings.Count(doc, "*Paper anchor:*"); got != 24 {
+		t.Errorf("document has %d experiments, want 24", got)
 	}
 }

@@ -52,6 +52,11 @@ func quantiles(vals []int64) Quantiles {
 	return Quantiles{P50: rank(0.50), P95: rank(0.95), P99: rank(0.99)}
 }
 
+// ComputeQuantiles exposes the nearest-rank percentile computation so
+// layers built on this package's result vocabulary (internal/cluster)
+// summarize latencies identically.
+func ComputeQuantiles(vals []int64) Quantiles { return quantiles(vals) }
+
 // StreamResult is one stream's QoS outcome.
 type StreamResult struct {
 	Name     string `json:"name"`

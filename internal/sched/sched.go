@@ -42,6 +42,11 @@ func RunContext(ctx context.Context, cfg core.Config, spec *Spec, reg *metrics.R
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	if spec.Chips > 1 {
+		// Sharded scenarios need per-chip pools and an interconnect —
+		// that's internal/cluster's job (scm-cluster / POST /v1/cluster).
+		return nil, fmt.Errorf("sched: spec requests chips=%d; multi-chip scenarios run through the cluster package", spec.Chips)
+	}
 	// Scheduled requests are single inferences: the pool holds one
 	// image's working set, and batching across streams is a scheduler
 	// follow-on (see ROADMAP), not an implicit config knob.
@@ -119,6 +124,33 @@ func buildArrivals(spec *Spec) []request {
 	})
 	return out
 }
+
+// Arrival is one request's precomputed arrival, exposed for the
+// cluster layer, which replays this package's exact deterministic
+// arrival process across chips.
+type Arrival struct {
+	// Stream / Seq identify the request: spec stream index and the
+	// request's position within that stream.
+	Stream, Seq int
+	// Cycle is the arrival time.
+	Cycle int64
+}
+
+// Arrivals returns the scenario's deterministic arrival sequence,
+// sorted by (cycle, stream, seq) — the order the scheduler admits
+// requests. The spec should be validated first.
+func (s *Spec) Arrivals() []Arrival {
+	reqs := buildArrivals(s)
+	out := make([]Arrival, len(reqs))
+	for i, r := range reqs {
+		out[i] = Arrival{Stream: r.stream, Seq: r.seq, Cycle: r.arrival}
+	}
+	return out
+}
+
+// StreamNames exposes the deduplicated per-stream display names used
+// in results and metrics.
+func (s *Spec) StreamNames() []string { return s.streamNames() }
 
 // streamAccum accumulates one stream's outcome during the loop.
 type streamAccum struct {

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"shortcutmining/internal/core"
+	"shortcutmining/internal/noc"
 )
 
 // Policy selects how co-resident runs share the accelerator.
@@ -108,6 +109,21 @@ type Spec struct {
 	MaxResident int `json:"max_resident,omitempty"`
 	// Streams are the co-resident request streams.
 	Streams []StreamSpec `json:"streams"`
+
+	// Chips shards the scenario across N simulated accelerators
+	// (internal/cluster), each with its own bank pool, connected by a
+	// contended interconnect. 0 or 1 = single chip (this package).
+	Chips int `json:"chips,omitempty"`
+	// Topology wires the chips when Chips > 1: ring | mesh | all
+	// (default ring).
+	Topology string `json:"topology,omitempty"`
+	// Placement maps layers to chips when Chips > 1: hash | leastload |
+	// affinity (default affinity).
+	Placement string `json:"placement,omitempty"`
+	// LinkGBps / HopLatency tune the interconnect links; zero takes
+	// the noc package defaults.
+	LinkGBps   float64 `json:"link_gbps,omitempty"`
+	HopLatency int64   `json:"hop_latency,omitempty"`
 }
 
 // maxSpecRequests bounds the total request count so a malformed spec
@@ -133,6 +149,9 @@ func (s *Spec) Validate() error {
 	if s.MaxResident < 0 {
 		return fmt.Errorf("sched: negative max-resident %d", s.MaxResident)
 	}
+	if err := s.validateCluster(); err != nil {
+		return err
+	}
 	total := 0
 	for i, st := range s.Streams {
 		if st.Network == "" {
@@ -155,6 +174,40 @@ func (s *Spec) Validate() error {
 	return nil
 }
 
+// validateCluster checks the multi-chip clauses. Topology names defer
+// to the authoritative noc parser; the placement vocabulary must stay
+// in sync with cluster.ParsePlacement (cluster imports sched, so its
+// parser cannot be called from here — a cluster unit test pins the
+// two equal).
+func (s *Spec) validateCluster() error {
+	if s.Chips < 0 {
+		return fmt.Errorf("sched: negative chips %d", s.Chips)
+	}
+	if s.Chips > noc.MaxChips {
+		return fmt.Errorf("sched: %d chips (max %d)", s.Chips, noc.MaxChips)
+	}
+	if s.Topology != "" {
+		if _, err := noc.ParseTopology(s.Topology); err != nil {
+			return err
+		}
+	}
+	switch s.Placement {
+	case "", "hash", "leastload", "affinity":
+	default:
+		return fmt.Errorf("sched: unknown placement %q (want hash, leastload, affinity)", s.Placement)
+	}
+	if s.LinkGBps < 0 {
+		return fmt.Errorf("sched: negative link bandwidth %g", s.LinkGBps)
+	}
+	if s.HopLatency < 0 {
+		return fmt.Errorf("sched: negative hop latency %d", s.HopLatency)
+	}
+	if s.Chips <= 1 && (s.Topology != "" || s.Placement != "" || s.LinkGBps != 0 || s.HopLatency != 0) {
+		return fmt.Errorf("sched: topo/place/linkgbps/hoplat require chips>1")
+	}
+	return nil
+}
+
 // String renders the spec in the grammar ParseSpec reads, so a spec
 // round-trips through the CLI flag.
 func (s *Spec) String() string {
@@ -167,6 +220,21 @@ func (s *Spec) String() string {
 	}
 	if s.MaxResident > 0 {
 		parts = append(parts, fmt.Sprintf("maxresident=%d", s.MaxResident))
+	}
+	if s.Chips > 1 {
+		parts = append(parts, fmt.Sprintf("chips=%d", s.Chips))
+		if s.Topology != "" {
+			parts = append(parts, fmt.Sprintf("topo=%s", s.Topology))
+		}
+		if s.Placement != "" {
+			parts = append(parts, fmt.Sprintf("place=%s", s.Placement))
+		}
+		if s.LinkGBps > 0 {
+			parts = append(parts, fmt.Sprintf("linkgbps=%s", strconv.FormatFloat(s.LinkGBps, 'g', -1, 64)))
+		}
+		if s.HopLatency > 0 {
+			parts = append(parts, fmt.Sprintf("hoplat=%d", s.HopLatency))
+		}
 	}
 	for _, st := range s.Streams {
 		var kv []string
@@ -204,6 +272,11 @@ func (s *Spec) String() string {
 //	policy=rr                    fcfs | rr | prio (default fcfs)
 //	quantum=4                    round-robin quantum in layers (default 8)
 //	maxresident=2                bound on launched-but-unfinished runs
+//	chips=3                      shard across 3 chips (internal/cluster)
+//	topo=mesh                    interconnect wiring: ring | mesh | all
+//	place=affinity               layer placement: hash | leastload | affinity
+//	linkgbps=16                  per-link bandwidth (GB/s)
+//	hoplat=64                    per-hop link latency (cycles)
 //	stream=resnet34:n=8,gap=2000000          8 requests, fixed inter-arrival gap
 //	stream=squeezenet:n=4,gap=500000,poisson seeded exponential gaps, mean 500000
 //	stream=resnet50:n=2,prio=3,strategy=baseline,banks=10,start=100,name=vip
@@ -247,6 +320,28 @@ func ParseSpec(s string) (*Spec, error) {
 				return nil, fmt.Errorf("sched: bad maxresident %q: %v", val, err)
 			}
 			spec.MaxResident = m
+		case "chips":
+			c, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("sched: bad chips %q: %v", val, err)
+			}
+			spec.Chips = c
+		case "topo":
+			spec.Topology = val
+		case "place":
+			spec.Placement = val
+		case "linkgbps":
+			g, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sched: bad linkgbps %q: %v", val, err)
+			}
+			spec.LinkGBps = g
+		case "hoplat":
+			h, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sched: bad hoplat %q: %v", val, err)
+			}
+			spec.HopLatency = h
 		case "stream":
 			st, err := parseStream(val)
 			if err != nil {
@@ -254,7 +349,7 @@ func ParseSpec(s string) (*Spec, error) {
 			}
 			spec.Streams = append(spec.Streams, st)
 		default:
-			return nil, fmt.Errorf("sched: unknown clause %q (want seed=, policy=, quantum=, maxresident=, stream=)", clause)
+			return nil, fmt.Errorf("sched: unknown clause %q (want seed=, policy=, quantum=, maxresident=, chips=, topo=, place=, linkgbps=, hoplat=, stream=)", clause)
 		}
 	}
 	if err := spec.Validate(); err != nil {

@@ -45,19 +45,67 @@ func TestSpecRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSpecClusterClauses(t *testing.T) {
+	in := "seed=3;policy=rr;chips=4;topo=mesh;place=affinity;linkgbps=8.5;hoplat=32;" +
+		"stream=resnet34:n=2;stream=squeezenet:n=2"
+	spec, err := ParseSpec(in)
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if spec.Chips != 4 || spec.Topology != "mesh" || spec.Placement != "affinity" ||
+		spec.LinkGBps != 8.5 || spec.HopLatency != 32 {
+		t.Fatalf("cluster fields not parsed: %+v", spec)
+	}
+	again, err := ParseSpec(spec.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", spec.String(), err)
+	}
+	if spec.String() != again.String() {
+		t.Errorf("cluster spec does not round-trip:\n first %s\nsecond %s", spec.String(), again.String())
+	}
+	// Single-chip specs render without cluster clauses.
+	single, err := ParseSpec("stream=vgg16:n=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := single.String(); strings.Contains(s, "chips=") {
+		t.Errorf("single-chip spec leaked cluster clauses: %s", s)
+	}
+}
+
+func TestRunRejectsMultiChip(t *testing.T) {
+	spec, err := ParseSpec("chips=2;stream=squeezenet:n=1")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if _, err := Run(core.Default(), spec, nil); err == nil {
+		t.Fatal("sched.Run accepted a chips>1 spec; cluster owns those")
+	}
+}
+
 func TestParseSpecErrors(t *testing.T) {
 	for _, bad := range []string{
-		"",                          // no streams
-		"policy=lifo;stream=vgg16:", // unknown policy
-		"stream=:n=2",               // empty network
-		"stream=vgg16:n=0",          // zero requests
-		"stream=vgg16:n=x",          // bad int
-		"stream=vgg16:bogus",        // unknown flag
-		"stream=vgg16:wat=1",        // unknown parameter
-		"quantum=-1;stream=vgg16:",  // negative quantum
-		"turbo=1;stream=vgg16:",     // unknown clause
-		"seed",                      // clause without =
-		"stream=vgg16:n=9999999",    // over request cap
+		"chips=-1;stream=vgg16:",             // negative chips
+		"chips=999;stream=vgg16:",            // over chip cap
+		"chips=2;topo=torus;stream=vgg16:",   // unknown topology
+		"chips=2;place=random;stream=vgg16:", // unknown placement
+		"chips=2;linkgbps=-4;stream=vgg16:",  // negative bandwidth
+		"chips=2;hoplat=-1;stream=vgg16:",    // negative hop latency
+		"topo=ring;stream=vgg16:",            // topo without chips
+		"place=affinity;stream=vgg16:",       // place without chips
+		"chips=2;linkgbps=abc;stream=vgg16:", // bad float
+		"chips=two;stream=vgg16:",            // bad int
+		"",                                   // no streams
+		"policy=lifo;stream=vgg16:",          // unknown policy
+		"stream=:n=2",                        // empty network
+		"stream=vgg16:n=0",                   // zero requests
+		"stream=vgg16:n=x",                   // bad int
+		"stream=vgg16:bogus",                 // unknown flag
+		"stream=vgg16:wat=1",                 // unknown parameter
+		"quantum=-1;stream=vgg16:",           // negative quantum
+		"turbo=1;stream=vgg16:",              // unknown clause
+		"seed",                               // clause without =
+		"stream=vgg16:n=9999999",             // over request cap
 	} {
 		if _, err := ParseSpec(bad); err == nil {
 			t.Errorf("ParseSpec(%q): want error, got nil", bad)

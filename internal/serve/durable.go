@@ -7,7 +7,6 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
-	"strings"
 	"time"
 
 	"shortcutmining/internal/core"
@@ -246,7 +245,8 @@ type payloadDoc struct {
 	Space    *dse.Space `json:"space,omitempty"`
 	Parallel int        `json:"parallel,omitempty"`
 	Pareto   bool       `json:"pareto,omitempty"`
-	// schedule
+	// schedule + cluster (the record's Kind says which; a cluster
+	// scenario carries chips>1 in the spec itself)
 	Scenario *sched.Spec `json:"scenario,omitempty"`
 }
 
@@ -295,6 +295,14 @@ func sweepPayload(req SweepRequest) (payloadDoc, error) {
 }
 
 func schedulePayload(req ScheduleRequest) (payloadDoc, error) {
+	var c bytes.Buffer
+	if err := core.EncodeConfigJSON(&c, req.Cfg); err != nil {
+		return payloadDoc{}, err
+	}
+	return payloadDoc{Config: json.RawMessage(c.Bytes()), Scenario: req.Spec}, nil
+}
+
+func clusterPayload(req ClusterRequest) (payloadDoc, error) {
 	var c bytes.Buffer
 	if err := core.EncodeConfigJSON(&c, req.Cfg); err != nil {
 		return payloadDoc{}, err
@@ -364,6 +372,26 @@ func decodeSchedulePayload(doc payloadDoc, reqID string) (ScheduleRequest, error
 	return ScheduleRequest{Cfg: cfg, Spec: doc.Scenario, RequestID: reqID}, nil
 }
 
+func decodeClusterPayload(doc payloadDoc, reqID string) (ClusterRequest, error) {
+	if doc.Scenario == nil {
+		return ClusterRequest{}, fmt.Errorf("payload has no scenario")
+	}
+	if err := doc.Scenario.Validate(); err != nil {
+		return ClusterRequest{}, err
+	}
+	if doc.Scenario.Chips < 2 {
+		return ClusterRequest{}, fmt.Errorf("cluster payload has chips=%d", doc.Scenario.Chips)
+	}
+	cfg := core.Default()
+	if doc.Config != nil {
+		var err error
+		if cfg, err = core.DecodeConfigJSON(bytes.NewReader(doc.Config)); err != nil {
+			return ClusterRequest{}, err
+		}
+	}
+	return ClusterRequest{Cfg: cfg, Spec: doc.Scenario, RequestID: reqID}, nil
+}
+
 // RecoveryReport summarizes what Recover did with the replayed
 // journal.
 type RecoveryReport struct {
@@ -385,13 +413,19 @@ func (r RecoveryReport) String() string {
 		r.Requeued, r.Resumed, r.Interrupted, r.Restored)
 }
 
-// jobSeq parses the numeric suffix of a job ID ("j000042" → 42).
+// jobSeq parses the numeric suffix of a job ID ("j000042" → 42,
+// "s2-j000007" → 7). The prefix is whatever the accepting engine's
+// JobPrefix was; only the trailing counter matters for resuming the
+// sequence without collisions.
 func jobSeq(id string) (int, bool) {
-	num, ok := strings.CutPrefix(id, "j")
-	if !ok {
-		return 0, false
+	i := len(id)
+	for i > 0 && id[i-1] >= '0' && id[i-1] <= '9' {
+		i--
 	}
-	n, err := strconv.Atoi(num)
+	if i == 0 || i == len(id) {
+		return 0, false // all digits (no prefix) or no digits at all
+	}
+	n, err := strconv.Atoi(id[i:])
 	if err != nil || n < 0 {
 		return 0, false
 	}
@@ -601,6 +635,12 @@ func (e *Engine) requeueJob(id string, rp *jobReplay) error {
 			return err
 		}
 		task = e.scheduleTask(req, j)
+	case "cluster":
+		req, err := decodeClusterPayload(doc, reqID)
+		if err != nil {
+			return err
+		}
+		task = e.clusterTask(req, j)
 	default:
 		return fmt.Errorf("unknown job kind %q", rp.accepted.Kind)
 	}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"shortcutmining/internal/chaos"
+	"shortcutmining/internal/cluster"
 	"shortcutmining/internal/core"
 	"shortcutmining/internal/dse"
 	"shortcutmining/internal/fpga"
@@ -69,6 +70,11 @@ type Options struct {
 	// MaxJobs bounds the finished-job history kept for GET /v1/jobs;
 	// <= 0 means 1024.
 	MaxJobs int
+	// JobPrefix namespaces this engine's job IDs ("" means "j", the
+	// single-instance default). A sharded deployment gives every shard
+	// its own prefix ("s0-j", "s1-j", …) so IDs stay globally unique and
+	// a job lookup can be routed back to the shard that owns it.
+	JobPrefix string
 	// JobTTL evicts terminal jobs from the history this long after they
 	// finish (measured on Clock); 0 keeps them until MaxJobs pushes
 	// them out. MaxJobs stays in force as the backstop either way.
@@ -533,6 +539,55 @@ func (e *Engine) scheduleTask(req ScheduleRequest, j *Job) func(ctx context.Cont
 		e.mJobSeconds.Observe(e.clock().Sub(start).Seconds())
 		e.countOutcome(err)
 		j.finishSchedule(res, err)
+	}
+}
+
+// ClusterRequest is one asynchronous multi-chip sharded run: a chips>1
+// scenario executed across N simulated chips joined by the contended
+// interconnect model (internal/cluster).
+type ClusterRequest struct {
+	Cfg core.Config
+	// Spec is the validated scenario; it must carry chips>1.
+	Spec *sched.Spec
+	// RequestID is the serving-layer correlation ID stamped into the
+	// job record.
+	RequestID string
+}
+
+// SubmitCluster enqueues a multi-chip sharded scheduling job. Like
+// schedule jobs, cluster runs bypass the result cache but share the
+// worker pool, admission control, and job lifecycle.
+func (e *Engine) SubmitCluster(req ClusterRequest) (*Job, error) {
+	if req.Spec == nil {
+		return nil, fmt.Errorf("serve: cluster has no spec")
+	}
+	if err := req.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if req.Spec.Chips < 2 {
+		return nil, fmt.Errorf("serve: cluster spec has chips=%d; single-chip scenarios go to /v1/schedule", req.Spec.Chips)
+	}
+	if err := req.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	j := e.newJob("cluster", req.RequestID)
+	var payload []byte
+	if e.opts.Journal != nil {
+		var err error
+		if payload, err = e.encodePayload(clusterPayload(req)); err != nil {
+			return nil, err
+		}
+	}
+	return e.admit(j, payload, e.clusterTask(req, j))
+}
+
+func (e *Engine) clusterTask(req ClusterRequest, j *Job) func(ctx context.Context) {
+	return func(ctx context.Context) {
+		start := e.clock()
+		res, err := cluster.RunContext(ctx, req.Cfg, req.Spec, nil, nil)
+		e.mJobSeconds.Observe(e.clock().Sub(start).Seconds())
+		e.countOutcome(err)
+		j.finishCluster(res, err)
 	}
 }
 

@@ -73,6 +73,22 @@ type scheduleBody struct {
 	Config json.RawMessage `json:"config,omitempty"`
 }
 
+// clusterBody is the POST /v1/cluster document. Cluster jobs are
+// always asynchronous, like schedule jobs: the reply is 202 + a job
+// id, and the sharded Result lands in GET /v1/jobs/{id} under
+// "cluster". The scenario must carry chips>1 (plus optional topo=,
+// place=, linkgbps=, hoplat= clauses).
+type clusterBody struct {
+	// Spec is the scheduling grammar extended with cluster clauses, e.g.
+	// "seed=7;chips=4;topo=mesh;place=affinity;stream=resnet34:n=4,gap=2000000".
+	Spec string `json:"spec,omitempty"`
+	// Scenario is the structured alternative to Spec. Exactly one of
+	// the two must be set.
+	Scenario *sched.Spec `json:"scenario,omitempty"`
+	// Config overrides platform fields, like in /v1/simulate.
+	Config json.RawMessage `json:"config,omitempty"`
+}
+
 type simulateReply struct {
 	Cached    bool            `json:"cached"`
 	RequestID string          `json:"request_id,omitempty"`
@@ -97,6 +113,7 @@ type errorReply struct {
 //	POST /v1/simulate   one simulation (sync by default, async opt-in)
 //	POST /v1/sweep      asynchronous design-space sweep job
 //	POST /v1/schedule   asynchronous multi-tenant scheduling job
+//	POST /v1/cluster    asynchronous multi-chip sharded scheduling job
 //	GET  /v1/jobs/{id}  job status + result
 //	GET  /healthz       liveness / drain status
 //	GET  /metrics       server metrics, Prometheus text format
@@ -111,6 +128,7 @@ func NewHandler(e *Engine) http.Handler {
 	mux.HandleFunc("POST /v1/simulate", func(w http.ResponseWriter, r *http.Request) { handleSimulate(e, w, r) })
 	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) { handleSweep(e, w, r) })
 	mux.HandleFunc("POST /v1/schedule", func(w http.ResponseWriter, r *http.Request) { handleSchedule(e, w, r) })
+	mux.HandleFunc("POST /v1/cluster", func(w http.ResponseWriter, r *http.Request) { handleCluster(e, w, r) })
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) { handleJob(e, w, r) })
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) { handleHealth(e, w) })
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) { handleMetrics(e, w) })
@@ -180,42 +198,61 @@ func resolveConfig(raw json.RawMessage) (core.Config, error) {
 }
 
 func handleSimulate(e *Engine, w http.ResponseWriter, r *http.Request) {
+	body, req, ok := parseSimulate(w, r)
+	if !ok {
+		return
+	}
+	serveSimulate(e, w, r, body, req)
+}
+
+// parseSimulate decodes and validates a POST /v1/simulate document into
+// an executable Request. On failure the error response has been written
+// and ok is false.
+func parseSimulate(w http.ResponseWriter, r *http.Request) (simulateBody, Request, bool) {
 	var body simulateBody
 	if !decodeBody(w, r, &body) {
-		return
+		return body, Request{}, false
 	}
 	net, err := resolveNetwork(body.Network, body.Graph)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
-		return
+		return body, Request{}, false
 	}
 	cfg, err := resolveConfig(body.Config)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
-		return
+		return body, Request{}, false
 	}
 	strategy := core.SCM
 	if body.Strategy != "" {
 		if strategy, err = core.ParseStrategy(body.Strategy); err != nil {
 			writeError(w, http.StatusBadRequest, err)
-			return
+			return body, Request{}, false
 		}
 	}
 	reqID := RequestIDFrom(r.Context())
 	req := Request{Net: net, Cfg: cfg, Strategy: strategy, Observe: body.Observe, RequestID: reqID}
+	return body, req, true
+}
 
+// serveSimulate executes a parsed simulate request on e and writes the
+// response. It reports whether the reply came from e's result cache
+// (always false for async, traced, and failed requests) so a sharding
+// front can count forwarded cache hits.
+func serveSimulate(e *Engine, w http.ResponseWriter, r *http.Request, body simulateBody, req Request) bool {
+	reqID := req.RequestID
 	if body.Async {
 		if body.Trace {
 			writeError(w, http.StatusBadRequest, errors.New("trace is synchronous-only; drop async or trace"))
-			return
+			return false
 		}
 		j, err := e.SubmitSimulate(req)
 		if err != nil {
 			writeError(w, statusFor(err), err)
-			return
+			return false
 		}
 		writeJSON(w, http.StatusAccepted, jobReply{Job: j.ID(), State: JobQueued})
-		return
+		return false
 	}
 
 	timeout := DefaultRequestTimeout
@@ -228,17 +265,18 @@ func handleSimulate(e *Engine, w http.ResponseWriter, r *http.Request) {
 		res, events, err := e.SimulateTraced(ctx, req)
 		if err != nil {
 			writeError(w, statusFor(err), err)
-			return
+			return false
 		}
 		writeJSON(w, http.StatusOK, simulateReply{RequestID: reqID, Stats: &res, Trace: events})
-		return
+		return false
 	}
 	res, cached, err := e.Simulate(ctx, req)
 	if err != nil {
 		writeError(w, statusFor(err), err)
-		return
+		return false
 	}
 	writeJSON(w, http.StatusOK, simulateReply{Cached: cached, RequestID: reqID, Stats: &res})
+	return cached
 }
 
 func handleSweep(e *Engine, w http.ResponseWriter, r *http.Request) {
@@ -280,25 +318,9 @@ func handleSchedule(e *Engine, w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &body) {
 		return
 	}
-	var spec *sched.Spec
-	switch {
-	case body.Spec != "" && body.Scenario != nil:
-		writeError(w, http.StatusBadRequest, errors.New("set either spec or scenario, not both"))
-		return
-	case body.Spec != "":
-		var err error
-		if spec, err = sched.ParseSpec(body.Spec); err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-	case body.Scenario != nil:
-		spec = body.Scenario
-		if err := spec.Validate(); err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-	default:
-		writeError(w, http.StatusBadRequest, errors.New("request needs a spec string or a structured scenario"))
+	spec, err := resolveScenario(body.Spec, body.Scenario)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	cfg, err := resolveConfig(body.Config)
@@ -307,6 +329,52 @@ func handleSchedule(e *Engine, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j, err := e.SubmitSchedule(ScheduleRequest{Cfg: cfg, Spec: spec, RequestID: RequestIDFrom(r.Context())})
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jobReply{Job: j.ID(), State: JobQueued})
+}
+
+// resolveScenario picks the spec from a (grammar string, structured
+// scenario) pair, exactly one of which must be set.
+func resolveScenario(specStr string, scenario *sched.Spec) (*sched.Spec, error) {
+	switch {
+	case specStr != "" && scenario != nil:
+		return nil, errors.New("set either spec or scenario, not both")
+	case specStr != "":
+		return sched.ParseSpec(specStr)
+	case scenario != nil:
+		if err := scenario.Validate(); err != nil {
+			return nil, err
+		}
+		return scenario, nil
+	default:
+		return nil, errors.New("request needs a spec string or a structured scenario")
+	}
+}
+
+func handleCluster(e *Engine, w http.ResponseWriter, r *http.Request) {
+	var body clusterBody
+	if !decodeBody(w, r, &body) {
+		return
+	}
+	spec, err := resolveScenario(body.Spec, body.Scenario)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if spec.Chips < 2 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("cluster scenario has chips=%d; single-chip scenarios go to /v1/schedule", spec.Chips))
+		return
+	}
+	cfg, err := resolveConfig(body.Config)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := e.SubmitCluster(ClusterRequest{Cfg: cfg, Spec: spec, RequestID: RequestIDFrom(r.Context())})
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return

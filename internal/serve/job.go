@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"shortcutmining/internal/cluster"
 	"shortcutmining/internal/dse"
 	"shortcutmining/internal/sched"
 	"shortcutmining/internal/stats"
@@ -53,9 +54,19 @@ type Job struct {
 	res      *stats.RunStats
 	sweep    []dse.Outcome
 	schedule *sched.Result
+	cluster  *cluster.Result
 	cancel   context.CancelFunc
 
 	done chan struct{}
+}
+
+// jobPrefix returns the engine's job-ID namespace ("j" unless the
+// deployment configured a shard prefix).
+func (e *Engine) jobPrefix() string {
+	if e.opts.JobPrefix != "" {
+		return e.opts.JobPrefix
+	}
+	return "j"
 }
 
 // newJob allocates the next job handle, stamped with the originating
@@ -63,7 +74,7 @@ type Job struct {
 func (e *Engine) newJob(kind, requestID string) *Job {
 	e.mu.Lock()
 	e.seq++
-	id := fmt.Sprintf("j%06d", e.seq)
+	id := fmt.Sprintf("%s%06d", e.jobPrefix(), e.seq)
 	e.mu.Unlock()
 	return &Job{id: id, kind: kind, reqID: requestID, clock: e.clock,
 		state: JobQueued, created: e.clock(), done: make(chan struct{})}
@@ -143,6 +154,16 @@ func (j *Job) finishSchedule(res *sched.Result, err error) {
 	close(j.done)
 }
 
+func (j *Job) finishCluster(res *cluster.Result, err error) {
+	j.mu.Lock()
+	j.finishLocked(err)
+	if err == nil {
+		j.cluster = res
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
 func (j *Job) finishSweep(outcomes []dse.Outcome, err error) {
 	j.mu.Lock()
 	j.finishLocked(err)
@@ -176,22 +197,24 @@ func (j *Job) finishLocked(err error) {
 
 // View is the JSON representation served by GET /v1/jobs/{id}.
 type View struct {
-	ID        string          `json:"id"`
-	Kind      string          `json:"kind"`
-	RequestID string          `json:"request_id,omitempty"`
-	State     JobState        `json:"state"`
-	Cached    bool            `json:"cached,omitempty"`
-	Error     string          `json:"error,omitempty"`
+	ID        string   `json:"id"`
+	Kind      string   `json:"kind"`
+	RequestID string   `json:"request_id,omitempty"`
+	State     JobState `json:"state"`
+	Cached    bool     `json:"cached,omitempty"`
+	Error     string   `json:"error,omitempty"`
 	// Reason classifies a failure in machine-readable form ("timeout",
 	// "interrupted", …); empty for successes.
-	Reason string `json:"reason,omitempty"`
-	Created   time.Time       `json:"created"`
-	Started   *time.Time      `json:"started,omitempty"`
-	Finished  *time.Time      `json:"finished,omitempty"`
-	Stats     *stats.RunStats `json:"stats,omitempty"`
-	Outcomes  []dse.Outcome   `json:"outcomes,omitempty"`
+	Reason   string          `json:"reason,omitempty"`
+	Created  time.Time       `json:"created"`
+	Started  *time.Time      `json:"started,omitempty"`
+	Finished *time.Time      `json:"finished,omitempty"`
+	Stats    *stats.RunStats `json:"stats,omitempty"`
+	Outcomes []dse.Outcome   `json:"outcomes,omitempty"`
 	// Schedule is the per-stream QoS outcome of a kind="schedule" job.
 	Schedule *sched.Result `json:"schedule,omitempty"`
+	// Cluster is the sharded outcome of a kind="cluster" job.
+	Cluster *cluster.Result `json:"cluster,omitempty"`
 }
 
 // View snapshots the job.
@@ -201,7 +224,7 @@ func (j *Job) View() View {
 	v := View{
 		ID: j.id, Kind: j.kind, RequestID: j.reqID, State: j.state, Cached: j.cached,
 		Error: j.errMsg, Reason: j.reason, Created: j.created,
-		Stats: j.res, Outcomes: j.sweep, Schedule: j.schedule,
+		Stats: j.res, Outcomes: j.sweep, Schedule: j.schedule, Cluster: j.cluster,
 	}
 	if !j.started.IsZero() {
 		t := j.started

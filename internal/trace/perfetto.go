@@ -18,10 +18,12 @@ const (
 	layerTid         = 1 // layer execution spans
 	dmaTid           = 2 // DRAM transfer spans
 	requestTid       = 3 // serving-layer request spans
+	nocTid           = 4 // interconnect link-occupancy spans
 	processName      = "shortcutmining"
 	layerTrackName   = "layers"
 	dmaTrackName     = "dram"
 	requestTrackName = "requests"
+	nocTrackName     = "noc"
 	bankCounterName  = "pool banks"
 )
 
@@ -84,6 +86,8 @@ func WritePerfetto(w io.Writer, events []Event, clockMHz float64) error {
 			Args: map[string]any{"name": dmaTrackName}},
 		{Name: "thread_name", Ph: "M", Pid: perfettoPid, Tid: requestTid,
 			Args: map[string]any{"name": requestTrackName}},
+		{Name: "thread_name", Ph: "M", Pid: perfettoPid, Tid: nocTid,
+			Args: map[string]any{"name": nocTrackName}},
 	}
 	meta := len(out)
 
@@ -152,6 +156,26 @@ func WritePerfetto(w io.Writer, events []Event, clockMHz float64) error {
 				Pid: perfettoPid, Tid: requestTid, Cat: "request", Args: args})
 			out = append(out, perfettoEvent{Name: name, Ph: "E", Ts: end,
 				Pid: perfettoPid, Tid: requestTid, Cat: "request"})
+			if end > lastTs {
+				lastTs = end
+			}
+		case KindLink:
+			// One interconnect link-occupancy window: named by the
+			// directed link (Tag), so contention on a hot link shows up
+			// as back-to-back spans on the "noc" track.
+			name := e.Tag
+			if name == "" {
+				name = "link"
+			}
+			args := map[string]any{"bytes": e.Bytes}
+			if e.Note != "" {
+				args["transfer"] = e.Note
+			}
+			end := us(e.Cycle + e.DurCycles)
+			out = append(out, perfettoEvent{Name: name, Ph: "B", Ts: ts,
+				Pid: perfettoPid, Tid: nocTid, Cat: "noc", Args: args})
+			out = append(out, perfettoEvent{Name: name, Ph: "E", Ts: end,
+				Pid: perfettoPid, Tid: nocTid, Cat: "noc"})
 			if end > lastTs {
 				lastTs = end
 			}

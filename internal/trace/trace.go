@@ -39,6 +39,12 @@ const (
 	// simulated interval. It is what correlates an scm-serve request to
 	// its cycle-level Perfetto timeline.
 	KindRequest Kind = "request"
+
+	// KindLink is one granted occupancy window on a chip-to-chip
+	// interconnect link (internal/noc): Tag names the directed link
+	// (e.g. "c0>c1"), Bytes the flit-rounded payload, Cycle/DurCycles
+	// the window. Rendered on the Perfetto "noc" track.
+	KindLink Kind = "link"
 )
 
 // Event is one scheduler decision. Fields are contextual; unused ones
@@ -195,7 +201,7 @@ type Summary struct {
 // presents columns in).
 var allKinds = []Kind{KindLayerStart, KindAlloc, KindRoleSwitch, KindPin, KindUnpin,
 	KindRecycle, KindSpill, KindRefill, KindFree, KindDRAM,
-	KindFault, KindRetry, KindRelocate, KindLayerEnd, KindRequest}
+	KindFault, KindRetry, KindRelocate, KindLayerEnd, KindRequest, KindLink}
 
 // Summarize builds the kind × layer census backing scm-trace -summary.
 func Summarize(events []Event) Summary {

@@ -11,7 +11,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23", "E24"}
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %v", ids)
 	}
@@ -414,6 +414,43 @@ func TestE21PortabilityStoryHolds(t *testing.T) {
 			if sp := res.Metrics[fmt.Sprintf("speedup/%s/%s", plat, h.name)]; sp <= 1.0 {
 				t.Errorf("%s/%s: speedup %.3f not > 1", plat, h.name, sp)
 			}
+		}
+	}
+}
+
+func TestE24PlacementPoliciesMeasurablyDiffer(t *testing.T) {
+	res, err := mustRun(t, "E24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The experiment's headline claim: placement policy is a real lever.
+	if spread := res.Metrics["placement_spread_mcyc"]; spread <= 0 {
+		t.Errorf("placement policies indistinguishable: spread %.3f Mcyc", spread)
+	}
+	// Affinity exists to cut interconnect traffic; hash ignores it.
+	hash := res.Metrics["total_interchip_mb/hash"]
+	aff := res.Metrics["total_interchip_mb/affinity"]
+	if aff >= hash {
+		t.Errorf("affinity interchip %.2f MB not below hash %.2f MB", aff, hash)
+	}
+	// The contended scenario must actually contend somewhere.
+	var anyBackpressure bool
+	for k, v := range res.Metrics {
+		if strings.HasPrefix(k, "backpressure_mcyc/") && v > 0 {
+			anyBackpressure = true
+		}
+	}
+	if !anyBackpressure {
+		t.Error("no cell of the sweep shows link backpressure")
+	}
+	// Deterministic: a second run reproduces every metric exactly.
+	again, err := mustRun(t, "E24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range res.Metrics {
+		if again.Metrics[k] != v {
+			t.Errorf("metric %s not deterministic: %v then %v", k, v, again.Metrics[k])
 		}
 	}
 }

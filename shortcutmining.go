@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 
+	"shortcutmining/internal/cluster"
 	"shortcutmining/internal/core"
 	"shortcutmining/internal/dse"
 	"shortcutmining/internal/fault"
@@ -319,4 +320,25 @@ func Schedule(cfg Config, spec *SchedSpec) (*SchedResult, error) {
 // granularity.
 func ScheduleContext(ctx context.Context, cfg Config, spec *SchedSpec) (*SchedResult, error) {
 	return sched.RunContext(ctx, cfg, spec, nil)
+}
+
+// Multi-chip sharded scheduling: a chips>1 scenario executes across N
+// simulated chips joined by a contended interconnect cost model
+// (internal/cluster + internal/noc).
+
+// ClusterResult is the sharded outcome of a multi-chip scenario.
+type ClusterResult = cluster.Result
+
+// RunCluster executes a chips>1 scenario (spec carries chips=, topo=,
+// place=, linkgbps=, hoplat= clauses) across simulated chips and
+// returns the sharded outcome: per-request latencies, per-chip
+// utilization, and the interconnect's link-level ledger.
+func RunCluster(cfg Config, spec *SchedSpec) (*ClusterResult, error) {
+	return cluster.Run(cfg, spec, nil, nil)
+}
+
+// RunClusterContext is RunCluster with cooperative cancellation at
+// layer granularity.
+func RunClusterContext(ctx context.Context, cfg Config, spec *SchedSpec) (*ClusterResult, error) {
+	return cluster.RunContext(ctx, cfg, spec, nil, nil)
 }
