@@ -1,5 +1,5 @@
 // Benchmark harness: one benchmark per reproduced table/figure
-// (experiments E1–E19; see DESIGN.md for the index). Each benchmark
+// (experiments E1–E25; see DESIGN.md for the index). Each benchmark
 // executes its experiment on the calibrated default platform and
 // reports the headline scalar(s) as custom metrics, so
 //

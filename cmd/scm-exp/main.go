@@ -1,5 +1,5 @@
 // Command scm-exp regenerates the paper's tables and figures
-// (experiments E1–E19; see DESIGN.md for the index). EXPERIMENTS.md is
+// (experiments E1–E25; see DESIGN.md for the index). EXPERIMENTS.md is
 // produced by running the full suite.
 //
 // Usage:
@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		id       = flag.String("e", "", "experiment ID (E1–E20); empty runs the whole suite")
+		id       = flag.String("e", "", "experiment ID (E1–E25); empty runs the whole suite")
 		csv      = flag.Bool("csv", false, "emit CSV instead of markdown")
 		poolKiB  = flag.Int64("pool-kib", 0, "override feature-map pool capacity (KiB)")
 		list     = flag.Bool("list", false, "list experiment IDs and titles")

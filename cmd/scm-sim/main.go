@@ -30,18 +30,19 @@ import (
 
 func main() {
 	var (
-		netName  = flag.String("net", "resnet34", "model zoo network (see -list)")
-		graph    = flag.String("graph", "", "load the network from a JSON graph file instead of -net")
-		config   = flag.String("config", "", "load the platform from a JSON config file")
-		strategy = flag.String("strategy", "", "baseline | fm-reuse | scm (empty = compare all)")
-		poolKiB  = flag.Int64("pool-kib", 0, "override feature-map pool capacity (KiB)")
-		batch    = flag.Int("batch", 0, "batch size (0 = keep config value)")
-		dtype    = flag.String("dtype", "", "fixed8 | fixed16 | float32 (default from config)")
-		perLayer = flag.Bool("layers", false, "print per-layer detail (single-strategy mode)")
-		asJSON   = flag.Bool("json", false, "emit the RunStats as JSON (single-strategy mode)")
-		withMet  = flag.Bool("metrics", false, "collect the metrics registry; prints a Prometheus-style text page (or embeds it in -json)")
-		faults   = flag.String("faults", "", `fault-injection plan, e.g. "seed=42;bank-fail@4:n=3;dma-drop:p=0.05;bw-degrade@10:factor=0.5"`)
-		list     = flag.Bool("list", false, "list available networks and exit")
+		netName   = flag.String("net", "resnet34", "model zoo network (see -list)")
+		graph     = flag.String("graph", "", "load the network from a JSON graph file instead of -net")
+		config    = flag.String("config", "", "load the platform from a JSON config file")
+		strategy  = flag.String("strategy", "", "baseline | fm-reuse | scm (empty = compare all)")
+		poolKiB   = flag.Int64("pool-kib", 0, "override feature-map pool capacity (KiB)")
+		batch     = flag.Int("batch", 0, "batch size (0 = keep config value)")
+		dtype     = flag.String("dtype", "", "fixed8 | fixed16 | float32 (default from config)")
+		perLayer  = flag.Bool("layers", false, "print per-layer detail (single-strategy mode)")
+		asJSON    = flag.Bool("json", false, "emit the RunStats as JSON (single-strategy mode)")
+		withMet   = flag.Bool("metrics", false, "collect the metrics registry; prints a Prometheus-style text page (or embeds it in -json)")
+		faults    = flag.String("faults", "", `fault-injection plan, e.g. "seed=42;bank-fail@4:n=3;dma-drop:p=0.05;bw-degrade@10:factor=0.5"`)
+		compressF = flag.String("compress", "", `interlayer feature-map codec, e.g. "zvc:sparsity=0.5,enc=2,dec=2" or "fixed:ratio=2"`)
+		list      = flag.Bool("list", false, "list available networks and exit")
 	)
 	flag.Parse()
 
@@ -76,6 +77,13 @@ func main() {
 			fatal(err)
 		}
 		cfg.Faults = spec
+	}
+	if *compressF != "" {
+		cc, err := shortcutmining.ParseCompressSpec(*compressF)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Compression = cc
 	}
 
 	if *strategy == "" {
@@ -153,6 +161,11 @@ func printRun(r shortcutmining.RunStats) {
 	fmt.Printf("energy:         %.2f mJ (DRAM %.2f mJ)\n", r.Energy.TotalMJ(), r.Energy.DRAMPJ/1e9)
 	fmt.Printf("peak banks:     %d used, %d pinned\n", r.PeakUsedBanks, r.PeakPinnedBanks)
 	fmt.Printf("role switches:  %d, banks recycled: %d\n", r.RoleSwitches, r.BanksRecycled)
+	if c := r.Compression; c != nil {
+		fmt.Printf("compression:    %s — %s logical -> %s wire (%.2fx, %s saved), codec %d enc + %d dec cycles\n",
+			c.Codec, tensor.HumanBytes(c.Logical.Total()), tensor.HumanBytes(c.Wire.Total()),
+			c.Ratio(), tensor.HumanBytes(c.SavedBytes), c.EncodeCycles, c.DecodeCycles)
+	}
 	if f := r.Faults; f.Any() {
 		fmt.Printf("faults:         %d bank failures (%d relocated, %s spilled), %d transients\n",
 			f.BankFailures, f.Relocations, tensor.HumanBytes(f.FaultSpillBytes), f.TransientErrors)

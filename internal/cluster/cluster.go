@@ -30,6 +30,7 @@ import (
 	"shortcutmining/internal/nn"
 	"shortcutmining/internal/noc"
 	"shortcutmining/internal/sched"
+	"shortcutmining/internal/stats"
 	"shortcutmining/internal/trace"
 )
 
@@ -46,14 +47,18 @@ type reqState struct {
 
 	crossings     int
 	interBytes    int64
+	interLogical  int64 // pre-codec handoff payload (== interBytes pre-flit-rounding when uncompressed)
+	codecCycles   int64 // interchip encode+decode time on this request's timeline
 	shortcutBytes int64 // pinned-shortcut share of the handoff payloads
 	queueCycles   int64 // noc backpressure experienced
+	comp          *stats.CompressionStats
 }
 
 // chipAccum ledgers one chip's activity.
 type chipAccum struct {
 	segments               int64
 	compute, spill, reload int64
+	codec                  int64 // codec engine cycles at this chip (encode on egress, decode on ingress)
 	freeAt                 int64
 }
 
@@ -66,6 +71,9 @@ type streamAccum struct {
 	traffic       dram.Traffic
 	crossings     int64
 	interBytes    int64
+	interLogical  int64
+	codecCycles   int64
+	comp          *stats.CompressionStats
 	latencies     []int64
 	queueWaits    []int64
 }
@@ -101,6 +109,9 @@ func RunContext(ctx context.Context, cfg core.Config, spec *sched.Spec, reg *met
 	// Same single-inference normalization as sched.
 	cfg.Batch = 1
 	cfg.AmortizeWeights = false
+	if spec.Compress != nil {
+		cfg.Compression = spec.Compress
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -245,6 +256,20 @@ func RunContext(ctx context.Context, cfg core.Config, spec *sched.Spec, reg *met
 			acc.schedLedger.ReloadCycles += sc.ReloadCycles
 			acc.crossings += int64(r.crossings)
 			acc.interBytes += r.interBytes
+			acc.interLogical += r.interLogical
+			acc.codecCycles += r.codecCycles
+			if res.Compression != nil {
+				if r.comp == nil {
+					r.comp = &stats.CompressionStats{}
+				}
+				r.comp.Add(*res.Compression)
+			}
+			if r.comp != nil {
+				if acc.comp == nil {
+					acc.comp = &stats.CompressionStats{}
+				}
+				acc.comp.Add(*r.comp)
+			}
 			lat := t - r.arrival
 			wait := r.start - r.arrival
 			acc.latencies = append(acc.latencies, lat)
@@ -255,8 +280,10 @@ func RunContext(ctx context.Context, cfg core.Config, spec *sched.Spec, reg *met
 				Latency: lat, QueueWait: wait,
 				ServiceCycles: res.TotalCycles,
 				Crossings:     r.crossings, InterchipBytes: r.interBytes,
-				ShortcutHandoffBytes: r.shortcutBytes,
-				BackpressureCycles:   r.queueCycles,
+				InterchipLogicalBytes: r.interLogical,
+				CodecCycles:           r.codecCycles,
+				ShortcutHandoffBytes:  r.shortcutBytes,
+				BackpressureCycles:    r.queueCycles,
 			})
 			r.run = nil // release the finished run's pool
 			remaining--
@@ -272,12 +299,36 @@ func RunContext(ctx context.Context, cfg core.Config, spec *sched.Spec, reg *met
 		spillDelta := r.run.Sched().SpillCycles - bs.SpillCycles
 		t += spillDelta
 		ca.spill += spillDelta
+		// The handoff ships compressed when a codec covers the interchip
+		// class: encode serializes on the source chip before the fabric
+		// sees the payload, decode delays the destination's readiness.
+		payload := h.Total()
+		var decDelay int64
+		if cfg.Compression != nil {
+			wire := cfg.Compression.WireBytes(dram.ClassInterchip, payload)
+			enc, dec := cfg.Compression.CodecCycles(dram.ClassInterchip, payload)
+			t += enc
+			ca.codec += enc
+			chips[segs[r.si].chip].codec += dec
+			decDelay = dec
+			r.interLogical += payload
+			r.codecCycles += enc + dec
+			if r.comp == nil {
+				r.comp = &stats.CompressionStats{}
+			}
+			r.comp.Logical[dram.ClassInterchip] += payload // scmvet:ok accounting codec ledger of the handoff, not a transfer; the fabric records the wire bytes
+			r.comp.Wire[dram.ClassInterchip] += wire       // scmvet:ok accounting codec ledger of the handoff, not a transfer; the fabric records the wire bytes
+			r.comp.SavedBytes += payload - wire
+			r.comp.EncodeCycles += enc
+			r.comp.DecodeCycles += dec
+			payload = wire
+		}
 		ca.freeAt = t
-		tr, err := fabric.Send(seg.chip, segs[r.si].chip, h.Total(), t)
+		tr, err := fabric.Send(seg.chip, segs[r.si].chip, payload, t)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: %s request %d handoff: %w", names[r.stream], r.seq, err)
 		}
-		r.readyAt = tr.Arrive
+		r.readyAt = tr.Arrive + decDelay
 		r.crossings++
 		r.interBytes += tr.Bytes
 		r.shortcutBytes += h.ShortcutBytes

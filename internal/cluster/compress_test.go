@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"testing"
+
+	"shortcutmining/internal/compress"
+	"shortcutmining/internal/core"
+	"shortcutmining/internal/dram"
+	"shortcutmining/internal/nn"
+)
+
+const compressClause = ";compress=zvc:sparsity=0.5,enc=2,dec=2"
+
+// TestClusterCompressionReconciles checks that every ledger still
+// balances when the interlayer codec covers both the per-chip DRAM
+// boundaries and the interchip handoffs.
+func TestClusterCompressionReconciles(t *testing.T) {
+	cfg := core.Default()
+	spec := testSpec(t, testScenario+";place=affinity"+compressClause)
+	res, err := Run(cfg, spec, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Compression == nil {
+		t.Fatal("compressed cluster run reports no codec ledger")
+	}
+	if lw, ww := res.Compression.Logical.Total(), res.Compression.Wire.Total(); ww >= lw {
+		t.Errorf("codec ledger wire %d not below logical %d", ww, lw)
+	}
+	if res.InterchipLogicalBytes == 0 {
+		t.Error("compressed run with crossings reports zero interchip logical bytes")
+	}
+	if res.Compression.Logical[dram.ClassInterchip] != res.InterchipLogicalBytes {
+		t.Errorf("codec ledger interchip logical %d != result %d",
+			res.Compression.Logical[dram.ClassInterchip], res.InterchipLogicalBytes)
+	}
+	var chipCodec int64
+	for _, c := range res.ChipStats {
+		chipCodec += c.CodecCycles
+	}
+	if chipCodec == 0 {
+		t.Error("no chip accrued interchip codec cycles despite crossings")
+	}
+}
+
+// TestClusterCompressionShrinksFabric pins the point of compressing
+// handoffs: the same scenario moves fewer bytes over the interconnect.
+func TestClusterCompressionShrinksFabric(t *testing.T) {
+	cfg := core.Default()
+	base, err := Run(cfg, testSpec(t, testScenario+";place=affinity"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := Run(cfg, testSpec(t, testScenario+";place=affinity"+compressClause), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := comp.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	if comp.Noc.Bytes >= base.Noc.Bytes {
+		t.Errorf("compressed fabric bytes %d not below uncompressed %d", comp.Noc.Bytes, base.Noc.Bytes)
+	}
+	if comp.Noc.BusyCycles >= base.Noc.BusyCycles {
+		t.Errorf("compressed link occupancy %d not below uncompressed %d",
+			comp.Noc.BusyCycles, base.Noc.BusyCycles)
+	}
+	if base.Compression != nil || base.InterchipLogicalBytes != 0 {
+		t.Error("uncompressed run carries a codec ledger")
+	}
+}
+
+// TestClusterCompressionBitIdentical re-runs the suspend-at-every-
+// boundary determinism check with the codec on: each sharded request's
+// RunStats must still match an uncontended single-tenant compressed
+// run exactly.
+func TestClusterCompressionBitIdentical(t *testing.T) {
+	cfg := core.Default()
+	spec := testSpec(t, "seed=5;chips=3;place=hash;stream=squeezenet:n=2,gap=300000"+compressClause)
+	res, err := Run(cfg, spec, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	s := res.Streams[0]
+	if s.Crossings == 0 {
+		t.Fatal("hash placement produced no chip crossings; the test is vacuous")
+	}
+	net, err := nn.Build("squeezenet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := cfg
+	scfg.Batch = 1
+	scfg.AmortizeWeights = false
+	cc, err := compress.ParseSpec("zvc:sparsity=0.5,enc=2,dec=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg.Compression = cc
+	single, err := core.Simulate(net, scfg, core.SCM, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ServiceCycles != int64(s.Completed)*single.TotalCycles {
+		t.Errorf("sharded compressed service cycles %d != %d × single-tenant %d",
+			s.ServiceCycles, s.Completed, single.TotalCycles)
+	}
+	for c := range single.Traffic {
+		if s.Traffic[c] != int64(s.Completed)*single.Traffic[c] {
+			t.Errorf("traffic class %d: sharded %d != %d × single-tenant %d",
+				c, s.Traffic[c], s.Completed, single.Traffic[c])
+		}
+	}
+	if single.Compression == nil || s.Compression == nil {
+		t.Fatal("compressed runs carry no codec ledger")
+	}
+	// The stream ledger adds interchip handoffs on top of the per-run
+	// DRAM ledgers; the DRAM classes themselves must match exactly.
+	for _, c := range []dram.Class{dram.ClassIFMRead, dram.ClassOFMWrite, dram.ClassShortcutRead} {
+		if got, want := s.Compression.Wire[c], int64(s.Completed)*single.Compression.Wire[c]; got != want {
+			t.Errorf("codec wire class %v: sharded %d != %d", c, got, want)
+		}
+	}
+}

@@ -17,6 +17,12 @@ const (
 	MetricMakespanCycles = "scm_cluster_makespan_cycles"
 	MetricChipCompute    = "scm_cluster_chip_compute_cycles"
 
+	// MetricCompress* ledger the cluster-wide interlayer codec: logical
+	// vs wire bytes and codec engine time (absent without compression).
+	MetricCompressLogical = "scm_cluster_compress_logical_bytes_total"
+	MetricCompressWire    = "scm_cluster_compress_wire_bytes_total"
+	MetricCompressCycles  = "scm_cluster_compress_codec_cycles_total"
+
 	MetricNocTransfers    = "scm_noc_transfers_total"
 	MetricNocBytes        = "scm_noc_bytes_total"
 	MetricNocBusyCycles   = "scm_noc_busy_cycles_total"
@@ -45,6 +51,14 @@ func publish(reg *metrics.Registry, r *Result) {
 	for _, c := range r.ChipStats {
 		reg.Gauge(MetricChipCompute, "run-attributed compute cycles per chip",
 			metrics.L("chip", fmt.Sprintf("c%d", c.Chip))).Set(float64(c.ComputeCycles))
+	}
+	if r.Compression != nil {
+		reg.Counter(MetricCompressLogical, "pre-codec bytes across all chips and handoffs").Add(r.Compression.Logical.Total())
+		reg.Counter(MetricCompressWire, "post-codec bytes across all chips and handoffs").Add(r.Compression.Wire.Total())
+		reg.Counter(MetricCompressCycles, "codec engine cycles by direction",
+			metrics.L("dir", "encode")).Add(r.Compression.EncodeCycles)
+		reg.Counter(MetricCompressCycles, "codec engine cycles by direction",
+			metrics.L("dir", "decode")).Add(r.Compression.DecodeCycles)
 	}
 	for _, ln := range r.Noc.Links {
 		l := metrics.L("link", ln.Name)

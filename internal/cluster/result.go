@@ -29,6 +29,11 @@ type RequestResult struct {
 	Crossings            int   `json:"crossings"`
 	InterchipBytes       int64 `json:"interchip_bytes"`
 	ShortcutHandoffBytes int64 `json:"shortcut_handoff_bytes"`
+	// InterchipLogicalBytes is the pre-codec handoff payload and
+	// CodecCycles the interchip encode+decode time on this request's
+	// critical path; both are zero when compression is off.
+	InterchipLogicalBytes int64 `json:"interchip_logical_bytes,omitempty"`
+	CodecCycles           int64 `json:"codec_cycles,omitempty"`
 	// BackpressureCycles is the time this request's handoffs queued
 	// behind competing transfers.
 	BackpressureCycles int64 `json:"backpressure_cycles"`
@@ -56,6 +61,13 @@ type StreamResult struct {
 	Sched          core.SchedStats `json:"sched"`
 	Crossings      int64           `json:"crossings"`
 	InterchipBytes int64           `json:"interchip_bytes"`
+	// InterchipLogicalBytes / CodecCycles mirror the per-request fields;
+	// Compression is the stream's full codec ledger (per-chip DRAM
+	// boundaries plus interchip handoffs). All zero/nil without a
+	// compress= clause.
+	InterchipLogicalBytes int64                   `json:"interchip_logical_bytes,omitempty"`
+	CodecCycles           int64                   `json:"codec_cycles,omitempty"`
+	Compression           *stats.CompressionStats `json:"compression,omitempty"`
 
 	// Traffic sums the completed requests' own DRAM traffic (excludes
 	// boundary spill/reload and interchip bytes, reported above).
@@ -72,6 +84,9 @@ type ChipResult struct {
 	ComputeCycles int64 `json:"compute_cycles"`
 	SpillCycles   int64 `json:"spill_cycles"`
 	ReloadCycles  int64 `json:"reload_cycles"`
+	// CodecCycles is interchip codec engine time at this chip: encode
+	// on egress handoffs, decode on ingress (zero without compression).
+	CodecCycles int64 `json:"codec_cycles,omitempty"`
 	// FinishCycle is when the chip went idle for good.
 	FinishCycle int64 `json:"finish_cycle"`
 }
@@ -95,6 +110,12 @@ type Result struct {
 	// interchip class, which equals Noc.Bytes by construction.
 	Traffic        dram.Traffic `json:"traffic"`
 	InterchipBytes int64        `json:"interchip_bytes"`
+
+	// InterchipLogicalBytes is the pre-codec handoff payload total and
+	// Compression the cluster-wide codec ledger; zero/nil without a
+	// compress= clause.
+	InterchipLogicalBytes int64                   `json:"interchip_logical_bytes,omitempty"`
+	Compression           *stats.CompressionStats `json:"compression,omitempty"`
 }
 
 // assemble folds the accumulators into the final Result.
@@ -132,6 +153,17 @@ func assemble(spec *sched.Spec, names []string, place Placement, topo noc.Topolo
 			Crossings:      acc.crossings,
 			InterchipBytes: acc.interBytes,
 			Traffic:        acc.traffic,
+
+			InterchipLogicalBytes: acc.interLogical,
+			CodecCycles:           acc.codecCycles,
+			Compression:           acc.comp,
+		}
+		if acc.comp != nil {
+			if res.Compression == nil {
+				res.Compression = &stats.CompressionStats{}
+			}
+			res.Compression.Add(*acc.comp)
+			res.InterchipLogicalBytes += acc.interLogical
 		}
 		if n := len(acc.latencies); n > 0 {
 			var sum int64
@@ -150,6 +182,7 @@ func assemble(spec *sched.Spec, names []string, place Placement, topo noc.Topolo
 		res.ChipStats = append(res.ChipStats, ChipResult{
 			Chip: c, Segments: ca.segments,
 			ComputeCycles: ca.compute, SpillCycles: ca.spill, ReloadCycles: ca.reload,
+			CodecCycles: ca.codec,
 			FinishCycle: ca.freeAt,
 		})
 	}
@@ -161,19 +194,22 @@ func assemble(spec *sched.Spec, names []string, place Placement, topo noc.Topolo
 // per-stream, and fabric views. E24 and the package tests call this on
 // every run.
 func (r *Result) Reconcile() error {
-	var reqService, reqInter, reqQueue int64
+	var reqService, reqInter, reqQueue, reqInterLogical, reqCodec int64
 	for _, q := range r.Requests {
 		reqService += q.ServiceCycles
 		reqInter += q.InterchipBytes
 		reqQueue += q.BackpressureCycles
+		reqInterLogical += q.InterchipLogicalBytes
+		reqCodec += q.CodecCycles
 	}
-	var chipCompute, chipSpill, chipReload int64
+	var chipCompute, chipSpill, chipReload, chipCodec int64
 	for _, c := range r.ChipStats {
 		chipCompute += c.ComputeCycles
 		chipSpill += c.SpillCycles
 		chipReload += c.ReloadCycles
+		chipCodec += c.CodecCycles
 	}
-	var streamService, streamInter int64
+	var streamService, streamInter, streamInterLogical, streamCodec int64
 	var ledger core.SchedStats
 	for _, s := range r.Streams {
 		if s.Completed != s.Requests {
@@ -185,6 +221,8 @@ func (r *Result) Reconcile() error {
 		}
 		streamService += s.ServiceCycles
 		streamInter += s.InterchipBytes
+		streamInterLogical += s.InterchipLogicalBytes
+		streamCodec += s.CodecCycles
 		ledger.SpillCycles += s.Sched.SpillCycles
 		ledger.ReloadCycles += s.Sched.ReloadCycles
 	}
@@ -206,6 +244,25 @@ func (r *Result) Reconcile() error {
 	}
 	if reqQueue != r.Noc.BackpressureCycles {
 		return fmt.Errorf("cluster: backpressure leak: requests %d, fabric %d", reqQueue, r.Noc.BackpressureCycles)
+	}
+	if reqInterLogical != streamInterLogical || reqInterLogical != r.InterchipLogicalBytes {
+		return fmt.Errorf("cluster: interchip logical bytes leak: requests %d, streams %d, result %d",
+			reqInterLogical, streamInterLogical, r.InterchipLogicalBytes)
+	}
+	if reqCodec != chipCodec || reqCodec != streamCodec {
+		return fmt.Errorf("cluster: codec cycles leak: requests %d, chips %d, streams %d",
+			reqCodec, chipCodec, streamCodec)
+	}
+	if r.Compression != nil {
+		cl := r.Compression.Logical[dram.ClassInterchip]
+		if cl != r.InterchipLogicalBytes {
+			return fmt.Errorf("cluster: codec ledger interchip logical %d != result %d", cl, r.InterchipLogicalBytes)
+		}
+		// The codec ledger's wire bytes are pre-flit-rounding, so they
+		// bound the fabric's rounded byte count from below.
+		if cw := r.Compression.Wire[dram.ClassInterchip]; cw > r.Noc.Bytes {
+			return fmt.Errorf("cluster: codec ledger interchip wire %d exceeds fabric bytes %d", cw, r.Noc.Bytes)
+		}
 	}
 	var linkQueue, linkBusy int64
 	for _, l := range r.Noc.Links {

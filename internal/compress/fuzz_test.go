@@ -1,0 +1,82 @@
+package compress
+
+import (
+	"testing"
+
+	"shortcutmining/internal/dram"
+)
+
+// FuzzCompressSpec asserts the compress= grammar's core contract:
+// arbitrary input yields either a validated config or an error — never
+// a panic — every accepted config survives a String() round trip, and
+// its codec functions respect the wire-byte invariants the DRAM
+// channel relies on.
+func FuzzCompressSpec(f *testing.F) {
+	seeds := []string{
+		"",
+		"fixed:ratio=2",
+		"fixed:ratio=1.5,enc=1,dec=1",
+		"zvc",
+		"zvc:sparsity=0.55",
+		"zvc:sparsity=0.6,elem=2,enc=2,dec=2",
+		"zvc:sparsity=0.5,classes=ifm+ofm+shortcut+spillw+spillr+interchip",
+		"fixed:ratio=4,classes=interchip",
+		" fixed : ratio = 2 ",
+		"fixed:",
+		"fixed:ratio",
+		"fixed:ratio=2,bogus=1",
+		"zvc:sparsity=1",
+		"zvc:classes=weights",
+		"lz4:ratio=2",
+		"fixed:ratio=2,,",
+		"zvc:sparsity=0.5,elem=9",
+		"fixed:ratio=1e300",
+		"zvc:sparsity=NaN",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		cfg, err := ParseSpec(input)
+		if err != nil {
+			if cfg != nil {
+				t.Errorf("ParseSpec(%q) returned both a config and an error", input)
+			}
+			return
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("ParseSpec(%q) returned invalid config: %v", input, err)
+		}
+		// Accepted specs must round-trip through the printed grammar.
+		printed := cfg.String()
+		again, err := ParseSpec(printed)
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q) failed: %v", printed, input, err)
+		}
+		if again.String() != printed {
+			t.Errorf("round trip unstable: %q -> %q -> %q", input, printed, again.String())
+		}
+		// Codec invariants on every class and a size spread: wire in
+		// [1, logical], weights untouched, cycles non-negative.
+		for _, cl := range dram.Classes() {
+			for _, logical := range []int64{0, 1, 7, 1024, 1<<20 + 3} {
+				wire := cfg.WireBytes(cl, logical)
+				switch {
+				case logical <= 0:
+					if wire != 0 {
+						t.Errorf("%q: WireBytes(%s, %d) = %d, want 0", input, cl, logical, wire)
+					}
+				case wire < 1 || wire > logical:
+					t.Errorf("%q: WireBytes(%s, %d) = %d outside [1, logical]", input, cl, logical, wire)
+				}
+				if cl == dram.ClassWeightRead && wire != logical && logical > 0 {
+					t.Errorf("%q: weights compressed %d -> %d", input, logical, wire)
+				}
+				enc, dec := cfg.CodecCycles(cl, logical)
+				if enc < 0 || dec < 0 {
+					t.Errorf("%q: negative codec cycles enc=%d dec=%d", input, enc, dec)
+				}
+			}
+		}
+	})
+}

@@ -19,6 +19,7 @@ package core
 import (
 	"fmt"
 
+	"shortcutmining/internal/compress"
 	"shortcutmining/internal/dram"
 	"shortcutmining/internal/energy"
 	"shortcutmining/internal/fault"
@@ -136,6 +137,12 @@ type Config struct {
 	// grow by the pipeline fill/drain/imbalance bubbles.
 	DetailedTiming bool
 
+	// Compression is the optional interlayer feature-map codec applied
+	// at the DRAM boundary (experiment E25, scm-sim -compress). Nil
+	// means uncompressed. Weights are never compressed; see
+	// dram.Class.Compressible for the eligible classes.
+	Compression *compress.Config `json:",omitempty"`
+
 	// Faults is the optional fault-injection plan replayed against the
 	// run (experiment E22, scm-sim -faults). Nil means fault-free.
 	Faults *fault.Spec `json:",omitempty"`
@@ -240,6 +247,9 @@ func (c Config) Validate() error {
 	}
 	if c.WatchdogLayerCycles < 0 {
 		return fmt.Errorf("core: negative watchdog bound %d", c.WatchdogLayerCycles)
+	}
+	if err := c.Compression.Validate(); err != nil {
+		return err
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return err

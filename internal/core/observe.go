@@ -23,6 +23,13 @@ const (
 	MetricProcHits           = "scm_proc_hits_total"
 	MetricProcMisses         = "scm_proc_misses_total"
 
+	// Interlayer-compression metrics (absent when no codec is
+	// configured; registered lazily at run finish).
+	MetricCompressLogicalBytes = "scm_compress_logical_bytes_total"
+	MetricCompressWireBytes    = "scm_compress_wire_bytes_total"
+	MetricCompressSavedBytes   = "scm_compress_saved_bytes_total"
+	MetricCompressCodecCycles  = "scm_compress_codec_cycles_total"
+
 	// Fault-injection metrics (all zero in a fault-free run).
 	MetricFaultsInjected  = "scm_faults_injected_total"
 	MetricDMARetries      = "scm_dma_retries_total"
@@ -251,6 +258,26 @@ func (o *observer) finishRun(r *stats.RunStats, batch int64) {
 		o.reg.Counter(MetricLayerMemCycles,
 			"feature-map channel occupancy cycles per layer", l).Add(ls.MemCycles * batch)
 	}
+	if cs := r.Compression; cs != nil {
+		for _, c := range dram.Classes() {
+			if !c.Compressible() {
+				continue
+			}
+			l := metrics.L("class", c.String())
+			o.reg.Counter(MetricCompressLogicalBytes,
+				"pre-codec (logical) bytes by compressible traffic class", l).Add(cs.Logical[c])
+			o.reg.Counter(MetricCompressWireBytes,
+				"post-codec wire payload bytes by compressible traffic class", l).Add(cs.Wire[c])
+		}
+		o.reg.Counter(MetricCompressSavedBytes,
+			"bytes the interlayer codec kept off the wire").Add(cs.SavedBytes)
+		o.reg.Counter(MetricCompressCodecCycles,
+			"codec engine cycles serialized into the run",
+			metrics.L("dir", "encode")).Add(cs.EncodeCycles)
+		o.reg.Counter(MetricCompressCodecCycles,
+			"codec engine cycles serialized into the run",
+			metrics.L("dir", "decode")).Add(cs.DecodeCycles)
+	}
 	r.Metrics = o.reg.Snapshot()
 }
 
@@ -283,6 +310,15 @@ func (e *executor) recordSpan(ev trace.Event, start, dur int64) {
 func (e *executor) transferSpan(c dram.Class, bytes int64) (moved, start, dur int64, err error) {
 	moved = e.ch.Transfer(c, bytes)
 	dur = e.ch.CyclesAt(moved, e.cfg.PE.ClockMHz)
+	if e.comp != nil && moved > 0 {
+		// Codec engine time is charged on the logical payload and
+		// serialized into the layer (like fault handling), not into the
+		// channel-occupancy span: the channel only sees wire bytes.
+		enc, dec := e.comp.CodecCycles(c, bytes)
+		e.encCycles += enc
+		e.decCycles += dec
+		e.layerCodecCycles += enc + dec
+	}
 	if f := e.inj.Factor(); f < 1 && dur > 0 {
 		scaled := int64(float64(dur)/f + 0.999999)
 		e.flt.DegradedCycles += scaled - dur

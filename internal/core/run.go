@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"shortcutmining/internal/dram"
 	"shortcutmining/internal/metrics"
 	"shortcutmining/internal/nn"
 	"shortcutmining/internal/sram"
@@ -302,11 +303,17 @@ func (r *Run) Suspend() (Footprint, error) {
 		})
 		// Only bytes with no current DRAM copy must be written back;
 		// a fully spilled fmap whose prefix is also resident re-loads
-		// for free traffic-wise.
+		// for free traffic-wise. The write-back goes through the
+		// interlayer codec like any spill: the ledger records the wire
+		// bytes, and encode time joins the spill's cycle bill.
 		if dirty := res.total - res.spilled; dirty > 0 {
-			moved := r.e.ch.Round(dirty)
+			moved := r.e.ch.WirePayload(dram.ClassSpillWrite, dirty)
 			r.sched.SpillBytes += moved
 			r.sched.SpillCycles += r.e.ch.CyclesAt(moved, r.e.cfg.PE.ClockMHz)
+			if r.e.comp != nil {
+				enc, _ := r.e.comp.CodecCycles(dram.ClassSpillWrite, dirty)
+				r.sched.SpillCycles += enc
+			}
 			r.e.record(trace.Event{Kind: trace.KindSpill, Layer: layer, Tag: buf.Tag(),
 				Bytes: moved, Note: "suspend"})
 			res.spilled = res.total
@@ -354,9 +361,13 @@ func (r *Run) Resume() error {
 		res := r.e.residents[s.producer]
 		res.buf = buf
 		if res.onChip > 0 {
-			moved := r.e.ch.Round(res.onChip)
+			moved := r.e.ch.WirePayload(dram.ClassSpillRead, res.onChip)
 			r.sched.ReloadBytes += moved
 			r.sched.ReloadCycles += r.e.ch.CyclesAt(moved, r.e.cfg.PE.ClockMHz)
+			if r.e.comp != nil {
+				_, dec := r.e.comp.CodecCycles(dram.ClassSpillRead, res.onChip)
+				r.sched.ReloadCycles += dec
+			}
 			r.e.record(trace.Event{Kind: trace.KindRefill, Layer: r.e.net.Layers[r.next].Name,
 				Tag: s.tag, Bytes: moved, Note: "resume"})
 		}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"shortcutmining/internal/compress"
 	"shortcutmining/internal/dram"
 	"shortcutmining/internal/fault"
 	"shortcutmining/internal/metrics"
@@ -144,6 +145,15 @@ type executor struct {
 	curLayer         string
 	layerFaultCycles int64
 
+	// Interlayer-compression state: the codec (nil when off), the
+	// run-wide encode/decode engine cycle tallies, and the codec cycles
+	// accrued since the last layer closed (serialized into that layer's
+	// cycle count, like layerFaultCycles).
+	comp             *compress.Config
+	encCycles        int64
+	decCycles        int64
+	layerCodecCycles int64
+
 	residents []*resident
 	run       stats.RunStats
 }
@@ -160,6 +170,10 @@ func newExecutor(cfg Config) (*executor, error) {
 		return nil, err
 	}
 	e := &executor{cfg: cfg, pool: pool, ch: ch, rec: &trace.Stamper{R: trace.Nop{}}}
+	if cfg.Compression != nil {
+		e.comp = cfg.Compression
+		ch.SetCompressor(cfg.Compression)
+	}
 	if !cfg.Faults.Empty() {
 		e.inj = fault.NewInjector(cfg.Faults)
 	}
@@ -710,6 +724,11 @@ func (e *executor) execLayer(l *nn.Layer) error {
 	// closed are charged on top of the overlap model.
 	ls.Cycles += e.layerFaultCycles
 	e.layerFaultCycles = 0
+	// Codec engine time (encode on stores, decode on loads) is likewise
+	// serialized with the layer that moved the data.
+	ls.CodecCycles = e.layerCodecCycles
+	ls.Cycles += e.layerCodecCycles
+	e.layerCodecCycles = 0
 	if werr := e.wd.CheckLayer(l.Name, ls.Cycles); werr != nil {
 		return werr
 	}
@@ -783,6 +802,24 @@ func (e *executor) finish() (stats.RunStats, error) {
 	// Fault statistics are per-run, not per-image: the injected events
 	// happen once regardless of batch.
 	r.Faults = e.flt
+	if e.comp != nil {
+		cs := &stats.CompressionStats{
+			Codec:        e.comp.String(),
+			Logical:      e.ch.LogicalTraffic(),
+			Wire:         e.ch.RawTraffic(),
+			EncodeCycles: e.encCycles * batch,
+			DecodeCycles: e.decCycles * batch,
+		}
+		for c := range cs.Logical {
+			if dram.Class(c) == dram.ClassWeightRead && e.cfg.AmortizeWeights {
+				continue // same batch treatment as r.Traffic above
+			}
+			cs.Logical[c] *= batch // scmvet:ok accounting batch scaling of the per-image codec ledger, mirrors r.Traffic above
+			cs.Wire[c] *= batch    // scmvet:ok accounting batch scaling of the per-image codec ledger, mirrors r.Traffic above
+		}
+		cs.SavedBytes = cs.Logical.Total() - cs.Wire.Total()
+		r.Compression = cs
+	}
 	r.Energy = e.cfg.Energy.Estimate(r.Traffic.Total(), r.SRAMBytes, r.MACs)
 	e.obs.finishRun(r, batch)
 	return *r, nil

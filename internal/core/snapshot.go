@@ -44,12 +44,21 @@ type RunSnapshot struct {
 	Saved     []SavedBuffer      `json:"saved,omitempty"`
 	Residents []ResidentSnapshot `json:"residents,omitempty"`
 
-	// Traffic and RawTraffic restore the DRAM channel tally; PoolStats
-	// restores the bank pool's cumulative telemetry (peaks, role
-	// switches) that finish() folds into RunStats.
-	Traffic    dram.Traffic `json:"traffic"`
-	RawTraffic dram.Traffic `json:"raw_traffic"`
-	PoolStats  sram.Stats   `json:"pool_stats"`
+	// Traffic, RawTraffic, and LogicalTraffic restore the DRAM channel
+	// tally; PoolStats restores the bank pool's cumulative telemetry
+	// (peaks, role switches) that finish() folds into RunStats.
+	// LogicalTraffic and the codec cycle counters are zero in snapshots
+	// from builds without compression support — valid, because those
+	// builds could only run uncompressed.
+	Traffic        dram.Traffic `json:"traffic"`
+	RawTraffic     dram.Traffic `json:"raw_traffic"`
+	LogicalTraffic dram.Traffic `json:"logical_traffic"`
+	PoolStats      sram.Stats   `json:"pool_stats"`
+
+	// EncodeCycles / DecodeCycles carry the interlayer codec engine
+	// time accrued so far (zero when compression is off).
+	EncodeCycles int64 `json:"encode_cycles,omitempty"`
+	DecodeCycles int64 `json:"decode_cycles,omitempty"`
 
 	// Scratch is the partially assembled RunStats (header plus the
 	// per-layer records of every executed layer).
@@ -103,18 +112,21 @@ func (r *Run) Snapshot() (*RunSnapshot, error) {
 		return nil, fmt.Errorf("core: %s: traced runs cannot be snapshotted (emitted events cannot be rebuilt)", name)
 	}
 	snap := &RunSnapshot{
-		Version:    SnapshotVersion,
-		Network:    name,
-		Label:      r.label,
-		Features:   r.e.feat,
-		Next:       r.next,
-		Clock:      r.e.clock,
-		MemCursor:  r.e.memCursor,
-		Sched:      r.sched,
-		Traffic:    r.e.ch.Traffic(),
-		RawTraffic: r.e.ch.RawTraffic(),
-		PoolStats:  r.e.pool.Stats(),
-		Scratch:    r.e.run,
+		Version:        SnapshotVersion,
+		Network:        name,
+		Label:          r.label,
+		Features:       r.e.feat,
+		Next:           r.next,
+		Clock:          r.e.clock,
+		MemCursor:      r.e.memCursor,
+		Sched:          r.sched,
+		Traffic:        r.e.ch.Traffic(),
+		RawTraffic:     r.e.ch.RawTraffic(),
+		LogicalTraffic: r.e.ch.LogicalTraffic(),
+		PoolStats:      r.e.pool.Stats(),
+		EncodeCycles:   r.e.encCycles,
+		DecodeCycles:   r.e.decCycles,
+		Scratch:        r.e.run,
 	}
 	for _, s := range r.saved {
 		snap.Saved = append(snap.Saved, SavedBuffer{
@@ -159,6 +171,9 @@ func (s *RunSnapshot) Validate(net *nn.Network) error {
 	}
 	if s.Clock < 0 || s.MemCursor < 0 {
 		return fmt.Errorf("core: snapshot has negative cycle cursor (clock %d, mem %d)", s.Clock, s.MemCursor)
+	}
+	if s.EncodeCycles < 0 || s.DecodeCycles < 0 {
+		return fmt.Errorf("core: snapshot has negative codec cycles (enc %d, dec %d)", s.EncodeCycles, s.DecodeCycles)
 	}
 	seen := make([]bool, n)
 	for _, rs := range s.Residents {
@@ -223,8 +238,10 @@ func RestoreRun(net *nn.Network, cfg Config, snap *RunSnapshot) (*Run, error) {
 	r.e.clock = snap.Clock
 	r.e.memCursor = snap.MemCursor
 	r.e.run = snap.Scratch
-	r.e.ch.RestoreTraffic(snap.Traffic, snap.RawTraffic)
+	r.e.ch.RestoreTraffic(snap.Traffic, snap.RawTraffic, snap.LogicalTraffic)
 	r.e.pool.RestoreStats(snap.PoolStats)
+	r.e.encCycles = snap.EncodeCycles
+	r.e.decCycles = snap.DecodeCycles
 	r.label = snap.Label
 	r.sched = snap.Sched
 	r.next = snap.Next

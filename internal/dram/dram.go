@@ -60,8 +60,35 @@ func (c Class) String() string {
 }
 
 // IsFeatureMap reports whether the class counts toward the paper's
-// "off-chip feature map traffic" metric (everything except weights).
-func (c Class) IsFeatureMap() bool { return c != ClassWeightRead }
+// "off-chip feature map traffic" metric. The set is spelled out rather
+// than derived from != ClassWeightRead so that adding a class forces a
+// decision here: IFM/OFM streaming, shortcut re-fetches, P5 spills, and
+// interchip handoffs (which carry feature maps and pinned shortcut
+// state) all count; weights do not.
+func (c Class) IsFeatureMap() bool {
+	switch c {
+	case ClassIFMRead, ClassOFMWrite, ClassShortcutRead,
+		ClassSpillWrite, ClassSpillRead, ClassInterchip:
+		return true
+	}
+	return false
+}
+
+// Compressible reports whether transfers of this class are eligible
+// for interlayer feature-map compression. Feature-map classes qualify:
+// activations are sparse and low-precision, so boundary codecs (ZVC,
+// fixed-ratio) apply to IFM/OFM streaming, shortcut re-fetches, P5
+// spills, and interchip handoffs. Weights are explicitly excluded —
+// they are read-only, preloaded, and compressed offline if at all, so
+// the interlayer codec never sees them.
+func (c Class) Compressible() bool {
+	switch c {
+	case ClassIFMRead, ClassOFMWrite, ClassShortcutRead,
+		ClassSpillWrite, ClassSpillRead, ClassInterchip:
+		return true
+	}
+	return false
+}
 
 // Classes lists all classes in declaration order.
 func Classes() []Class {
@@ -124,13 +151,27 @@ func (t *Traffic) Add(o Traffic) {
 	}
 }
 
+// Compressor shrinks the wire payload of compressible transfer
+// classes. Implementations must be deterministic pure functions of
+// (class, logical size); internal/compress provides the codec models.
+// The interface lives here so the channel can apply compression at the
+// transfer boundary without importing the codec package.
+type Compressor interface {
+	// WireBytes returns the post-codec payload for a logical transfer
+	// of the given class. Must return a value in [1, logical] for
+	// logical > 0 and must not be called for logical <= 0.
+	WireBytes(c Class, logical int64) int64
+}
+
 // Channel is one accelerator's DRAM interface. Like the bank pool it
 // is single-threaded by design.
 type Channel struct {
 	cfg      Config
 	traffic  Traffic
-	raw      Traffic // pre-rounding payload bytes
+	raw      Traffic // pre-rounding wire payload bytes
+	logical  Traffic // requested bytes before compression
 	retry    Traffic // bytes re-moved by failed-transfer retries
+	comp     Compressor
 	observer func(c Class, payload, moved int64)
 }
 
@@ -161,6 +202,21 @@ func (ch *Channel) Round(bytes int64) int64 {
 	return ch.round(bytes)
 }
 
+// SetCompressor installs (or, with nil, removes) the interlayer codec.
+// Subsequent transfers of Compressible classes move the compressed
+// payload on the bus while the logical tally keeps the requested
+// bytes; non-compressible classes are unaffected. Without a compressor
+// logical and raw tallies are identical.
+func (ch *Channel) SetCompressor(comp Compressor) { ch.comp = comp }
+
+// wire maps a logical payload to what actually crosses the bus.
+func (ch *Channel) wire(c Class, bytes int64) int64 {
+	if ch.comp == nil || !c.Compressible() {
+		return bytes
+	}
+	return ch.comp.WireBytes(c, bytes)
+}
+
 // SetObserver installs a per-transfer callback receiving the class,
 // the payload bytes requested, and the burst-rounded bytes moved. A
 // nil observer (the default) costs one predictable branch per
@@ -178,13 +234,27 @@ func (ch *Channel) Transfer(c Class, bytes int64) int64 {
 	if bytes <= 0 {
 		return 0
 	}
-	moved := ch.round(bytes)
+	wire := ch.wire(c, bytes)
+	moved := ch.round(wire)
 	ch.traffic[c] += moved
-	ch.raw[c] += bytes
+	ch.raw[c] += wire
+	ch.logical[c] += bytes
 	if ch.observer != nil {
-		ch.observer(c, bytes, moved)
+		ch.observer(c, wire, moved)
 	}
 	return moved
+}
+
+// WirePayload returns the burst-rounded bytes a transfer of the given
+// class and logical size would move, applying the installed codec,
+// without recording it — the compression-aware counterpart of Round
+// for callers (scheduler suspend/resume, cluster handoffs) that tally
+// traffic in their own ledger.
+func (ch *Channel) WirePayload(c Class, bytes int64) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return ch.round(ch.wire(c, bytes))
 }
 
 // RecordRetry tallies the bytes of a failed-and-reissued transfer
@@ -196,7 +266,7 @@ func (ch *Channel) RecordRetry(c Class, bytes int64) int64 {
 	if bytes <= 0 {
 		return 0
 	}
-	moved := ch.round(bytes)
+	moved := ch.round(ch.wire(c, bytes))
 	ch.retry[c] += moved
 	return moved
 }
@@ -208,24 +278,32 @@ func (ch *Channel) RetryTraffic() Traffic { return ch.retry }
 // Traffic returns the burst-rounded tally so far.
 func (ch *Channel) Traffic() Traffic { return ch.traffic }
 
-// RawTraffic returns the payload (pre-rounding) tally so far.
+// RawTraffic returns the wire payload (post-codec, pre-rounding) tally
+// so far. Without a compressor it equals LogicalTraffic.
 func (ch *Channel) RawTraffic() Traffic { return ch.raw }
 
-// Reset clears the counters (the configuration is retained).
+// LogicalTraffic returns the requested (pre-compression) byte tally so
+// far. The per-class gap to RawTraffic is exactly what the codec saved.
+func (ch *Channel) LogicalTraffic() Traffic { return ch.logical }
+
+// Reset clears the counters (the configuration and codec are retained).
 func (ch *Channel) Reset() {
 	ch.traffic = Traffic{}
 	ch.raw = Traffic{}
+	ch.logical = Traffic{}
 	ch.retry = Traffic{}
 }
 
-// RestoreTraffic overwrites the burst-rounded and payload tallies —
-// the checkpoint/restore seam. A channel rebuilt from a mid-run
-// snapshot continues the original tally so the final traffic ledger is
-// bit-identical to an uninterrupted run. Retry traffic is deliberately
-// absent: snapshots are only taken of fault-free runs.
-func (ch *Channel) RestoreTraffic(traffic, raw Traffic) {
+// RestoreTraffic overwrites the burst-rounded, wire-payload, and
+// logical tallies — the checkpoint/restore seam. A channel rebuilt
+// from a mid-run snapshot continues the original tally so the final
+// traffic ledger is bit-identical to an uninterrupted run. Retry
+// traffic is deliberately absent: snapshots are only taken of
+// fault-free runs.
+func (ch *Channel) RestoreTraffic(traffic, raw, logical Traffic) {
 	ch.traffic = traffic
 	ch.raw = raw
+	ch.logical = logical
 }
 
 // CyclesAt converts a byte count into channel-occupancy cycles at the

@@ -86,9 +86,21 @@ func TestClassPredicatesAndStrings(t *testing.T) {
 	if ClassWeightRead.IsFeatureMap() {
 		t.Error("weights counted as feature map")
 	}
+	if ClassWeightRead.Compressible() {
+		t.Error("weights marked compressible")
+	}
 	for _, c := range Classes() {
 		if c != ClassWeightRead && !c.IsFeatureMap() {
 			t.Errorf("%v should be feature map", c)
+		}
+		// The compressible set is exactly the feature-map set: every
+		// boundary-crossing activation tensor, never weights. Pinned
+		// here so adding a class forces an explicit decision.
+		if c.Compressible() != c.IsFeatureMap() {
+			t.Errorf("%v: Compressible=%v but IsFeatureMap=%v", c, c.Compressible(), c.IsFeatureMap())
+		}
+		if Class(int(c)+NumClasses).IsFeatureMap() || Class(int(c)+NumClasses).Compressible() {
+			t.Errorf("out-of-range class %d matched a predicate", int(c)+NumClasses)
 		}
 		if c.String() == "" {
 			t.Errorf("empty string for class %d", int(c))
@@ -235,5 +247,108 @@ func TestRecordRetry(t *testing.T) {
 	ch.Reset()
 	if ch.RetryTraffic().Total() != 0 {
 		t.Error("Reset must clear retry tally")
+	}
+}
+
+// halver is a test compressor: wire = ceil(logical/2).
+type halver struct{}
+
+func (halver) WireBytes(c Class, logical int64) int64 { return (logical + 1) / 2 }
+
+func TestCompressorTransfer(t *testing.T) {
+	ch := newTestChannel(t)
+	ch.SetCompressor(halver{})
+
+	// Compressible class: 1000 logical -> 500 wire -> 512 on the bus.
+	if moved := ch.Transfer(ClassOFMWrite, 1000); moved != 512 {
+		t.Errorf("compressed moved = %d, want 512", moved)
+	}
+	if got := ch.Traffic()[ClassOFMWrite]; got != 512 {
+		t.Errorf("traffic = %d, want 512", got)
+	}
+	if got := ch.RawTraffic()[ClassOFMWrite]; got != 500 {
+		t.Errorf("raw = %d, want 500 (wire payload)", got)
+	}
+	if got := ch.LogicalTraffic()[ClassOFMWrite]; got != 1000 {
+		t.Errorf("logical = %d, want 1000", got)
+	}
+
+	// Weights bypass the codec entirely.
+	if moved := ch.Transfer(ClassWeightRead, 1000); moved != 1024 {
+		t.Errorf("weight moved = %d, want 1024 (uncompressed)", moved)
+	}
+	if got := ch.LogicalTraffic()[ClassWeightRead]; got != 1000 {
+		t.Errorf("weight logical = %d, want 1000", got)
+	}
+
+	// Retries re-move the *wire* bytes.
+	if moved := ch.RecordRetry(ClassOFMWrite, 1000); moved != 512 {
+		t.Errorf("retry moved = %d, want 512", moved)
+	}
+
+	// Removing the codec restores passthrough.
+	ch.SetCompressor(nil)
+	if moved := ch.Transfer(ClassOFMWrite, 1000); moved != 1024 {
+		t.Errorf("post-detach moved = %d, want 1024", moved)
+	}
+}
+
+func TestCompressorObserverSeesWireBytes(t *testing.T) {
+	ch := newTestChannel(t)
+	ch.SetCompressor(halver{})
+	var gotPayload, gotMoved int64
+	ch.SetObserver(func(c Class, payload, moved int64) { gotPayload, gotMoved = payload, moved })
+	ch.Transfer(ClassIFMRead, 1000)
+	if gotPayload != 500 || gotMoved != 512 {
+		t.Errorf("observer saw (%d, %d), want wire view (500, 512)", gotPayload, gotMoved)
+	}
+}
+
+func TestWirePayload(t *testing.T) {
+	ch := newTestChannel(t)
+	// Without a codec WirePayload degenerates to Round.
+	if got, want := ch.WirePayload(ClassSpillWrite, 100), ch.Round(100); got != want {
+		t.Errorf("uncompressed WirePayload = %d, want %d", got, want)
+	}
+	ch.SetCompressor(halver{})
+	if got := ch.WirePayload(ClassSpillWrite, 1000); got != 512 {
+		t.Errorf("WirePayload = %d, want 512", got)
+	}
+	if got := ch.WirePayload(ClassWeightRead, 1000); got != 1024 {
+		t.Errorf("weight WirePayload = %d, want 1024", got)
+	}
+	if ch.WirePayload(ClassSpillWrite, 0) != 0 || ch.WirePayload(ClassSpillWrite, -3) != 0 {
+		t.Error("non-positive WirePayload must be 0")
+	}
+	// WirePayload records nothing.
+	if ch.Traffic().Total() != 0 || ch.LogicalTraffic().Total() != 0 {
+		t.Error("WirePayload recorded a transfer")
+	}
+}
+
+func TestLogicalEqualsRawWithoutCompressor(t *testing.T) {
+	ch := newTestChannel(t)
+	ch.Transfer(ClassIFMRead, 100)
+	ch.Transfer(ClassOFMWrite, 9999)
+	ch.Transfer(ClassWeightRead, 12345)
+	if ch.LogicalTraffic() != ch.RawTraffic() {
+		t.Errorf("logical %v != raw %v without a codec", ch.LogicalTraffic(), ch.RawTraffic())
+	}
+}
+
+func TestRestoreTrafficIncludesLogical(t *testing.T) {
+	ch := newTestChannel(t)
+	ch.SetCompressor(halver{})
+	ch.Transfer(ClassOFMWrite, 1000)
+	tr, raw, logical := ch.Traffic(), ch.RawTraffic(), ch.LogicalTraffic()
+	ch2 := newTestChannel(t)
+	ch2.SetCompressor(halver{})
+	ch2.RestoreTraffic(tr, raw, logical)
+	if ch2.Traffic() != tr || ch2.RawTraffic() != raw || ch2.LogicalTraffic() != logical {
+		t.Error("RestoreTraffic did not carry all three tallies")
+	}
+	ch.Reset()
+	if ch.LogicalTraffic().Total() != 0 {
+		t.Error("Reset must clear the logical tally")
 	}
 }

@@ -15,6 +15,7 @@ package fused
 import (
 	"fmt"
 
+	"shortcutmining/internal/compress"
 	"shortcutmining/internal/dram"
 	"shortcutmining/internal/nn"
 	"shortcutmining/internal/pe"
@@ -33,6 +34,14 @@ type Config struct {
 	WeightBandwidthGBps float64
 	DType               tensor.DataType
 	ControlCycles       int64
+
+	// Compression is the optional interlayer feature-map codec at the
+	// DRAM boundary, identical in semantics to core.Config.Compression:
+	// group boundary traffic (head input, tail output, cross-group
+	// shortcut reads) moves compressed; weights never do. Intra-group
+	// edges never touch DRAM, so fusion and compression compose — the
+	// codec only sees what fusion failed to keep on chip.
+	Compression *compress.Config
 }
 
 // Validate checks the configuration.
@@ -45,6 +54,9 @@ func (c Config) Validate() error {
 	}
 	if c.BufferBytes <= 0 || c.WeightBufBytes <= 0 {
 		return fmt.Errorf("fused: buffers must be positive")
+	}
+	if err := c.Compression.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -122,6 +134,10 @@ func Simulate(net *nn.Network, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	var tally codecTally
+	if cfg.Compression != nil {
+		ch.SetCompressor(cfg.Compression)
+	}
 	res := Result{Run: stats.RunStats{
 		Network:  net.Name,
 		Strategy: "fused-layer",
@@ -136,7 +152,7 @@ func Simulate(net *nn.Network, cfg Config) (Result, error) {
 			return nil
 		}
 		g := Group{Layers: current, WorkingSetBytes: workingSet(net, current, cfg.DType)}
-		if err := execGroup(net, cfg, ch, &res.Run, g); err != nil {
+		if err := execGroup(net, cfg, ch, &res.Run, g, &tally); err != nil {
 			return err
 		}
 		res.Groups = append(res.Groups, g)
@@ -196,16 +212,43 @@ func Simulate(net *nn.Network, cfg Config) (Result, error) {
 		res.Run.TotalCycles += ls.Cycles
 		res.Run.SRAMBytes += ls.SRAMBytes
 	}
+	if cfg.Compression != nil {
+		cs := &stats.CompressionStats{
+			Codec:        cfg.Compression.String(),
+			Logical:      ch.LogicalTraffic(),
+			Wire:         ch.RawTraffic(),
+			EncodeCycles: tally.enc,
+			DecodeCycles: tally.dec,
+		}
+		cs.SavedBytes = cs.Logical.Total() - cs.Wire.Total()
+		res.Run.Compression = cs
+	}
 	return res, nil
 }
+
+// codecTally accumulates codec engine time across fusion groups.
+type codecTally struct{ enc, dec int64 }
 
 // execGroup charges one fusion group's traffic and timing. The group
 // reads its head input once (line-buffered single pass), streams every
 // member's weights, reads shortcut operands of internal adds from
 // DRAM, and writes only the tail output.
-func execGroup(net *nn.Network, cfg Config, ch *dram.Channel, run *stats.RunStats, g Group) error {
+func execGroup(net *nn.Network, cfg Config, ch *dram.Channel, run *stats.RunStats, g Group, tally *codecTally) error {
 	d := cfg.DType
 	before := ch.Traffic()
+
+	// xfer charges one DMA transfer and, under compression, the codec
+	// engine time of (de)compressing its logical payload.
+	var codec int64
+	xfer := func(c dram.Class, bytes int64) {
+		ch.Transfer(c, bytes)
+		if cfg.Compression != nil {
+			enc, dec := cfg.Compression.CodecCycles(c, bytes)
+			tally.enc += enc
+			tally.dec += dec
+			codec += enc + dec
+		}
+	}
 
 	head := net.Layers[g.Layers[0]]
 	tail := net.Layers[g.Layers[len(g.Layers)-1]]
@@ -216,7 +259,7 @@ func execGroup(net *nn.Network, cfg Config, ch *dram.Channel, run *stats.RunStat
 		l := net.Layers[idx]
 		compute += cfg.PE.LayerCycles(l)
 		sram += 2 * l.Out.Bytes(d)
-		ch.Transfer(dram.ClassWeightRead, l.WeightBytes(d))
+		xfer(dram.ClassWeightRead, l.WeightBytes(d))
 		// Non-primary operands of adds come from DRAM: the pipeline
 		// has no home for data produced outside the current group.
 		if l.Kind == nn.OpEltwiseAdd {
@@ -229,7 +272,7 @@ func execGroup(net *nn.Network, cfg Config, ch *dram.Channel, run *stats.RunStat
 					}
 				}
 				if !inGroup {
-					ch.Transfer(dram.ClassShortcutRead, expandBytes(net, p, d))
+					xfer(dram.ClassShortcutRead, expandBytes(net, p, d))
 				}
 			}
 		}
@@ -238,8 +281,8 @@ func execGroup(net *nn.Network, cfg Config, ch *dram.Channel, run *stats.RunStat
 	// line-buffered pass. A concat producer's bytes equal the sum of
 	// its parts, so the address-layout view needs no special casing.
 	primary := net.Layer(head.Inputs[len(head.Inputs)-1])
-	ch.Transfer(dram.ClassIFMRead, expandBytes(net, primary, d))
-	ch.Transfer(dram.ClassOFMWrite, tail.Out.Bytes(d))
+	xfer(dram.ClassIFMRead, expandBytes(net, primary, d))
+	xfer(dram.ClassOFMWrite, tail.Out.Bytes(d))
 
 	delta := ch.Traffic()
 	for c := range delta {
@@ -250,7 +293,7 @@ func execGroup(net *nn.Network, cfg Config, ch *dram.Channel, run *stats.RunStat
 	if mem > cycles {
 		cycles = mem
 	}
-	cycles += cfg.ControlCycles
+	cycles += cfg.ControlCycles + codec
 
 	// Attribute the group's outcome to its tail layer for reporting;
 	// internal members appear with zero traffic (they are fused away).
@@ -260,7 +303,7 @@ func execGroup(net *nn.Network, cfg Config, ch *dram.Channel, run *stats.RunStat
 	}
 	run.Layers = append(run.Layers, stats.LayerStats{
 		Name: tail.Name, Kind: tail.Kind.String(), Stage: tail.Stage,
-		ComputeCycles: compute, MemCycles: mem, Cycles: cycles,
+		ComputeCycles: compute, MemCycles: mem, Cycles: cycles, CodecCycles: codec,
 		Traffic: delta, SRAMBytes: sram,
 	})
 	return nil

@@ -84,7 +84,7 @@ func TestGenerateFullDocument(t *testing.T) {
 		}
 	}
 	// Every registered experiment appears.
-	if got := strings.Count(doc, "*Paper anchor:*"); got != 24 {
-		t.Errorf("document has %d experiments, want 24", got)
+	if got := strings.Count(doc, "*Paper anchor:*"); got != 25 {
+		t.Errorf("document has %d experiments, want 25", got)
 	}
 }

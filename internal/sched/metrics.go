@@ -14,6 +14,9 @@ const (
 	MetricQueueCycles    = "scm_sched_queue_wait_cycles"
 	MetricResidentRuns   = "scm_sched_resident_runs_peak"
 	MetricMakespanCycles = "scm_sched_makespan_cycles"
+	// MetricCompressSaved counts bytes the interlayer codec kept off the
+	// DRAM bus, per stream (zero when the spec has no compress= clause).
+	MetricCompressSaved = "scm_sched_compress_saved_bytes_total"
 )
 
 // observer is the scheduler's pre-resolved instrument bundle; a nil
@@ -24,6 +27,7 @@ type observer struct {
 	rejectedC  []*metrics.Counter
 	preemptC   []*metrics.Counter
 	spillC     []*metrics.Counter
+	compSavedC []*metrics.Counter
 	latencyH   []*metrics.Histogram
 	queueH     []*metrics.Histogram
 	residentG  *metrics.Gauge
@@ -53,6 +57,8 @@ func newObserver(reg *metrics.Registry, names []string) *observer {
 			"layer-boundary suspensions per stream", l))
 		o.spillC = append(o.spillC, reg.Counter(MetricTenancyBytes,
 			"bytes spilled at preemption and re-loaded at resumption", l))
+		o.compSavedC = append(o.compSavedC, reg.Counter(MetricCompressSaved,
+			"bytes the interlayer codec kept off the DRAM bus", l))
 		o.latencyH = append(o.latencyH, reg.Histogram(MetricLatencyCycles,
 			"request latency (arrival to completion) in cycles", bounds, l))
 		o.queueH = append(o.queueH, reg.Histogram(MetricQueueCycles,
@@ -79,6 +85,12 @@ func (o *observer) preempted(stream int, spillBytes int64) {
 	if o != nil {
 		o.preemptC[stream].Inc()
 		o.spillC[stream].Add(spillBytes)
+	}
+}
+
+func (o *observer) compressed(stream int, savedBytes int64) {
+	if o != nil {
+		o.compSavedC[stream].Add(savedBytes)
 	}
 }
 

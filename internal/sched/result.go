@@ -88,6 +88,10 @@ type StreamResult struct {
 	// Traffic sums the completed requests' own DRAM traffic; it
 	// excludes Sched spill/reload bytes, which are reported above.
 	Traffic dram.Traffic `json:"traffic"`
+
+	// Compression sums the completed requests' codec ledgers; nil when
+	// the spec carries no compress= clause.
+	Compression *stats.CompressionStats `json:"compression,omitempty"`
 }
 
 // Slowdown is the mean latency relative to an uncontended run
@@ -119,6 +123,10 @@ type Result struct {
 	// Requests lists every settled request's timeline (completion
 	// order), for CSV export and plotting.
 	Requests []RequestStat `json:"requests"`
+
+	// Compression is the whole scenario's codec ledger (the sum of the
+	// per-stream ledgers); nil when compression is off.
+	Compression *stats.CompressionStats `json:"compression,omitempty"`
 }
 
 // TotalTenancyBytes sums every stream's multi-tenancy traffic — the
@@ -182,6 +190,13 @@ func (s *scheduler) assemble() *Result {
 			ServiceCycles:      acc.serviceCycles,
 			SingleTenantCycles: acc.singleTenant,
 			Traffic:            acc.traffic,
+			Compression:        acc.comp,
+		}
+		if acc.comp != nil {
+			if res.Compression == nil {
+				res.Compression = &stats.CompressionStats{}
+			}
+			res.Compression.Add(*acc.comp)
 		}
 		if n := len(acc.latencies); n > 0 {
 			var sum int64

@@ -10,6 +10,7 @@ import (
 	"shortcutmining/internal/dram"
 	"shortcutmining/internal/metrics"
 	"shortcutmining/internal/nn"
+	"shortcutmining/internal/stats"
 )
 
 // request is one inference arriving on a stream.
@@ -52,6 +53,9 @@ func RunContext(ctx context.Context, cfg core.Config, spec *Spec, reg *metrics.R
 	// follow-on (see ROADMAP), not an implicit config knob.
 	cfg.Batch = 1
 	cfg.AmortizeWeights = false
+	if spec.Compress != nil {
+		cfg.Compression = spec.Compress
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -160,6 +164,7 @@ type streamAccum struct {
 	serviceCycles       int64
 	traffic             dram.Traffic
 	singleTenant        int64 // one request's single-tenant TotalCycles
+	comp                *stats.CompressionStats
 	latencies           []int64
 	queueWaits          []int64
 	requests            []RequestStat
@@ -434,6 +439,13 @@ func (s *scheduler) finish(t *tenant) {
 		acc.traffic[c] += res.Traffic[c] // scmvet:ok accounting fold of a finished tenant's RunStats into the stream ledger
 	}
 	acc.singleTenant = res.TotalCycles
+	if res.Compression != nil {
+		if acc.comp == nil {
+			acc.comp = &stats.CompressionStats{}
+		}
+		acc.comp.Add(*res.Compression)
+		s.obs.compressed(t.req.stream, res.Compression.SavedBytes)
+	}
 	lat := s.now - t.req.arrival
 	wait := t.start - t.req.arrival
 	acc.latencies = append(acc.latencies, lat)

@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 
+	"shortcutmining/internal/compress"
 	"shortcutmining/internal/core"
 	"shortcutmining/internal/noc"
 )
@@ -110,6 +111,12 @@ type Spec struct {
 	// Streams are the co-resident request streams.
 	Streams []StreamSpec `json:"streams"`
 
+	// Compress applies an interlayer feature-map codec at every chip's
+	// DRAM boundary (and, under Chips > 1, to interconnect handoffs).
+	// Nil means uncompressed. Every stream shares the one codec: the
+	// codec engine sits at the memory controller, not per tenant.
+	Compress *compress.Config `json:"compress,omitempty"`
+
 	// Chips shards the scenario across N simulated accelerators
 	// (internal/cluster), each with its own bank pool, connected by a
 	// contended interconnect. 0 or 1 = single chip (this package).
@@ -150,6 +157,9 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("sched: negative max-resident %d", s.MaxResident)
 	}
 	if err := s.validateCluster(); err != nil {
+		return err
+	}
+	if err := s.Compress.Validate(); err != nil {
 		return err
 	}
 	total := 0
@@ -221,6 +231,9 @@ func (s *Spec) String() string {
 	if s.MaxResident > 0 {
 		parts = append(parts, fmt.Sprintf("maxresident=%d", s.MaxResident))
 	}
+	if s.Compress != nil {
+		parts = append(parts, fmt.Sprintf("compress=%s", s.Compress.String()))
+	}
 	if s.Chips > 1 {
 		parts = append(parts, fmt.Sprintf("chips=%d", s.Chips))
 		if s.Topology != "" {
@@ -272,6 +285,7 @@ func (s *Spec) String() string {
 //	policy=rr                    fcfs | rr | prio (default fcfs)
 //	quantum=4                    round-robin quantum in layers (default 8)
 //	maxresident=2                bound on launched-but-unfinished runs
+//	compress=zvc:sparsity=0.5    interlayer feature-map codec (compress.ParseSpec)
 //	chips=3                      shard across 3 chips (internal/cluster)
 //	topo=mesh                    interconnect wiring: ring | mesh | all
 //	place=affinity               layer placement: hash | leastload | affinity
@@ -320,6 +334,12 @@ func ParseSpec(s string) (*Spec, error) {
 				return nil, fmt.Errorf("sched: bad maxresident %q: %v", val, err)
 			}
 			spec.MaxResident = m
+		case "compress":
+			cc, err := compress.ParseSpec(val)
+			if err != nil {
+				return nil, err
+			}
+			spec.Compress = cc
 		case "chips":
 			c, err := strconv.Atoi(val)
 			if err != nil {
@@ -349,7 +369,7 @@ func ParseSpec(s string) (*Spec, error) {
 			}
 			spec.Streams = append(spec.Streams, st)
 		default:
-			return nil, fmt.Errorf("sched: unknown clause %q (want seed=, policy=, quantum=, maxresident=, chips=, topo=, place=, linkgbps=, hoplat=, stream=)", clause)
+			return nil, fmt.Errorf("sched: unknown clause %q (want seed=, policy=, quantum=, maxresident=, compress=, chips=, topo=, place=, linkgbps=, hoplat=, stream=)", clause)
 		}
 	}
 	if err := spec.Validate(); err != nil {

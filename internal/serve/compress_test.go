@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestHTTPSimulateCompressed drives POST /v1/simulate with a codec in
+// the config overrides: the reply must carry the codec ledger and move
+// fewer feature-map bytes than the same request uncompressed.
+func TestHTTPSimulateCompressed(t *testing.T) {
+	e := NewEngine(Options{Workers: 2})
+	defer e.Drain(context.Background())
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	plain := `{"network":"squeezenet-bypass","strategy":"scm"}`
+	resp, raw := postJSON(t, srv, "/v1/simulate", plain)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plain status = %d, body %s", resp.StatusCode, raw)
+	}
+	var base simulateReply
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+	if base.Stats.Compression != nil {
+		t.Error("uncompressed run carries a codec ledger")
+	}
+
+	comp := `{"network":"squeezenet-bypass","strategy":"scm",
+	  "config":{"Compression":{"codec":"zvc","sparsity":0.5,"enc_cycles_per_kib":2,"dec_cycles_per_kib":2}}}`
+	resp, raw = postJSON(t, srv, "/v1/simulate", comp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compressed status = %d, body %s", resp.StatusCode, raw)
+	}
+	var got simulateReply
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	cs := got.Stats.Compression
+	if cs == nil {
+		t.Fatal("compressed run reports no codec ledger")
+	}
+	if cs.Wire.FeatureMap() >= cs.Logical.FeatureMap() {
+		t.Errorf("codec wire fmap %d not below logical %d", cs.Wire.FeatureMap(), cs.Logical.FeatureMap())
+	}
+	if got.Stats.FmapTrafficBytes() >= base.Stats.FmapTrafficBytes() {
+		t.Errorf("compressed fmap traffic %d not below uncompressed %d",
+			got.Stats.FmapTrafficBytes(), base.Stats.FmapTrafficBytes())
+	}
+	if got.Stats.Traffic[2] != base.Stats.Traffic[2] { // ClassWeightRead
+		t.Errorf("weight traffic changed under compression: %d vs %d",
+			got.Stats.Traffic[2], base.Stats.Traffic[2])
+	}
+
+	// Invalid codec parameters must 400 at submission, not fail the run.
+	bad := `{"network":"squeezenet-bypass","config":{"Compression":{"codec":"fixed","ratio":0.5}}}`
+	if resp, _ := postJSON(t, srv, "/v1/simulate", bad); resp.StatusCode != http.StatusInternalServerError &&
+		resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad codec status = %d, want an error status", resp.StatusCode)
+	}
+}
+
+// TestHTTPScheduleCompressed drives POST /v1/schedule with a compress=
+// clause in the grammar and checks the codec ledger lands on the
+// per-stream and whole-scenario results.
+func TestHTTPScheduleCompressed(t *testing.T) {
+	e := NewEngine(Options{Workers: 2})
+	defer e.Drain(context.Background())
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	body := `{"spec":"seed=4;policy=rr;quantum=3;compress=fixed:ratio=2,enc=1,dec=1;stream=densechain:n=2,gap=200000;stream=squeezenet:n=2,gap=300000"}`
+	resp, raw := postJSON(t, srv, "/v1/schedule", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, raw)
+	}
+	var accepted jobReply
+	if err := json.Unmarshal(raw, &accepted); err != nil {
+		t.Fatal(err)
+	}
+	view := pollJob(t, srv, accepted.Job)
+	if view.State != JobDone {
+		t.Fatalf("schedule ended %q: %s", view.State, view.Error)
+	}
+	if view.Schedule.Compression == nil {
+		t.Fatal("compressed schedule result has no codec ledger")
+	}
+	if w, l := view.Schedule.Compression.Wire.FeatureMap(), view.Schedule.Compression.Logical.FeatureMap(); w >= l {
+		t.Errorf("scenario codec wire fmap %d not below logical %d", w, l)
+	}
+	for _, sr := range view.Schedule.Streams {
+		if sr.Completed != sr.Requests {
+			t.Errorf("%s: %d/%d completed", sr.Name, sr.Completed, sr.Requests)
+		}
+		if sr.Compression == nil {
+			t.Errorf("%s: stream has no codec ledger", sr.Name)
+		}
+	}
+}
+
+// TestHTTPClusterCompressed drives POST /v1/cluster with compression
+// covering interchip handoffs and checks the sharded ledgers reconcile.
+func TestHTTPClusterCompressed(t *testing.T) {
+	e := NewEngine(Options{Workers: 2})
+	defer e.Drain(context.Background())
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	body := `{"spec":"seed=11;chips=3;place=hash;compress=zvc:sparsity=0.5,enc=2,dec=2;stream=squeezenet:n=2,gap=300000"}`
+	resp, raw := postJSON(t, srv, "/v1/cluster", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, raw)
+	}
+	var accepted jobReply
+	if err := json.Unmarshal(raw, &accepted); err != nil {
+		t.Fatal(err)
+	}
+	view := pollJob(t, srv, accepted.Job)
+	if view.State != JobDone {
+		t.Fatalf("cluster ended %q: %s", view.State, view.Error)
+	}
+	res := view.Cluster
+	if res == nil {
+		t.Fatal("no cluster result in job view")
+	}
+	if err := res.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Compression == nil {
+		t.Fatal("compressed cluster result has no codec ledger")
+	}
+	if res.InterchipLogicalBytes == 0 {
+		t.Error("compressed cluster run reports zero interchip logical bytes")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"shortcutmining/internal/chaos"
+	"shortcutmining/internal/compress"
 	"shortcutmining/internal/core"
 	"shortcutmining/internal/dse"
 	"shortcutmining/internal/journal"
@@ -70,6 +71,16 @@ func runCrashChild(dir string) error {
 		}
 		cfg := core.Default()
 		cfg.Batch = batch
+		// Half the fleet runs with the interlayer codec on, so the crash
+		// lands on checkpoints carrying the compression tallies and the
+		// restart's bit-compare covers the compressed resume path too.
+		if batch%2 == 0 {
+			cc, err := compress.ParseSpec("zvc:sparsity=0.5,enc=2,dec=2")
+			if err != nil {
+				return err
+			}
+			cfg.Compression = cc
+		}
 		if _, err := e.SubmitSimulate(Request{Net: net, Cfg: cfg, Strategy: core.SCM}); err != nil {
 			return err
 		}

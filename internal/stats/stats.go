@@ -25,6 +25,11 @@ type LayerStats struct {
 	Traffic   dram.Traffic // off-chip bytes by class (burst-rounded)
 	SRAMBytes int64        // on-chip buffer touches
 
+	// CodecCycles is the interlayer-compression engine time serialized
+	// into this layer (encode on stores, decode on loads); zero when no
+	// codec is configured. Included in Cycles.
+	CodecCycles int64 `json:",omitempty"`
+
 	// Shortcut Mining bookkeeping (zero under the baseline).
 	ReusedInputBytes int64 // input served by role switching (P2)
 	RetainedBytes    int64 // shortcut bytes pinned on chip (P3)
@@ -63,6 +68,13 @@ type RunStats struct {
 	// it triggered; all-zero for a fault-free run.
 	Faults FaultStats
 
+	// Compression summarizes the interlayer codec's effect: the logical
+	// (pre-codec) bytes per class, what actually crossed the wire, and
+	// the encode/decode engine cycles (already included in TotalCycles).
+	// Nil when no codec was configured, so uncompressed runs serialize
+	// byte-identically to previous releases.
+	Compression *CompressionStats `json:",omitempty"`
+
 	// Metrics is the registry snapshot of an observed run (nil when
 	// the run was not observed); scm-sim -json embeds it verbatim.
 	Metrics *metrics.Snapshot `json:",omitempty"`
@@ -87,6 +99,55 @@ type FaultStats struct {
 
 // Any reports whether any fault machinery fired during the run.
 func (f FaultStats) Any() bool { return f != FaultStats{} }
+
+// CompressionStats is the interlayer-codec ledger of a run: what the
+// layers logically exchanged versus what the codec put on the wire,
+// plus the engine time spent encoding and decoding. Wire records the
+// post-codec payload before burst rounding (the burst-rounded view is
+// RunStats.Traffic); non-compressible classes carry identical Logical
+// and Wire entries.
+type CompressionStats struct {
+	// Codec is the spec-grammar rendering of the configuration
+	// (e.g. "zvc:sparsity=0.55,enc=2,dec=2").
+	Codec string
+
+	Logical dram.Traffic // requested bytes by class, pre-codec
+	Wire    dram.Traffic // post-codec payload bytes by class
+
+	// SavedBytes is Logical.Total() − Wire.Total() — what the codec
+	// kept off the wire.
+	SavedBytes int64
+
+	// EncodeCycles / DecodeCycles are the codec engine time serialized
+	// into the run (already included in TotalCycles).
+	EncodeCycles int64
+	DecodeCycles int64
+}
+
+// Ratio is the achieved compression ratio (logical/wire) over the
+// codec-eligible feature-map classes, 1 when nothing moved. Weight
+// traffic is excluded: it never compresses, and folding it in would
+// dilute the ratio toward 1 on weight-heavy networks.
+func (c CompressionStats) Ratio() float64 {
+	w := c.Wire.FeatureMap()
+	if w == 0 {
+		return 1
+	}
+	return float64(c.Logical.FeatureMap()) / float64(w)
+}
+
+// Add accumulates another run's codec ledger (cluster/scheduler
+// aggregation across per-request runs).
+func (c *CompressionStats) Add(o CompressionStats) {
+	if c.Codec == "" {
+		c.Codec = o.Codec
+	}
+	c.Logical.Add(o.Logical) // scmvet:ok accounting aggregation of per-run codec ledgers, no new bytes
+	c.Wire.Add(o.Wire)       // scmvet:ok accounting aggregation of per-run codec ledgers, no new bytes
+	c.SavedBytes += o.SavedBytes
+	c.EncodeCycles += o.EncodeCycles
+	c.DecodeCycles += o.DecodeCycles
+}
 
 // FmapTrafficBytes is the run's off-chip feature-map traffic — the
 // paper's headline metric.

@@ -1,4 +1,4 @@
-// Package workload defines the experiment suite E1–E24 that
+// Package workload defines the experiment suite E1–E25 that
 // regenerates every table and figure of the evaluation (see DESIGN.md
 // for the per-experiment index and the paper anchors). The same
 // registry backs the scm-exp CLI, the root benchmark suite, and the

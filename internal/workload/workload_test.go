@@ -11,7 +11,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23", "E24"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23", "E24", "E25"}
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %v", ids)
 	}
@@ -480,6 +480,58 @@ func TestE22GracefulDegradation(t *testing.T) {
 			if rel <= 0 || rel >= 1 {
 				t.Errorf("%s/%s: adversity throughput ratio %.4f not in (0,1)", h.name, s, rel)
 			}
+		}
+	}
+}
+
+func TestE25CompressionComposesWithMining(t *testing.T) {
+	res, err := mustRun(t, "E25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics["compose_ok"] != 1 {
+		t.Error("some shortcut-bearing network moved more fmap bytes under both than the best single mechanism")
+	}
+	for _, ratio := range []string{"1.5", "2", "4"} {
+		for _, h := range headline {
+			key := fmt.Sprintf("%s/r%s", h.name, ratio)
+			mine := res.Metrics["fmap_mb/"+key+"/mining"]
+			comp := res.Metrics["fmap_mb/"+key+"/compression"]
+			both := res.Metrics["fmap_mb/"+key+"/both"]
+			base := res.Metrics["fmap_mb/"+key+"/baseline"]
+			if mine <= 0 || comp <= 0 || both <= 0 || base <= 0 {
+				t.Fatalf("%s: missing arm metrics (%v %v %v %v)", key, base, mine, comp, both)
+			}
+			if comp >= base {
+				t.Errorf("%s: compression-only %.2f MiB not below baseline %.2f", key, comp, base)
+			}
+			best := mine
+			if comp < best {
+				best = comp
+			}
+			if both > best {
+				t.Errorf("%s: both %.2f MiB exceeds best single mechanism %.2f", key, both, best)
+			}
+			if res.Metrics["compose_ok/"+key] != 1 {
+				t.Errorf("%s: compose_ok not set", key)
+			}
+		}
+		// Control: no shortcuts to mine, so mining-only stays at the
+		// baseline and compression carries the whole reduction.
+		key := fmt.Sprintf("squeezenet/r%s", ratio)
+		if m, b := res.Metrics["fmap_mb/"+key+"/mining"], res.Metrics["fmap_mb/"+key+"/baseline"]; m > b {
+			t.Errorf("%s: mining-only %.2f MiB above baseline %.2f on the bypass-free control", key, m, b)
+		}
+	}
+
+	// Determinism pin: a second run reproduces every metric exactly.
+	again, err := mustRun(t, "E25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range res.Metrics {
+		if again.Metrics[k] != v {
+			t.Errorf("metric %s not deterministic: %v then %v", k, v, again.Metrics[k])
 		}
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"io"
 
 	"shortcutmining/internal/cluster"
+	"shortcutmining/internal/compress"
 	"shortcutmining/internal/core"
 	"shortcutmining/internal/dse"
 	"shortcutmining/internal/fault"
@@ -74,6 +75,13 @@ type (
 	// RunError is a classified simulation failure (recoverable
 	// capacity exhaustion vs fatal invariant/liveness violations).
 	RunError = fault.RunError
+	// CompressConfig is an interlayer feature-map codec attached to
+	// Config.Compression; see ParseCompressSpec for the CLI grammar.
+	CompressConfig = compress.Config
+	// CompressionStats is a run's codec ledger (logical vs wire bytes
+	// per traffic class plus codec engine cycles), carried on
+	// RunStats.Compression when compression is on.
+	CompressionStats = stats.CompressionStats
 )
 
 // Buffer-management strategies, in increasing capability order.
@@ -137,6 +145,14 @@ func ParseFaultSpec(s string) (*FaultSpec, error) { return fault.ParseSpec(s) }
 
 // AsRunError unwraps err to its *RunError classification, if any.
 func AsRunError(err error) (*RunError, bool) { return fault.AsRunError(err) }
+
+// ParseCompressSpec parses the compact codec grammar shared with the
+// CLIs' -compress flag and the scheduling grammar's compress= clause,
+// e.g.
+//
+//	fixed:ratio=2,enc=1,dec=1
+//	zvc:sparsity=0.55,elem=2,enc=2,dec=2,classes=ifm+ofm+shortcut
+func ParseCompressSpec(s string) (*CompressConfig, error) { return compress.ParseSpec(s) }
 
 // NewNetworkBuilder starts a custom network with the given input
 // shape. Finish the graph with its Finish method and simulate it like
@@ -262,7 +278,7 @@ func ParetoFront(outcomes []DesignOutcome) []DesignOutcome {
 	return dse.ParetoFront(outcomes)
 }
 
-// ExperimentIDs lists the reproduction suite (E1–E21).
+// ExperimentIDs lists the reproduction suite (E1–E25).
 func ExperimentIDs() []string { return workload.IDs() }
 
 // ExperimentInfo returns the title and paper anchor of a suite

@@ -132,7 +132,7 @@ func TestVerifyFunctionalPublic(t *testing.T) {
 
 func TestRunExperimentPublic(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 24 {
+	if len(ids) != 25 {
 		t.Fatalf("experiment ids = %v", ids)
 	}
 	res, err := RunExperiment("E9")
