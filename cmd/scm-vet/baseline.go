@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"shortcutmining/internal/analysis"
+)
+
+// baselineKey normalizes a finding for baseline matching: file, check,
+// and message, but no line or column, so moving code around a file
+// does not churn the baseline.
+func baselineKey(f analysis.Finding) string {
+	return fmt.Sprintf("%s: [%s] %s", f.File, f.Check, f.Message)
+}
+
+// writeBaselineFile records the findings' baseline keys, one per line,
+// deduplicated but in finding order.
+func writeBaselineFile(path string, findings []analysis.Finding) error {
+	var sb strings.Builder
+	sb.WriteString("# scm-vet baseline: accepted findings, one \"file: [check] message\" per line.\n")
+	sb.WriteString("# Line numbers are deliberately absent; regenerate with -write-baseline.\n")
+	seen := make(map[string]bool)
+	for _, f := range findings {
+		key := baselineKey(f)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		sb.WriteString(key)
+		sb.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}
+
+// applyBaseline drops findings whose key appears in the baseline file.
+// Blank lines and #-comments are ignored.
+func applyBaseline(path string, findings []analysis.Finding) ([]analysis.Finding, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	defer file.Close()
+	accepted := make(map[string]bool)
+	sc := bufio.NewScanner(file)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		accepted[line] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	kept := findings[:0:0]
+	for _, f := range findings {
+		if !accepted[baselineKey(f)] {
+			kept = append(kept, f)
+		}
+	}
+	return kept, nil
+}
+
+// plural picks the singular or plural suffix.
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}

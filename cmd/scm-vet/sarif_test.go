@@ -1,0 +1,172 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"shortcutmining/internal/analysis"
+)
+
+var seededFindings = []analysis.Finding{
+	{File: "internal/core/sim.go", Line: 42, Col: 7, Check: analysis.CheckDeterminism, Message: "time.Now reads the wall clock"},
+	{File: "internal/serve/engine.go", Line: 10, Col: 2, Check: analysis.CheckLocking, Message: "Engine.jobs is guarded by mu"},
+	{File: "internal/serve/engine.go", Line: 99, Col: 2, Check: analysis.CheckLocking, Message: "Engine.jobs is guarded by mu"},
+}
+
+// TestWriteSARIF pins the SARIF shape GitHub code scanning ingests:
+// version, one run, per-check rules, and physical locations.
+func TestWriteSARIF(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.sarif")
+	if err := writeSARIF(path, seededFindings); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q runs %d, want 2.1.0 and one run", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "scm-vet" {
+		t.Errorf("driver = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(run.Results))
+	}
+	if len(run.Tool.Driver.Rules) != 2 {
+		t.Fatalf("rules = %d, want 2 (determinism and locking, deduplicated)", len(run.Tool.Driver.Rules))
+	}
+	r := run.Results[0]
+	if r.RuleID != "scmvet/determinism" || r.Level != "error" {
+		t.Errorf("result[0] rule %q level %q", r.RuleID, r.Level)
+	}
+	loc := r.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/core/sim.go" || loc.Region.StartLine != 42 || loc.Region.StartColumn != 7 {
+		t.Errorf("location = %+v", loc)
+	}
+}
+
+// TestWriteSARIFEmpty: a clean run still writes a valid log with empty
+// results and rules arrays (not null), which uploaders require.
+func TestWriteSARIFEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.sarif")
+	if err := writeSARIF(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if strings.Contains(s, `"results": null`) || strings.Contains(s, `"rules": null`) {
+		t.Errorf("empty log serialized null arrays:\n%s", s)
+	}
+}
+
+// TestSelfRunSARIF threads the flag end to end over the real module:
+// exit 0, empty results, file exists.
+func TestSelfRunSARIF(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "self.sarif")
+	var stdout, stderr strings.Builder
+	code := run([]string{"-sarif", path, modulePattern(t)}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr:\n%s", code, stderr.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Runs) != 1 || len(log.Runs[0].Results) != 0 {
+		t.Errorf("self-run SARIF should be one empty run, got %+v", log.Runs)
+	}
+}
+
+// TestBaselineRoundTrip: writing a baseline and applying it suppresses
+// exactly the recorded findings, by file/check/message and not line.
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.txt")
+	if err := writeBaselineFile(path, seededFindings); err != nil {
+		t.Fatal(err)
+	}
+
+	// The duplicate-key pair collapses to one baseline line.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if line != "" && !strings.HasPrefix(line, "#") {
+			keys = append(keys, line)
+		}
+	}
+	if len(keys) != 2 {
+		t.Fatalf("baseline keys = %v, want 2", keys)
+	}
+
+	// Same findings on different lines are still suppressed; a new
+	// message is not.
+	moved := []analysis.Finding{
+		{File: "internal/core/sim.go", Line: 900, Col: 1, Check: analysis.CheckDeterminism, Message: "time.Now reads the wall clock"},
+		{File: "internal/serve/engine.go", Line: 5, Col: 5, Check: analysis.CheckLocking, Message: "Engine.jobs is guarded by mu"},
+		{File: "internal/core/sim.go", Line: 7, Col: 1, Check: analysis.CheckNoPanic, Message: "fresh finding"},
+	}
+	kept, err := applyBaseline(path, moved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 1 || kept[0].Check != analysis.CheckNoPanic {
+		t.Errorf("kept = %+v, want only the fresh nopanic finding", kept)
+	}
+}
+
+// TestBaselineMissingFile pins the error path.
+func TestBaselineMissingFile(t *testing.T) {
+	if _, err := applyBaseline(filepath.Join(t.TempDir(), "nope.txt"), seededFindings); err == nil {
+		t.Fatal("missing baseline file did not error")
+	}
+}
+
+// TestBaselineFlagsExclusive pins the usage error.
+func TestBaselineFlagsExclusive(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-baseline", "a", "-write-baseline", "b", modulePattern(t)}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "mutually exclusive") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+}
+
+// TestWriteBaselineSelfRun: over the clean module, -write-baseline
+// writes a header-only file and exits 0.
+func TestWriteBaselineSelfRun(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.txt")
+	var stdout, stderr strings.Builder
+	code := run([]string{"-write-baseline", path, modulePattern(t)}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr:\n%s", code, stderr.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if line != "" && !strings.HasPrefix(line, "#") {
+			t.Errorf("clean module baselined a finding: %q", line)
+		}
+	}
+}

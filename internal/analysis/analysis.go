@@ -2,7 +2,8 @@
 // that enforces this repository's simulator contracts at review time
 // instead of waiting for a golden test or a cache key to diverge.
 //
-// Four checks run over every non-test package of the module:
+// Four intra-package checks run over every non-test package of the
+// module:
 //
 //   - determinism: no wall-clock reads (time.Now/Since/Until) and no
 //     global math/rand calls anywhere in library code, and no ranging
@@ -17,6 +18,33 @@
 //     leak into headline numbers.
 //   - ignorederr: library code must not discard error results, either
 //     by a bare call statement or by assigning them to blank.
+//
+// Four more checks run on top of a conservative module-wide call graph
+// (direct calls only — calls through interfaces and function values are
+// invisible, so these checks under-approximate; see graph.go):
+//
+//   - locking: struct fields annotated `guarded by <mu>` may only be
+//     read or written inside a function that locks (or RLocks) the
+//     named sibling mutex on the same base expression. Functions whose
+//     name ends in "Locked" are assumed to be called with the lock
+//     held; constructors touching a value they just built are exempt.
+//   - ctxflow: a function that receives a context.Context must not
+//     start a fresh context below it — neither by calling
+//     context.Background/TODO directly (the `if ctx == nil { ctx =
+//     context.Background() }` normalization idiom is allowed) nor by
+//     calling a context-free module function that reaches one through
+//     the call graph.
+//   - snapshotstable: every struct reachable from the configured
+//     serialized-schema roots (core.RunSnapshot, journal records,
+//     BENCH_*.json) must have only exported fields with explicit json
+//     tags, and no map, interface, func, or chan fields — schema drift
+//     there silently breaks crash recovery and the bench -check gate.
+//   - determinism-transitive: a function in a deterministic package
+//     must not *reach* a wall-clock read, global-rand call, or map
+//     range through the call graph, even when the operation lives in a
+//     package where it is individually legal. Findings land on the
+//     frontier call site; annotating the operation's own line with
+//     determinism or determinism-transitive clears every caller.
 //
 // Findings can be suppressed per line with a justified annotation:
 //
@@ -37,10 +65,14 @@ import (
 
 // Check names, as they appear in findings and suppression comments.
 const (
-	CheckDeterminism = "determinism"
-	CheckNoPanic     = "nopanic"
-	CheckAccounting  = "accounting"
-	CheckIgnoredErr  = "ignorederr"
+	CheckDeterminism   = "determinism"
+	CheckNoPanic       = "nopanic"
+	CheckAccounting    = "accounting"
+	CheckIgnoredErr    = "ignorederr"
+	CheckLocking       = "locking"
+	CheckCtxFlow       = "ctxflow"
+	CheckSnapshot      = "snapshotstable"
+	CheckDetTransitive = "determinism-transitive"
 	// CheckSuppress reports malformed scmvet:ok annotations; it cannot
 	// itself be suppressed.
 	CheckSuppress = "suppress"
@@ -48,7 +80,10 @@ const (
 
 // AllChecks lists every selectable check in output order.
 func AllChecks() []string {
-	return []string{CheckDeterminism, CheckNoPanic, CheckAccounting, CheckIgnoredErr}
+	return []string{
+		CheckDeterminism, CheckNoPanic, CheckAccounting, CheckIgnoredErr,
+		CheckLocking, CheckCtxFlow, CheckSnapshot, CheckDetTransitive,
+	}
 }
 
 // Finding is one rule violation.
@@ -103,6 +138,13 @@ type Config struct {
 	// to be nil (strings.Builder, bytes.Buffer, hash.Hash); discarding
 	// their errors is fine. A leading * is ignored when matching.
 	NeverFailTypes []string
+
+	// SnapshotRoots name the serialized-schema root types (as
+	// "relpkg.Name", unexported names allowed) whose reachable struct
+	// graph the snapshotstable check walks. A configured root that no
+	// longer resolves is itself a finding, so a rename cannot silently
+	// turn the check off.
+	SnapshotRoots []string
 }
 
 // DefaultConfig returns the contract configuration for this repository.
@@ -119,6 +161,9 @@ func DefaultConfig() Config {
 		LedgerTypes:           []string{"internal/dram.Traffic"},
 		LedgerWriterPkgs:      []string{"internal/dram", "internal/sram"},
 		NeverFailTypes:        []string{"strings.Builder", "bytes.Buffer", "hash.Hash", "hash.Hash32", "hash.Hash64"},
+		SnapshotRoots: []string{
+			"internal/core.RunSnapshot", "internal/journal.Record", "internal/bench.Report",
+		},
 	}
 }
 
@@ -161,6 +206,25 @@ type suppression struct {
 // suppressions indexes a package's annotations by file and line.
 type suppressions map[string]map[int][]*suppression
 
+// ParseDirective parses the text following the "scmvet:ok" marker into
+// its check list. A non-empty problem is the exact message reported as
+// a suppress finding: a directive needs at least one known check name
+// and a reason. Exported for the fuzz target; never panics on any
+// input.
+func ParseDirective(rest string) (checks []string, problem string) {
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return nil, "scmvet:ok needs a check name and a reason: // scmvet:ok <check>[,<check>] <reason>"
+	}
+	checks = strings.Split(fields[0], ",")
+	for _, name := range checks {
+		if !contains(AllChecks(), name) {
+			return nil, fmt.Sprintf("scmvet:ok names unknown check %q (have %s)", name, strings.Join(AllChecks(), ", "))
+		}
+	}
+	return checks, ""
+}
+
 // parseSuppressions scans a package's comments for scmvet:ok
 // annotations. Malformed annotations (no reason, unknown check) are
 // reported as findings of the suppress pseudo-check.
@@ -180,28 +244,12 @@ func parseSuppressions(p *pass) suppressions {
 					continue
 				}
 				pos := p.mod.Fset.Position(c.Pos())
-				fields := strings.Fields(rest)
-				if len(fields) < 2 {
+				checks, problem := ParseDirective(rest)
+				if problem != "" {
 					p.reportRaw(Finding{
 						File: relFile(p, pos.Filename), Line: pos.Line, Col: pos.Column,
-						Check:   CheckSuppress,
-						Message: "scmvet:ok needs a check name and a reason: // scmvet:ok <check>[,<check>] <reason>",
+						Check: CheckSuppress, Message: problem,
 					})
-					continue
-				}
-				checks := strings.Split(fields[0], ",")
-				bad := false
-				for _, name := range checks {
-					if !contains(AllChecks(), name) {
-						p.reportRaw(Finding{
-							File: relFile(p, pos.Filename), Line: pos.Line, Col: pos.Column,
-							Check:   CheckSuppress,
-							Message: fmt.Sprintf("scmvet:ok names unknown check %q (have %s)", name, strings.Join(AllChecks(), ", ")),
-						})
-						bad = true
-					}
-				}
-				if bad {
 					continue
 				}
 				line := pos.Line
@@ -236,9 +284,18 @@ func standsAlone(src []byte, pos token.Position) bool {
 // returns the surviving findings sorted by file, line, column, check.
 func Run(mod *Module, cfg Config) []Finding {
 	var findings []Finding
+	passes := make([]*pass, 0, len(mod.Pkgs))
 	for _, pkg := range mod.Pkgs {
 		p := &pass{mod: mod, pkg: pkg, cfg: cfg, findings: &findings}
 		p.sup = parseSuppressions(p)
+		passes = append(passes, p)
+	}
+	var g *graph
+	if cfg.checkEnabled(CheckLocking) || cfg.checkEnabled(CheckCtxFlow) ||
+		cfg.checkEnabled(CheckSnapshot) || cfg.checkEnabled(CheckDetTransitive) {
+		g = buildGraph(mod, cfg, passes)
+	}
+	for _, p := range passes {
 		if cfg.checkEnabled(CheckDeterminism) {
 			checkDeterminism(p)
 		}
@@ -251,6 +308,18 @@ func Run(mod *Module, cfg Config) []Finding {
 		if cfg.checkEnabled(CheckIgnoredErr) {
 			checkIgnoredErr(p)
 		}
+		if cfg.checkEnabled(CheckLocking) {
+			checkLocking(p, g)
+		}
+		if cfg.checkEnabled(CheckCtxFlow) {
+			checkCtxFlow(p, g)
+		}
+		if cfg.checkEnabled(CheckDetTransitive) {
+			checkDetTransitive(p, g)
+		}
+	}
+	if cfg.checkEnabled(CheckSnapshot) {
+		checkSnapshotStable(g)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -289,17 +358,27 @@ func relFile(p *pass, filename string) string {
 	return filename
 }
 
-// report files a finding unless a matching suppression covers the line.
-func (p *pass) report(check string, pos token.Pos, format string, args ...any) {
+// suppressedAt reports whether a matching scmvet:ok covers pos.
+// report consults it before filing; the call-graph taint collection
+// uses it directly so an annotated source line does not poison every
+// caller.
+func (p *pass) suppressedAt(check string, pos token.Pos) bool {
 	position := p.mod.Fset.Position(pos)
-	if byLine, ok := p.sup[position.Filename]; ok {
-		for _, s := range byLine[position.Line] {
-			if contains(s.checks, check) {
-				s.used = true
-				return
-			}
+	for _, s := range p.sup[position.Filename][position.Line] {
+		if contains(s.checks, check) {
+			s.used = true
+			return true
 		}
 	}
+	return false
+}
+
+// report files a finding unless a matching suppression covers the line.
+func (p *pass) report(check string, pos token.Pos, format string, args ...any) {
+	if p.suppressedAt(check, pos) {
+		return
+	}
+	position := p.mod.Fset.Position(pos)
 	p.reportRaw(Finding{
 		File: relFile(p, position.Filename), Line: position.Line, Col: position.Column,
 		Check: check, Message: fmt.Sprintf(format, args...),

@@ -1,0 +1,352 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// mutexMethods are the sync.Mutex/RWMutex acquire entry points; any of
+// them counts as holding the guard for the rest of the function (the
+// check is flow-insensitive — unlock-then-touch escapes it, which is
+// the documented under-approximation).
+var mutexMethods = map[string]bool{
+	"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true,
+}
+
+// checkLocking enforces `guarded by <mu>` field annotations: every read
+// or write of a guarded field must happen in a function that acquires
+// the named mutex on the same base expression. Functions whose name
+// ends in "Locked" are callee-side helpers assumed to run under the
+// lock, and values freshly constructed in the function (no concurrent
+// aliases yet) are exempt.
+func checkLocking(p *pass, g *graph) {
+	if len(g.guards) == 0 {
+		return
+	}
+	p.eachFunc(func(decl *ast.FuncDecl) {
+		if strings.HasSuffix(decl.Name.Name, "Locked") {
+			return
+		}
+		acquired := lockedBases(p, decl)
+		fresh := freshLocals(p, decl)
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := p.pkg.Info.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			field, ok := selection.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			guard := g.guards[field]
+			if guard == nil {
+				return true
+			}
+			base := ast.Unparen(sel.X)
+			if id, ok := base.(*ast.Ident); ok && fresh[p.pkg.Info.ObjectOf(id)] {
+				return true
+			}
+			key := types.ExprString(base) + "." + guard.mu
+			if !acquired[key] {
+				p.report(CheckLocking, sel.Sel.Pos(),
+					"%s.%s is guarded by %s but %s does not hold %s; lock it, rename the helper with a Locked suffix, or annotate the seam",
+					guard.owner, field.Name(), guard.mu, decl.Name.Name, key)
+			}
+			return true
+		})
+	})
+}
+
+// lockedBases collects the receiver expressions this function acquires
+// a mutex on, keyed by source text ("e.mu", "j.mu").
+func lockedBases(p *pass, decl *ast.FuncDecl) map[string]bool {
+	acquired := make(map[string]bool)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !mutexMethods[sel.Sel.Name] {
+			return true
+		}
+		fn, _ := p.pkg.Info.Uses[sel.Sel].(*types.Func)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		acquired[types.ExprString(ast.Unparen(sel.X))] = true
+		return true
+	})
+	return acquired
+}
+
+// freshLocals collects objects this function constructs itself —
+// composite literals, new(T), or zero-value var declarations. A value
+// with no concurrent aliases yet needs no lock to initialize.
+func freshLocals(p *pass, decl *ast.FuncDecl) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	mark := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		switch r := ast.Unparen(rhs).(type) {
+		case *ast.CompositeLit:
+		case *ast.UnaryExpr:
+			if r.Op != token.AND {
+				return
+			}
+			if _, ok := ast.Unparen(r.X).(*ast.CompositeLit); !ok {
+				return
+			}
+		case *ast.CallExpr:
+			if !p.isBuiltin(r, "new") {
+				return
+			}
+		default:
+			return
+		}
+		if obj := p.pkg.Info.Defs[id]; obj != nil {
+			fresh[obj] = true
+		}
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i := range n.Lhs {
+				mark(n.Lhs[i], n.Rhs[i])
+			}
+		case *ast.DeclStmt:
+			gen, ok := n.Decl.(*ast.GenDecl)
+			if !ok || gen.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gen.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue // initialized vars go through mark's rules, skip
+				}
+				for _, name := range vs.Names {
+					if obj := p.pkg.Info.Defs[name]; obj != nil {
+						fresh[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// checkCtxFlow enforces that a function receiving a context.Context
+// keeps the caller's cancellation live below it: no direct
+// context.Background/TODO (nil-normalization excepted), and no call
+// into a context-free module function whose subgraph starts a fresh
+// context.
+func checkCtxFlow(p *pass, g *graph) {
+	if isCommandPkg(p.pkg.RelPath) {
+		return
+	}
+	p.eachFunc(func(decl *ast.FuncDecl) {
+		fn, _ := p.pkg.Info.Defs[decl.Name].(*types.Func)
+		node := g.funcs[fn]
+		if node == nil || !node.hasCtx {
+			return
+		}
+		for _, op := range node.bg {
+			p.report(CheckCtxFlow, op.pos,
+				"%s in a context-receiving function detaches from the caller's cancellation; pass ctx down or annotate the seam",
+				op.desc)
+		}
+		for _, cs := range node.calls {
+			cn := g.funcs[cs.callee]
+			if cn == nil || cn.hasCtx {
+				continue
+			}
+			if w := g.reachBackground(cs.callee); w != nil {
+				p.report(CheckCtxFlow, cs.pos,
+					"call drops ctx: %s reaches %s (%s); plumb context through or annotate the seam",
+					g.funcName(cs.callee), w.op.desc, g.posString(w.op.pos))
+			}
+		}
+	})
+}
+
+// checkDetTransitive extends the determinism contract across package
+// boundaries: a function in a deterministic package must not call out
+// to a function whose subgraph reads the clock, uses global rand, or
+// ranges a map — even where that operation is individually legal.
+// Findings land on the frontier call site; propagation stops at other
+// deterministic-package functions, which are checked at their own
+// frontier.
+func checkDetTransitive(p *pass, g *graph) {
+	if !contains(p.cfg.DeterministicPkgs, p.pkg.RelPath) {
+		return
+	}
+	p.eachFunc(func(decl *ast.FuncDecl) {
+		fn, _ := p.pkg.Info.Defs[decl.Name].(*types.Func)
+		node := g.funcs[fn]
+		if node == nil {
+			return
+		}
+		for _, cs := range node.calls {
+			cn := g.funcs[cs.callee]
+			if cn == nil || contains(p.cfg.DeterministicPkgs, cn.pkg.RelPath) {
+				continue
+			}
+			if w := g.reachNondet(cs.callee); w != nil {
+				p.report(CheckDetTransitive, cs.pos,
+					"call leaves the deterministic boundary: %s reaches %s (%s); make the callee deterministic or annotate the operation",
+					g.funcName(cs.callee), w.op.desc, g.posString(w.op.pos))
+			}
+		}
+	})
+}
+
+// checkSnapshotStable walks the struct graph reachable from the
+// configured serialized-schema roots and requires every field to be
+// exported with an explicit json name (or "-"), and to avoid map,
+// interface, func, and chan types whose encoding is not schema-stable.
+func checkSnapshotStable(g *graph) {
+	byRel := make(map[string]*pass, len(g.passes))
+	for _, p := range g.passes {
+		byRel[p.pkg.RelPath] = p
+	}
+	seen := make(map[*types.Named]bool)
+	var queue []*types.Named
+	for _, root := range g.cfg.SnapshotRoots {
+		dot := strings.LastIndex(root, ".")
+		var named *types.Named
+		if dot > 0 {
+			if p := byRel[root[:dot]]; p != nil {
+				if obj, ok := p.pkg.Pkg.Scope().Lookup(root[dot+1:]).(*types.TypeName); ok {
+					named, _ = types.Unalias(obj.Type()).(*types.Named)
+				}
+			}
+		}
+		if named == nil || !isStruct(named) {
+			if len(g.passes) > 0 {
+				g.passes[0].reportRaw(Finding{
+					File: "go.mod", Line: 1, Col: 1, Check: CheckSnapshot,
+					Message: "configured snapshot root " + root + " does not resolve to a struct type; fix SnapshotRoots so the schema walk cannot silently stop",
+				})
+			}
+			continue
+		}
+		if !seen[named] {
+			seen[named] = true
+			queue = append(queue, named)
+		}
+	}
+	for len(queue) > 0 {
+		named := queue[0]
+		queue = queue[1:]
+		p := g.passAt(named.Obj().Pos())
+		if p == nil {
+			continue
+		}
+		st := named.Underlying().(*types.Struct)
+		g.checkStructFields(p, named.Obj().Name(), st, seen, &queue)
+	}
+}
+
+func isStruct(named *types.Named) bool {
+	_, ok := named.Underlying().(*types.Struct)
+	return ok
+}
+
+// checkStructFields applies the schema-stability rules to one struct's
+// fields and enqueues in-module named structs its fields reach.
+func (g *graph) checkStructFields(p *pass, owner string, st *types.Struct, seen map[*types.Named]bool, queue *[]*types.Named) {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			p.report(CheckSnapshot, f.Pos(),
+				"unexported field %s of serialized struct %s is invisible to encoding/json; export it or move it out of the schema", f.Name(), owner)
+			continue
+		}
+		if !f.Embedded() {
+			name, ok := jsonName(st.Tag(i))
+			if !ok {
+				p.report(CheckSnapshot, f.Pos(),
+					"field %s of serialized struct %s has no json tag; pin the wire name explicitly (`json:\"%s\"`) so renames cannot drift the schema", f.Name(), owner, f.Name())
+			} else if name == "" {
+				p.report(CheckSnapshot, f.Pos(),
+					"field %s of serialized struct %s has a json tag without a name; pin the wire name explicitly so renames cannot drift the schema", f.Name(), owner)
+			}
+		}
+		g.scanFieldType(p, owner, f, f.Type(), seen, queue)
+	}
+}
+
+// jsonName extracts the name part of a json struct tag. ok is false
+// when no json tag is present at all.
+func jsonName(tag string) (name string, ok bool) {
+	v, ok := reflect.StructTag(tag).Lookup("json")
+	if !ok {
+		return "", false
+	}
+	if i := strings.Index(v, ","); i >= 0 {
+		v = v[:i]
+	}
+	return v, true
+}
+
+// scanFieldType recursively validates a field's type: containers are
+// unwrapped, in-module named structs join the walk, and
+// encoding-unstable kinds (map, interface, func, chan) are findings at
+// the field, where a scmvet:ok can justify a deterministic-encode seam.
+func (g *graph) scanFieldType(p *pass, owner string, f *types.Var, t types.Type, seen map[*types.Named]bool, queue *[]*types.Named) {
+	switch t := types.Unalias(t).(type) {
+	case *types.Pointer:
+		g.scanFieldType(p, owner, f, t.Elem(), seen, queue)
+	case *types.Slice:
+		g.scanFieldType(p, owner, f, t.Elem(), seen, queue)
+	case *types.Array:
+		g.scanFieldType(p, owner, f, t.Elem(), seen, queue)
+	case *types.Map:
+		p.report(CheckSnapshot, f.Pos(),
+			"field %s of serialized struct %s is a map; JSON map encoding is not schema-stable — use a sorted slice or annotate the deterministic-encode seam", f.Name(), owner)
+	case *types.Interface:
+		p.report(CheckSnapshot, f.Pos(),
+			"field %s of serialized struct %s is an interface; its dynamic type is not part of the schema — use a concrete type or annotate the seam", f.Name(), owner)
+	case *types.Signature:
+		p.report(CheckSnapshot, f.Pos(),
+			"field %s of serialized struct %s is a func; encoding/json cannot serialize it", f.Name(), owner)
+	case *types.Chan:
+		p.report(CheckSnapshot, f.Pos(),
+			"field %s of serialized struct %s is a channel; encoding/json cannot serialize it", f.Name(), owner)
+	case *types.Named:
+		obj := t.Obj()
+		if obj.Pkg() == nil {
+			// Universe types: error is a named interface.
+			g.scanFieldType(p, owner, f, t.Underlying(), seen, queue)
+			return
+		}
+		path := obj.Pkg().Path()
+		if path != g.mod.Path && !strings.HasPrefix(path, g.mod.Path+"/") {
+			return // stdlib/external types (time.Time, json.RawMessage) own their encoding
+		}
+		if isStruct(t) {
+			if !seen[t] {
+				seen[t] = true
+				*queue = append(*queue, t)
+			}
+			return
+		}
+		g.scanFieldType(p, owner, f, t.Underlying(), seen, queue)
+	case *types.Struct:
+		// Anonymous struct field: apply the same rules inline.
+		g.checkStructFields(p, owner+"."+f.Name(), t, seen, queue)
+	}
+}

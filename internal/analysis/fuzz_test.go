@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzSuppressionDirective hammers the scmvet:ok directive parser with
+// arbitrary annotation tails and holds its invariants: it never
+// panics, a success names only known checks, and a failure carries an
+// actionable message.
+func FuzzSuppressionDirective(f *testing.F) {
+	// Well-formed.
+	f.Add(" determinism order-independent sum")
+	f.Add(" locking monitoring read; staleness acceptable")
+	f.Add(" determinism,ctxflow shared seam across two contracts")
+	f.Add("\tdeterminism-transitive\ttab-separated reason")
+	// Malformed: missing reason.
+	f.Add(" determinism")
+	f.Add(" locking\n")
+	// Malformed: unknown or mangled check lists.
+	f.Add(" speling the reason")
+	f.Add(" determinism,,nopanic double comma")
+	f.Add(" determinism, nopanic space after comma")
+	f.Add(" ,determinism leading comma")
+	f.Add(" determinism, trailing comma then reason")
+	f.Add(" suppress the pseudo-check is not selectable")
+	// Degenerate.
+	f.Add("")
+	f.Add(" ")
+	f.Add("\x00\xff")
+	f.Add(strings.Repeat("determinism,", 1000) + " reason")
+
+	known := AllChecks()
+	f.Fuzz(func(t *testing.T, rest string) {
+		checks, problem := ParseDirective(rest)
+		if problem != "" {
+			if len(checks) != 0 {
+				t.Fatalf("ParseDirective(%q) returned checks %v alongside problem %q", rest, checks, problem)
+			}
+			if utf8.ValidString(rest) && !strings.Contains(problem, "scmvet:ok") {
+				t.Fatalf("problem %q does not mention the directive form", problem)
+			}
+			return
+		}
+		if len(checks) == 0 {
+			t.Fatalf("ParseDirective(%q) succeeded with no checks", rest)
+		}
+		for _, c := range checks {
+			if !contains(known, c) {
+				t.Fatalf("ParseDirective(%q) accepted unknown check %q", rest, c)
+			}
+		}
+		// A successful parse implies at least two whitespace-separated
+		// fields: the check list and a non-empty reason.
+		if fields := strings.Fields(rest); len(fields) < 2 {
+			t.Fatalf("ParseDirective(%q) succeeded without a reason", rest)
+		}
+	})
+}

@@ -1,0 +1,430 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// graph is the module-wide context the call-graph checks share: a
+// conservative static call graph, the guarded-field table, and
+// memoized reachability facts.
+//
+// The graph resolves direct calls only — a call through an interface
+// method or a function value has no statically known body, so the
+// checks built on it under-approximate (they can miss, never
+// over-report, along those edges). That is the right trade for a
+// gating linter: every finding is a real static path.
+type graph struct {
+	mod    *Module
+	cfg    Config
+	passes []*pass
+	// byDir locates the pass owning a source position (suppressions
+	// are per-package state).
+	byDir map[string]*pass
+	// funcs indexes every declared function and method of the module.
+	funcs map[*types.Func]*funcNode
+	// guards maps a struct field object to its `guarded by` contract.
+	guards map[*types.Var]*guard
+
+	nondetMemo map[*types.Func]*witness
+	bgMemo     map[*types.Func]*witness
+}
+
+// funcNode is one declared function or method with a body.
+type funcNode struct {
+	fn  *types.Func
+	pkg *Package
+
+	// calls are the statically resolved calls to other module
+	// functions, in source order (function literals fold into their
+	// enclosing declaration).
+	calls []callSite
+	// nondet are the function's own unsuppressed nondeterministic
+	// operations: wall-clock reads, global-rand calls, map ranges.
+	nondet []opRef
+	// bg are the function's own unsuppressed context.Background/TODO
+	// calls, excluding the nil-normalization idiom.
+	bg []opRef
+	// hasCtx reports whether the signature accepts a context.Context;
+	// such functions are checked in their own right, so taint searches
+	// do not propagate through them.
+	hasCtx bool
+}
+
+// callSite is one resolved call expression.
+type callSite struct {
+	pos    token.Pos
+	callee *types.Func
+}
+
+// opRef is one primitive operation a taint analysis cares about.
+type opRef struct {
+	pos  token.Pos
+	desc string
+}
+
+// witness explains why a function is tainted: the primitive operation
+// its call subgraph reaches.
+type witness struct {
+	op opRef
+}
+
+// guard is one `guarded by <mu>` annotation on a struct field.
+type guard struct {
+	// mu is the sibling field that must be locked while the guarded
+	// field is touched.
+	mu string
+	// owner is the declaring struct's name, for messages.
+	owner string
+}
+
+// guardedRx extracts the mutex name from a field comment. The phrase
+// works inside any comment form and tolerates trailing prose:
+// `f int // guarded by mu: detail`.
+var guardedRx = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_.]*)`)
+
+// buildGraph walks every package once, collecting declarations, call
+// edges, primitive operations, and guarded-field annotations.
+func buildGraph(mod *Module, cfg Config, passes []*pass) *graph {
+	g := &graph{
+		mod: mod, cfg: cfg, passes: passes,
+		byDir:      make(map[string]*pass),
+		funcs:      make(map[*types.Func]*funcNode),
+		guards:     make(map[*types.Var]*guard),
+		nondetMemo: make(map[*types.Func]*witness),
+		bgMemo:     make(map[*types.Func]*witness),
+	}
+	for _, p := range passes {
+		g.byDir[p.pkg.Dir] = p
+		g.collectGuards(p)
+		p.eachFunc(func(decl *ast.FuncDecl) {
+			fn, _ := p.pkg.Info.Defs[decl.Name].(*types.Func)
+			if fn == nil {
+				return
+			}
+			node := &funcNode{fn: fn, pkg: p.pkg, hasCtx: hasCtxParam(fn)}
+			g.collectBody(p, decl, node)
+			g.funcs[fn] = node
+		})
+	}
+	return g
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// hasCtxParam reports whether fn's signature accepts a context.Context
+// parameter.
+func hasCtxParam(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// moduleFunc reports whether fn is declared inside the module under
+// analysis.
+func (g *graph) moduleFunc(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == g.mod.Path || strings.HasPrefix(pkg.Path(), g.mod.Path+"/")
+}
+
+// collectBody records fn's call edges and primitive operations.
+// Suppressed operations (scmvet:ok on their line for the relevant
+// check) are excluded at the source, so one justified annotation
+// clears every transitive caller instead of forcing one per call site.
+func (g *graph) collectBody(p *pass, decl *ast.FuncDecl, node *funcNode) {
+	allowedBG := nilGuardAllowed(p, decl)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := p.callee(n)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if g.moduleFunc(fn) {
+				node.calls = append(node.calls, callSite{pos: n.Pos(), callee: fn})
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					g.addNondet(p, node, n.Pos(), "time."+fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil && !globalRandAllowed[fn.Name()] {
+					g.addNondet(p, node, n.Pos(), "global rand."+fn.Name())
+				}
+			case "context":
+				switch fn.Name() {
+				case "Background", "TODO":
+					if allowedBG[n.Pos()] || p.suppressedAt(CheckCtxFlow, n.Pos()) {
+						return true
+					}
+					node.bg = append(node.bg, opRef{pos: n.Pos(), desc: "context." + fn.Name()})
+				}
+			}
+		case *ast.RangeStmt:
+			t := p.pkg.Info.TypeOf(n.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); ok {
+				g.addNondet(p, node, n.Pos(), "map iteration")
+			}
+		}
+		return true
+	})
+}
+
+// addNondet records one nondeterministic operation unless its line is
+// annotated for determinism or determinism-transitive.
+func (g *graph) addNondet(p *pass, node *funcNode, pos token.Pos, desc string) {
+	if p.suppressedAt(CheckDeterminism, pos) || p.suppressedAt(CheckDetTransitive, pos) {
+		return
+	}
+	node.nondet = append(node.nondet, opRef{pos: pos, desc: desc})
+}
+
+// nilGuardAllowed returns the positions of context.Background/TODO
+// calls that implement the sanctioned nil-normalization idiom:
+//
+//	if ctx == nil { ctx = context.Background() }
+//
+// where ctx is one of decl's context.Context parameters.
+func nilGuardAllowed(p *pass, decl *ast.FuncDecl) map[token.Pos]bool {
+	ctxParams := make(map[types.Object]bool)
+	if decl.Type.Params != nil {
+		for _, field := range decl.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := p.pkg.Info.Defs[name]; obj != nil && isContextType(obj.Type()) {
+					ctxParams[obj] = true
+				}
+			}
+		}
+	}
+	if len(ctxParams) == 0 {
+		return nil
+	}
+	allowed := make(map[token.Pos]bool)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		cond, ok := ifStmt.Cond.(*ast.BinaryExpr)
+		if !ok || cond.Op != token.EQL {
+			return true
+		}
+		id, nilSide := condOperands(cond)
+		if id == nil || !nilSide {
+			return true
+		}
+		obj := p.pkg.Info.Uses[id]
+		if obj == nil || !ctxParams[obj] {
+			return true
+		}
+		for _, stmt := range ifStmt.Body.List {
+			assign, ok := stmt.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+				continue
+			}
+			lhs, ok := ast.Unparen(assign.Lhs[0]).(*ast.Ident)
+			if !ok || p.pkg.Info.Uses[lhs] != obj {
+				continue
+			}
+			if call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr); ok {
+				allowed[call.Pos()] = true
+			}
+		}
+		return true
+	})
+	return allowed
+}
+
+// condOperands extracts the identifier compared against nil in a
+// binary ==, in either operand order.
+func condOperands(cond *ast.BinaryExpr) (*ast.Ident, bool) {
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	if id, ok := ast.Unparen(cond.X).(*ast.Ident); ok && isNil(cond.Y) {
+		return id, true
+	}
+	if id, ok := ast.Unparen(cond.Y).(*ast.Ident); ok && isNil(cond.X) {
+		return id, true
+	}
+	return nil, false
+}
+
+// collectGuards records `guarded by <mu>` field annotations from the
+// package's top-level struct declarations and validates that the named
+// mutex is a sibling field.
+func (g *graph) collectGuards(p *pass) {
+	for _, file := range p.pkg.Files {
+		for _, decl := range file.Decls {
+			gen, ok := decl.(*ast.GenDecl)
+			if !ok || gen.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gen.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				g.collectStructGuards(p, ts.Name.Name, st)
+			}
+		}
+	}
+}
+
+func (g *graph) collectStructGuards(p *pass, owner string, st *ast.StructType) {
+	fieldNames := make(map[string]bool)
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			fieldNames[name.Name] = true
+		}
+	}
+	for _, field := range st.Fields.List {
+		text := ""
+		if field.Doc != nil {
+			text += field.Doc.Text() + "\n"
+		}
+		if field.Comment != nil {
+			text += field.Comment.Text()
+		}
+		m := guardedRx.FindStringSubmatch(text)
+		if m == nil {
+			continue
+		}
+		mu := m[1]
+		// A plain sibling name must exist; a dotted path ("inner.mu")
+		// is trusted as written.
+		if !strings.Contains(mu, ".") && !fieldNames[mu] {
+			p.report(CheckLocking, field.Pos(),
+				"guarded by names %q, which is not a sibling field of %s; fix the annotation", mu, owner)
+			continue
+		}
+		for _, name := range field.Names {
+			if obj, ok := p.pkg.Info.Defs[name].(*types.Var); ok {
+				g.guards[obj] = &guard{mu: mu, owner: owner}
+			}
+		}
+	}
+}
+
+// passAt locates the pass owning a position, for checks that report
+// across package boundaries.
+func (g *graph) passAt(pos token.Pos) *pass {
+	return g.byDir[filepath.Dir(g.mod.Fset.Position(pos).Filename)]
+}
+
+// posString renders a position module-root-relative ("pkg/file.go:42").
+func (g *graph) posString(pos token.Pos) string {
+	position := g.mod.Fset.Position(pos)
+	name := position.Filename
+	if rel, ok := strings.CutPrefix(name, g.mod.Root+"/"); ok {
+		name = rel
+	}
+	return fmt.Sprintf("%s:%d", name, position.Line)
+}
+
+// funcName renders fn module-root-relative for messages
+// ("internal/nn.Build", "(internal/sram.Pool).Alloc").
+func (g *graph) funcName(fn *types.Func) string {
+	return strings.ReplaceAll(fn.FullName(), g.mod.Path+"/", "")
+}
+
+// reach reports whether fn's call subgraph contains one of the ops
+// selected by ops, descending only through callees follow admits. The
+// result is memoized per memo map; a DFS that merely hit an
+// in-progress cycle member is not memoized negative, so later queries
+// from a different entry point stay correct.
+func (g *graph) reach(fn *types.Func, memo map[*types.Func]*witness, stack map[*types.Func]bool,
+	ops func(*funcNode) []opRef, follow func(*funcNode) bool) (*witness, bool) {
+	if w, ok := memo[fn]; ok {
+		return w, true
+	}
+	if stack[fn] {
+		return nil, false
+	}
+	node := g.funcs[fn]
+	if node == nil {
+		memo[fn] = nil // external or bodyless: nothing to see
+		return nil, true
+	}
+	if list := ops(node); len(list) > 0 {
+		w := &witness{op: list[0]}
+		memo[fn] = w
+		return w, true
+	}
+	stack[fn] = true
+	defer delete(stack, fn)
+	complete := true
+	for _, cs := range node.calls {
+		cn := g.funcs[cs.callee]
+		if cn == nil || !follow(cn) {
+			continue
+		}
+		w, ok := g.reach(cs.callee, memo, stack, ops, follow)
+		if w != nil {
+			memo[fn] = w
+			return w, true
+		}
+		if !ok {
+			complete = false
+		}
+	}
+	if complete {
+		memo[fn] = nil
+	}
+	return nil, complete
+}
+
+// reachNondet reports the nondeterministic operation fn reaches, nil
+// when its subgraph is clean. The search stops at deterministic
+// packages: their functions are checked at their own frontier.
+func (g *graph) reachNondet(fn *types.Func) *witness {
+	w, _ := g.reach(fn, g.nondetMemo, make(map[*types.Func]bool),
+		func(n *funcNode) []opRef { return n.nondet },
+		func(n *funcNode) bool { return !contains(g.cfg.DeterministicPkgs, n.pkg.RelPath) })
+	return w
+}
+
+// reachBackground reports the context.Background/TODO call fn reaches
+// through context-free functions, nil when its subgraph is clean. The
+// search stops at context-receiving functions: they are checked in
+// their own right.
+func (g *graph) reachBackground(fn *types.Func) *witness {
+	w, _ := g.reach(fn, g.bgMemo, make(map[*types.Func]bool),
+		func(n *funcNode) []opRef { return n.bg },
+		func(n *funcNode) bool { return !n.hasCtx })
+	return w
+}

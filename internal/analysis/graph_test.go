@@ -1,0 +1,309 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// runSeeded loads a throwaway module and runs one check over it.
+func runSeeded(t *testing.T, files map[string]string, cfgEdit func(*Config)) []Finding {
+	t.Helper()
+	dir := writeModule(t, files)
+	mod, err := LoadModule(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.SnapshotRoots = nil
+	if cfgEdit != nil {
+		cfgEdit(&cfg)
+	}
+	return Run(mod, cfg)
+}
+
+// findingsFor filters by check name.
+func findingsFor(findings []Finding, check string) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		if f.Check == check {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// TestSeededLockingViolation: an unlocked read of a guarded field in an
+// otherwise clean module must produce exactly one locking finding.
+func TestSeededLockingViolation(t *testing.T) {
+	findings := runSeeded(t, map[string]string{
+		"go.mod": "module example.com/seeded\n\ngo 1.22\n",
+		"internal/box/box.go": `package box
+
+import "sync"
+
+// Box holds one guarded value.
+type Box struct {
+	mu sync.Mutex
+	v  int // guarded by mu
+}
+
+// Get locks correctly.
+func (b *Box) Get() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.v
+}
+
+// Peek does not.
+func (b *Box) Peek() int {
+	return b.v
+}
+`,
+	}, func(cfg *Config) { cfg.Checks = []string{CheckLocking} })
+	got := findingsFor(findings, CheckLocking)
+	if len(got) != 1 {
+		t.Fatalf("locking findings = %v, want exactly one", findings)
+	}
+	f := got[0]
+	if f.File != "internal/box/box.go" || f.Line != 20 {
+		t.Errorf("finding at %s:%d, want internal/box/box.go:20", f.File, f.Line)
+	}
+	if !strings.Contains(f.Message, "Box.v is guarded by mu") || !strings.Contains(f.Message, "Peek does not hold b.mu") {
+		t.Errorf("message = %q", f.Message)
+	}
+}
+
+// TestSeededCtxFlowViolation: a ctx-receiving function calling through
+// a context-free helper to context.Background must be flagged at the
+// frontier call site, with the witness path in the message.
+func TestSeededCtxFlowViolation(t *testing.T) {
+	findings := runSeeded(t, map[string]string{
+		"go.mod": "module example.com/seeded\n\ngo 1.22\n",
+		"internal/svc/svc.go": `package svc
+
+import "context"
+
+func fresh() context.Context {
+	return context.Background()
+}
+
+// Handle receives a context but its helper chain abandons it.
+func Handle(ctx context.Context) context.Context {
+	return fresh()
+}
+`,
+	}, func(cfg *Config) { cfg.Checks = []string{CheckCtxFlow} })
+	got := findingsFor(findings, CheckCtxFlow)
+	if len(got) != 1 {
+		t.Fatalf("ctxflow findings = %v, want exactly one", findings)
+	}
+	f := got[0]
+	if f.File != "internal/svc/svc.go" || f.Line != 11 {
+		t.Errorf("finding at %s:%d, want internal/svc/svc.go:11", f.File, f.Line)
+	}
+	if !strings.Contains(f.Message, "internal/svc.fresh reaches context.Background (internal/svc/svc.go:6)") {
+		t.Errorf("message = %q, want witness path", f.Message)
+	}
+}
+
+// TestSeededSnapshotViolation: a map field in a struct reachable from a
+// configured root must be flagged, and a configured root that does not
+// resolve must itself be a finding.
+func TestSeededSnapshotViolation(t *testing.T) {
+	files := map[string]string{
+		"go.mod": "module example.com/seeded\n\ngo 1.22\n",
+		"internal/snap/snap.go": `package snap
+
+// Root is the schema root.
+type Root struct {
+	Name  string           ` + "`json:\"name\"`" + `
+	Inner Inner            ` + "`json:\"inner\"`" + `
+}
+
+// Inner is reached through Root.
+type Inner struct {
+	ByKey map[string]int ` + "`json:\"byKey\"`" + `
+}
+`,
+	}
+	findings := runSeeded(t, files, func(cfg *Config) {
+		cfg.Checks = []string{CheckSnapshot}
+		cfg.SnapshotRoots = []string{"internal/snap.Root", "internal/snap.Gone"}
+	})
+	got := findingsFor(findings, CheckSnapshot)
+	if len(got) != 2 {
+		t.Fatalf("snapshotstable findings = %v, want two", findings)
+	}
+	if got[0].File != "go.mod" || !strings.Contains(got[0].Message, "internal/snap.Gone does not resolve") {
+		t.Errorf("missing-root finding = %+v", got[0])
+	}
+	if got[1].File != "internal/snap/snap.go" || !strings.Contains(got[1].Message, "field ByKey of serialized struct Inner is a map") {
+		t.Errorf("map-field finding = %+v", got[1])
+	}
+}
+
+// TestSeededDetTransitiveViolation: a deterministic package reaching a
+// map range through a helper package two hops away must be flagged at
+// its own frontier call, not inside the helper.
+func TestSeededDetTransitiveViolation(t *testing.T) {
+	findings := runSeeded(t, map[string]string{
+		"go.mod": "module example.com/seeded\n\ngo 1.22\n",
+		"internal/helper/helper.go": `package helper
+
+func iterate(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Outer hides the iteration one call deeper.
+func Outer(m map[string]int) int {
+	return iterate(m)
+}
+`,
+		"internal/core/core.go": `package core
+
+import "example.com/seeded/internal/helper"
+
+// Digest is deterministic-package code reaching the iteration.
+func Digest(m map[string]int) int {
+	return helper.Outer(m)
+}
+`,
+	}, func(cfg *Config) { cfg.Checks = []string{CheckDetTransitive} })
+	got := findingsFor(findings, CheckDetTransitive)
+	if len(got) != 1 {
+		t.Fatalf("determinism-transitive findings = %v, want exactly one", findings)
+	}
+	f := got[0]
+	if f.File != "internal/core/core.go" || f.Line != 7 {
+		t.Errorf("finding at %s:%d, want internal/core/core.go:7", f.File, f.Line)
+	}
+	if !strings.Contains(f.Message, "internal/helper.Outer reaches map iteration (internal/helper/helper.go:5)") {
+		t.Errorf("message = %q, want witness through Outer to iterate", f.Message)
+	}
+}
+
+// TestCallCycleTerminates guards the reach memoization against
+// mutual recursion: the analyzer must terminate and still find the
+// operation past the cycle.
+func TestCallCycleTerminates(t *testing.T) {
+	findings := runSeeded(t, map[string]string{
+		"go.mod": "module example.com/seeded\n\ngo 1.22\n",
+		"internal/helper/helper.go": `package helper
+
+func ping(m map[string]int, depth int) int {
+	if depth <= 0 {
+		s := 0
+		for _, v := range m {
+			s += v
+		}
+		return s
+	}
+	return pong(m, depth-1)
+}
+
+func pong(m map[string]int, depth int) int {
+	return ping(m, depth)
+}
+
+// Entry reaches the iteration through the ping/pong cycle.
+func Entry(m map[string]int) int {
+	return ping(m, 3)
+}
+`,
+		"internal/core/core.go": `package core
+
+import "example.com/seeded/internal/helper"
+
+func Digest(m map[string]int) int {
+	return helper.Entry(m)
+}
+`,
+	}, func(cfg *Config) { cfg.Checks = []string{CheckDetTransitive} })
+	got := findingsFor(findings, CheckDetTransitive)
+	if len(got) != 1 {
+		t.Fatalf("determinism-transitive findings = %v, want exactly one through the cycle", findings)
+	}
+}
+
+// TestGuardSuppressionKillsTaint: annotating the nondeterministic
+// operation at its source clears transitive callers without any
+// annotation on their side.
+func TestGuardSuppressionKillsTaint(t *testing.T) {
+	findings := runSeeded(t, map[string]string{
+		"go.mod": "module example.com/seeded\n\ngo 1.22\n",
+		"internal/helper/helper.go": `package helper
+
+// Count iterates but is annotated at the source.
+func Count(m map[string]int) int {
+	n := 0
+	for range m { // scmvet:ok determinism counting entries, order cannot matter
+		n++
+	}
+	return n
+}
+`,
+		"internal/core/core.go": `package core
+
+import "example.com/seeded/internal/helper"
+
+func Size(m map[string]int) int {
+	return helper.Count(m)
+}
+`,
+	}, func(cfg *Config) { cfg.Checks = []string{CheckDetTransitive} })
+	if got := findingsFor(findings, CheckDetTransitive); len(got) != 0 {
+		t.Fatalf("annotated source still taints callers: %v", got)
+	}
+}
+
+// TestLockingCorpusPackage spot-checks the corpus package dedicated to
+// the locking check so a corpus regression cannot silently skip it.
+func TestLockingCorpusPackage(t *testing.T) {
+	_, findings := corpusFindings(t)
+	var locked []Finding
+	for _, f := range findings {
+		if strings.HasPrefix(f.File, "internal/locked/") {
+			locked = append(locked, f)
+		}
+	}
+	if len(locked) != 3 {
+		t.Fatalf("locked corpus findings = %v, want 3 (two unlocked reads, one orphan guard)", locked)
+	}
+	for _, f := range locked {
+		if f.Check != CheckLocking {
+			t.Errorf("non-locking finding in locking corpus: %+v", f)
+		}
+	}
+}
+
+// TestSnapshotRootsResolve pins that the corpus defines every default
+// schema root: if a root stops resolving, the missing-root finding
+// lands on go.mod and this test names it.
+func TestSnapshotRootsResolve(t *testing.T) {
+	_, findings := corpusFindings(t)
+	for _, f := range findings {
+		if f.File == "go.mod" {
+			t.Errorf("unresolved snapshot root: %s", f.Message)
+		}
+	}
+}
+
+// TestCorpusGraphChecksFire asserts each call-graph check produces at
+// least one finding from its corpus package, so the want annotations
+// cannot all be deleted without failing a named test.
+func TestCorpusGraphChecksFire(t *testing.T) {
+	_, findings := corpusFindings(t)
+	perCheck := make(map[string]int)
+	for _, f := range findings {
+		perCheck[f.Check]++
+	}
+	for _, check := range []string{CheckLocking, CheckCtxFlow, CheckSnapshot, CheckDetTransitive} {
+		if perCheck[check] == 0 {
+			t.Errorf("corpus produced no %s findings", check)
+		}
+	}
+}

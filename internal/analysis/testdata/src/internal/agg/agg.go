@@ -1,0 +1,33 @@
+// Determinism-transitive corpus, callee side: agg is NOT a
+// deterministic package, so its map iterations are individually legal —
+// but deterministic packages must not reach them through the call
+// graph.
+package agg
+
+// Sum ranges a map; legal here, poison for deterministic callers.
+func Sum(m map[string]int64) int64 {
+	var s int64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Total reaches Sum's iteration one hop deeper.
+func Total(ms []map[string]int64) int64 {
+	var s int64
+	for _, m := range ms {
+		s += Sum(m)
+	}
+	return s
+}
+
+// Size annotates its iteration at the source, which clears every
+// transitive caller at once.
+func Size(m map[string]int64) int {
+	n := 0
+	for range m { // scmvet:ok determinism counting entries, order cannot matter
+		n++
+	}
+	return n
+}

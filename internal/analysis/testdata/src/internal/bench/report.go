@@ -1,0 +1,17 @@
+package bench
+
+// Report is a configured schema root (DefaultConfig.SnapshotRoots) and
+// is fully clean: this package must stay finding-free (the determinism
+// exemption test pins that), so it doubles as proof that a compliant
+// schema produces no snapshotstable noise.
+type Report struct {
+	Schema string      `json:"schema"`
+	Runs   []RunReport `json:"runs"`
+}
+
+// RunReport is reached through Report.Runs.
+type RunReport struct {
+	Name    string  `json:"name"`
+	Cycles  int64   `json:"cycles"`
+	Seconds float64 `json:"seconds,omitempty"`
+}

@@ -1,0 +1,26 @@
+// Snapshotstable corpus: RunSnapshot is a configured schema root
+// (DefaultConfig.SnapshotRoots), so every struct reachable from it must
+// keep exported, explicitly json-tagged fields and avoid
+// encoding-unstable kinds.
+package core
+
+// RunSnapshot seeds one violation of each field rule.
+type RunSnapshot struct {
+	Cycles  int64            `json:"cycles"`
+	hidden  int              // want `\[snapshotstable\] unexported field hidden of serialized struct RunSnapshot`
+	Missing int64            // want `\[snapshotstable\] field Missing of serialized struct RunSnapshot has no json tag`
+	Loose   int64            `json:",omitempty"` // want `\[snapshotstable\] field Loose of serialized struct RunSnapshot has a json tag without a name`
+	ByName  map[string]int64 `json:"byName"`     // want `\[snapshotstable\] field ByName of serialized struct RunSnapshot is a map`
+	Err     error            `json:"err"`        // want `\[snapshotstable\] field Err of serialized struct RunSnapshot is an interface`
+	Layers  []LayerSnap      `json:"layers"`
+	// scmvet:ok snapshotstable corpus: encoded through a sorted-key shim
+	Seam map[string]int64 `json:"seam"`
+}
+
+// LayerSnap is reached through RunSnapshot.Layers, so its fields are
+// checked too.
+type LayerSnap struct {
+	Name   string   `json:"name"`
+	Notify func()   `json:"notify"` // want `\[snapshotstable\] field Notify of serialized struct LayerSnap is a func`
+	Done   chan int `json:"done"`   // want `\[snapshotstable\] field Done of serialized struct LayerSnap is a channel`
+}

@@ -1,0 +1,28 @@
+// Determinism-transitive corpus, caller side: core IS a deterministic
+// package, so reaching a map iteration through any chain of calls is a
+// finding at the frontier call site.
+package core
+
+import "example.com/vetcorpus/internal/agg"
+
+// Checksum crosses the deterministic boundary directly into an
+// iterating callee.
+func Checksum(m map[string]int64) int64 {
+	return agg.Sum(m) // want `\[determinism-transitive\] call leaves the deterministic boundary: internal/agg\.Sum reaches map iteration`
+}
+
+// Chained reaches the same iteration one hop deeper.
+func Chained(ms []map[string]int64) int64 {
+	return agg.Total(ms) // want `\[determinism-transitive\] call leaves the deterministic boundary: internal/agg\.Total reaches map iteration`
+}
+
+// Count is clean: the callee annotated its iteration at the source.
+func Count(m map[string]int64) int {
+	return agg.Size(m)
+}
+
+// Fingerprint suppresses at the call site instead.
+func Fingerprint(m map[string]int64) int64 {
+	// scmvet:ok determinism-transitive corpus: order-independent sum, justified at this one caller
+	return agg.Sum(m)
+}

@@ -1,0 +1,46 @@
+// Ctxflow-check corpus: functions that receive a context.Context must
+// keep the caller's cancellation live below them.
+package ctxflow
+
+import "context"
+
+// Direct starts fresh contexts below the API boundary, both ways.
+func Direct(ctx context.Context) {
+	c := context.Background() // want `\[ctxflow\] context\.Background in a context-receiving function`
+	_ = c
+	t := context.TODO() // want `\[ctxflow\] context\.TODO in a context-receiving function`
+	_ = t
+}
+
+// Normalized is the sanctioned nil-normalization idiom.
+func Normalized(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
+}
+
+// detach documents its lifetime split at the source, which clears
+// every transitive caller.
+func detach() context.Context {
+	// scmvet:ok ctxflow corpus: deliberate lifetime split, documented here once
+	return context.Background()
+}
+
+// lost silently drops whatever the caller wanted canceled.
+func lost() context.Context {
+	return context.Background()
+}
+
+// Caller shows the frontier rule: the annotated callee is clean, the
+// unannotated one is a finding at the call site.
+func Caller(ctx context.Context) context.Context {
+	_ = detach()
+	return lost() // want `\[ctxflow\] call drops ctx: internal/ctxflow\.lost reaches context\.Background`
+}
+
+// Passes hands ctx to a context-receiving callee; that callee is
+// checked in its own right, so no finding lands here.
+func Passes(ctx context.Context) {
+	Direct(ctx)
+}

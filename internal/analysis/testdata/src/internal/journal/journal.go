@@ -1,0 +1,10 @@
+// Snapshotstable corpus: Record is the durable-log schema root. One
+// seeded drift proves roots beyond the first are walked.
+package journal
+
+// Record is a configured schema root (DefaultConfig.SnapshotRoots).
+type Record struct {
+	Seq     uint64 `json:"seq"`
+	Payload []byte `json:"payload"`
+	State   int    // want `\[snapshotstable\] field State of serialized struct Record has no json tag`
+}

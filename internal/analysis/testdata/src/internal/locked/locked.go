@@ -1,0 +1,87 @@
+// Locking-check corpus: `guarded by <mu>` field annotations and every
+// way code may legitimately or illegitimately touch a guarded field.
+package locked
+
+import "sync"
+
+// Counter guards its tallies with a plain Mutex.
+type Counter struct {
+	mu   sync.Mutex
+	n    int64 // guarded by mu
+	peak int64 // guarded by mu
+}
+
+// Add is the clean pattern: lock, defer unlock, touch.
+func (c *Counter) Add(d int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += d
+	if c.n > c.peak {
+		c.peak = c.n
+	}
+}
+
+// Racy reads a guarded field with no lock in sight.
+func (c *Counter) Racy() int64 {
+	return c.n // want `\[locking\] Counter\.n is guarded by mu but Racy does not hold c\.mu`
+}
+
+// snapshotLocked carries the Locked suffix: the caller holds the lock.
+func (c *Counter) snapshotLocked() (int64, int64) {
+	return c.n, c.peak
+}
+
+// Snapshot shows the convention end to end.
+func (c *Counter) Snapshot() (int64, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.snapshotLocked()
+}
+
+// New initializes guarded fields on a value it just built — no
+// concurrent aliases exist yet, so no lock is needed.
+func New(start int64) *Counter {
+	c := &Counter{}
+	c.n = start
+	return c
+}
+
+// Approx documents a deliberately racy monitoring read.
+func (c *Counter) Approx() int64 {
+	// scmvet:ok locking monitoring read; a stale value is acceptable here
+	return c.n
+}
+
+// Meter guards a value with an RWMutex; RLock counts as holding it.
+type Meter struct {
+	mu sync.RWMutex
+	v  float64 // guarded by mu
+}
+
+// Get holds the read lock.
+func (m *Meter) Get() float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.v
+}
+
+// Set holds the write lock.
+func (m *Meter) Set(v float64) {
+	m.mu.Lock()
+	m.v = v
+	m.mu.Unlock()
+}
+
+// Peek reads without either lock.
+func (m *Meter) Peek() float64 {
+	return m.v // want `\[locking\] Meter\.v is guarded by mu but Peek does not hold m\.mu`
+}
+
+// Orphan names a mutex that is not a sibling field; the annotation
+// itself is the bug.
+type Orphan struct {
+	v int // guarded by lock // want `\[locking\] guarded by names "lock", which is not a sibling field of Orphan`
+}
+
+// Use keeps Orphan referenced.
+func Use(o *Orphan) int { return o.v }

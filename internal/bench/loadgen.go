@@ -213,6 +213,7 @@ func runServe(ctx context.Context, cfg ServeConfig, smoke bool) (*ServeResult, e
 	wg.Wait()
 	wall := time.Since(wallStart)
 
+	// scmvet:ok ctxflow shutdown deadline must run even after the load context is canceled
 	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	// scmvet:ok ignorederr a shutdown timeout only means stragglers were canceled

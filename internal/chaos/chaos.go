@@ -253,10 +253,10 @@ type Injector struct {
 	spec Spec
 
 	mu      sync.Mutex
-	rng     *rand.Rand
-	hits    map[string]int
-	counts  Counts
-	crashFn func(site string)
+	rng     *rand.Rand        // guarded by mu
+	hits    map[string]int    // guarded by mu
+	counts  Counts            // guarded by mu
+	crashFn func(site string) // guarded by mu
 }
 
 // New builds an injector for the spec. A nil or empty spec yields a

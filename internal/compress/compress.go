@@ -212,21 +212,35 @@ func (c *Config) RatioFor(cl dram.Class, logical int64) float64 {
 	return float64(logical) / float64(c.WireBytes(cl, logical))
 }
 
-// classNames maps grammar tokens to classes for the classes= key.
-var classNames = map[string]dram.Class{
-	"ifm":       dram.ClassIFMRead,
-	"ofm":       dram.ClassOFMWrite,
-	"shortcut":  dram.ClassShortcutRead,
-	"spillw":    dram.ClassSpillWrite,
-	"spillr":    dram.ClassSpillRead,
-	"interchip": dram.ClassInterchip,
+// classTokens lists the grammar tokens for the classes= key in grammar
+// order; classToken walks it so rendered specs (which become cache keys
+// and checkpoint fields) never depend on map iteration order.
+var classTokens = []struct {
+	tok string
+	cl  dram.Class
+}{
+	{"ifm", dram.ClassIFMRead},
+	{"ofm", dram.ClassOFMWrite},
+	{"shortcut", dram.ClassShortcutRead},
+	{"spillw", dram.ClassSpillWrite},
+	{"spillr", dram.ClassSpillRead},
+	{"interchip", dram.ClassInterchip},
 }
+
+// classNames maps grammar tokens to classes for the classes= key.
+var classNames = func() map[string]dram.Class {
+	m := make(map[string]dram.Class, len(classTokens))
+	for _, e := range classTokens {
+		m[e.tok] = e.cl
+	}
+	return m
+}()
 
 // classToken inverts classNames (classes are validated first).
 func classToken(cl dram.Class) string {
-	for tok, c := range classNames {
-		if c == cl {
-			return tok
+	for _, e := range classTokens {
+		if e.cl == cl {
+			return e.tok
 		}
 	}
 	return cl.String()

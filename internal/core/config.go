@@ -76,10 +76,10 @@ func Strategies() []Strategy { return []Strategy{Baseline, FMReuse, SCM} }
 // Features is the ablation switchboard (experiment E8). Zero value =
 // baseline; Strategy.Features returns the canonical sets.
 type Features struct {
-	RoleSwitch         bool // P1+P2: reuse output as next layer's input
-	ShortcutRetention  bool // P3: pin shortcut fmaps across layers
-	IncrementalRecycle bool // P4: recycle consumed shortcut banks into the add's output
-	PartialRetention   bool // P5: retain what fits instead of all-or-nothing
+	RoleSwitch         bool `json:"RoleSwitch"`         // P1+P2: reuse output as next layer's input
+	ShortcutRetention  bool `json:"ShortcutRetention"`  // P3: pin shortcut fmaps across layers
+	IncrementalRecycle bool `json:"IncrementalRecycle"` // P4: recycle consumed shortcut banks into the add's output
+	PartialRetention   bool `json:"PartialRetention"`   // P5: retain what fits instead of all-or-nothing
 
 	// StreamingRecycle extends P4 to windowed layers (extension,
 	// experiment E18 — not part of the paper's canonical SCM): a conv
@@ -87,7 +87,7 @@ type Features struct {
 	// input banks to its own output, keeping a sliding-window margin
 	// resident. It relieves the output-retention squeeze at layers
 	// whose input and output together exceed the pool.
-	StreamingRecycle bool
+	StreamingRecycle bool `json:"StreamingRecycle"`
 }
 
 // Features returns the canonical feature set of the strategy.

@@ -35,9 +35,9 @@ func (m Model) Validate() error {
 
 // Breakdown is an energy tally in picojoules.
 type Breakdown struct {
-	DRAMPJ float64
-	SRAMPJ float64
-	MACPJ  float64
+	DRAMPJ float64 `json:"DRAMPJ"`
+	SRAMPJ float64 `json:"SRAMPJ"`
+	MACPJ  float64 `json:"MACPJ"`
 }
 
 // TotalPJ sums the components.

@@ -220,13 +220,13 @@ type Journal struct {
 	opts Options
 
 	mu      sync.Mutex
-	f       *os.File // active segment
-	seg     int      // active segment index
-	size    int64    // acknowledged bytes in the active segment
-	seq     uint64   // last acknowledged sequence number
-	closed  bool
-	damaged bool // unacknowledged bytes sit past size in the active segment
-	stats   Stats
+	f       *os.File // guarded by mu: active segment
+	seg     int      // guarded by mu: active segment index
+	size    int64    // guarded by mu: acknowledged bytes in the active segment
+	seq     uint64   // guarded by mu: last acknowledged sequence number
+	closed  bool     // guarded by mu
+	damaged bool     // guarded by mu: unacknowledged bytes sit past size in the active segment
+	stats   Stats    // guarded by mu
 }
 
 // segmentName renders the file name of segment i.

@@ -63,8 +63,8 @@ func (c *Counter) Value() int64 {
 // mark (the pool-occupancy peaks the experiments care about).
 type Gauge struct {
 	mu      sync.Mutex
-	v, peak float64
-	set     bool
+	v, peak float64 // guarded by mu
+	set     bool    // guarded by mu
 }
 
 // Set records the current value and updates the peak.
@@ -145,10 +145,10 @@ const RetainedSamples = 512
 type Histogram struct {
 	bounds  []float64 // immutable after construction
 	mu      sync.Mutex
-	counts  []int64 // len(bounds)+1, non-cumulative
-	sum     float64
-	n       int64
-	samples []float64 // first RetainedSamples raw values
+	counts  []int64   // guarded by mu: len(bounds)+1, non-cumulative
+	sum     float64   // guarded by mu
+	n       int64     // guarded by mu
+	samples []float64 // guarded by mu: first RetainedSamples raw values
 }
 
 // Observe records one sample.
@@ -324,8 +324,8 @@ type family struct {
 // hot-path Add/Set/Observe calls never touch the registry lock.
 type Registry struct {
 	mu       sync.Mutex
-	order    []string
-	families map[string]*family
+	order    []string           // guarded by mu
+	families map[string]*family // guarded by mu
 }
 
 // New builds an empty registry.

@@ -93,12 +93,12 @@ type CacheStats struct {
 // must be treated as read-only by callers.
 type Cache struct {
 	mu     sync.Mutex
-	budget int64
-	bytes  int64
-	ll     *list.List // front = most recently used
-	byKey  map[Key]*list.Element
+	budget int64                 // immutable after construction
+	bytes  int64                 // guarded by mu
+	ll     *list.List            // guarded by mu: front = most recently used
+	byKey  map[Key]*list.Element // guarded by mu
 
-	hits, misses, evictions int64
+	hits, misses, evictions int64 // guarded by mu
 }
 
 type cacheEntry struct {

@@ -165,16 +165,16 @@ type Engine struct {
 	runCancel context.CancelFunc
 
 	mu         sync.Mutex
-	draining   bool
-	recovering bool
-	flight     map[Key]*flight
-	jobs       map[string]*Job
-	jobOrder   []string // creation order, for pruning
-	seq        int
+	draining   bool            // guarded by mu
+	recovering bool            // guarded by mu
+	flight     map[Key]*flight // guarded by mu
+	jobs       map[string]*Job // guarded by mu
+	jobOrder   []string        // guarded by mu: creation order, for pruning
+	seq        int             // guarded by mu
 
 	// Durability state (zero-valued when Options.Journal is nil).
-	lastJournalErr   error
-	lastJournalErrAt time.Time
+	lastJournalErr   error     // guarded by mu
+	lastJournalErrAt time.Time // guarded by mu
 	journalAppends   atomic.Int64 // acknowledged appends, for the compaction cadence
 	compacting       atomic.Bool  // a background compaction is in flight
 
@@ -196,6 +196,7 @@ type Engine struct {
 // NewEngine builds and starts an engine.
 func NewEngine(opts Options) *Engine {
 	opts = opts.withDefaults()
+	// scmvet:ok ctxflow engine-lifetime root context; shutdown is Close/Drain, not caller cancellation
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{
 		opts:      opts,

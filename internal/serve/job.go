@@ -44,18 +44,18 @@ type Job struct {
 	clock Clock
 
 	mu       sync.Mutex
-	state    JobState
-	cached   bool
-	errMsg   string
-	reason   string // machine-readable failure class ("timeout", …)
-	created  time.Time
-	started  time.Time
-	finished time.Time
-	res      *stats.RunStats
-	sweep    []dse.Outcome
-	schedule *sched.Result
-	cluster  *cluster.Result
-	cancel   context.CancelFunc
+	state    JobState           // guarded by mu
+	cached   bool               // guarded by mu
+	errMsg   string             // guarded by mu
+	reason   string             // guarded by mu: machine-readable failure class ("timeout", …)
+	created  time.Time          // guarded by mu
+	started  time.Time          // guarded by mu
+	finished time.Time          // guarded by mu
+	res      *stats.RunStats    // guarded by mu
+	sweep    []dse.Outcome      // guarded by mu
+	schedule *sched.Result      // guarded by mu
+	cluster  *cluster.Result    // guarded by mu
+	cancel   context.CancelFunc // guarded by mu
 
 	done chan struct{}
 }

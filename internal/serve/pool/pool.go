@@ -16,7 +16,7 @@ import (
 // Pool is a fixed-size worker pool with a bounded submission queue.
 type Pool struct {
 	mu     sync.Mutex
-	closed bool
+	closed bool // guarded by mu
 	tasks  chan func()
 	wg     sync.WaitGroup
 

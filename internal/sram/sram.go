@@ -175,18 +175,18 @@ type Pool struct {
 
 // Stats accumulates pool telemetry for the experiments.
 type Stats struct {
-	Allocs        int64
-	PartialAllocs int64
-	Frees         int64
-	RoleSwitches  int64
-	Pins          int64
-	BanksRecycled int64 // banks moved by ReleaseBanks (P4)
-	BanksEvicted  int64 // banks moved by ReleaseTailBanks (eviction policies)
-	BanksFailed   int64 // banks retired from service (fault injection)
-	Relocations   int64 // banks whose contents moved to a spare (RelocateBank)
+	Allocs        int64 `json:"Allocs"`
+	PartialAllocs int64 `json:"PartialAllocs"`
+	Frees         int64 `json:"Frees"`
+	RoleSwitches  int64 `json:"RoleSwitches"`
+	Pins          int64 `json:"Pins"`
+	BanksRecycled int64 `json:"BanksRecycled"` // banks moved by ReleaseBanks (P4)
+	BanksEvicted  int64 `json:"BanksEvicted"`  // banks moved by ReleaseTailBanks (eviction policies)
+	BanksFailed   int64 `json:"BanksFailed"`   // banks retired from service (fault injection)
+	Relocations   int64 `json:"Relocations"`   // banks whose contents moved to a spare (RelocateBank)
 
-	PeakUsedBanks   int
-	PeakPinnedBanks int
+	PeakUsedBanks   int `json:"PeakUsedBanks"`
+	PeakPinnedBanks int `json:"PeakPinnedBanks"`
 }
 
 // NewPool builds a pool; all banks start free.

@@ -14,27 +14,27 @@ import (
 
 // LayerStats is the outcome of executing one layer.
 type LayerStats struct {
-	Name  string
-	Kind  string
-	Stage string
+	Name  string `json:"Name"`
+	Kind  string `json:"Kind"`
+	Stage string `json:"Stage"`
 
-	ComputeCycles int64
-	MemCycles     int64
-	Cycles        int64 // max(compute, mem) + control overhead
+	ComputeCycles int64 `json:"ComputeCycles"`
+	MemCycles     int64 `json:"MemCycles"`
+	Cycles        int64 `json:"Cycles"` // max(compute, mem) + control overhead
 
-	Traffic   dram.Traffic // off-chip bytes by class (burst-rounded)
-	SRAMBytes int64        // on-chip buffer touches
+	Traffic   dram.Traffic `json:"Traffic"`   // off-chip bytes by class (burst-rounded)
+	SRAMBytes int64        `json:"SRAMBytes"` // on-chip buffer touches
 
 	// CodecCycles is the interlayer-compression engine time serialized
 	// into this layer (encode on stores, decode on loads); zero when no
 	// codec is configured. Included in Cycles.
-	CodecCycles int64 `json:",omitempty"`
+	CodecCycles int64 `json:"CodecCycles,omitempty"`
 
 	// Shortcut Mining bookkeeping (zero under the baseline).
-	ReusedInputBytes int64 // input served by role switching (P2)
-	RetainedBytes    int64 // shortcut bytes pinned on chip (P3)
-	SpilledBytes     int64 // shortcut/fmap bytes spilled (P5)
-	RecycledBanks    int64 // banks recycled during the add (P4)
+	ReusedInputBytes int64 `json:"ReusedInputBytes"` // input served by role switching (P2)
+	RetainedBytes    int64 `json:"RetainedBytes"`    // shortcut bytes pinned on chip (P3)
+	SpilledBytes     int64 `json:"SpilledBytes"`     // shortcut/fmap bytes spilled (P5)
+	RecycledBanks    int64 `json:"RecycledBanks"`    // banks recycled during the add (P4)
 }
 
 // FmapBytes is the layer's off-chip feature-map traffic.
@@ -42,42 +42,42 @@ func (l LayerStats) FmapBytes() int64 { return l.Traffic.FeatureMap() }
 
 // RunStats is the outcome of executing a network.
 type RunStats struct {
-	Network  string
-	Strategy string
-	Batch    int
-	ClockMHz float64
+	Network  string  `json:"Network"`
+	Strategy string  `json:"Strategy"`
+	Batch    int     `json:"Batch"`
+	ClockMHz float64 `json:"ClockMHz"`
 
-	Layers []LayerStats
+	Layers []LayerStats `json:"Layers"`
 
-	Traffic       dram.Traffic
-	ComputeCycles int64
-	MemCycles     int64
-	TotalCycles   int64
-	SRAMBytes     int64
-	MACs          int64
+	Traffic       dram.Traffic `json:"Traffic"`
+	ComputeCycles int64        `json:"ComputeCycles"`
+	MemCycles     int64        `json:"MemCycles"`
+	TotalCycles   int64        `json:"TotalCycles"`
+	SRAMBytes     int64        `json:"SRAMBytes"`
+	MACs          int64        `json:"MACs"`
 
-	PeakUsedBanks   int
-	PeakPinnedBanks int
-	RoleSwitches    int64
-	BanksRecycled   int64
-	BanksEvicted    int64
+	PeakUsedBanks   int   `json:"PeakUsedBanks"`
+	PeakPinnedBanks int   `json:"PeakPinnedBanks"`
+	RoleSwitches    int64 `json:"RoleSwitches"`
+	BanksRecycled   int64 `json:"BanksRecycled"`
+	BanksEvicted    int64 `json:"BanksEvicted"`
 
-	Energy energy.Breakdown
+	Energy energy.Breakdown `json:"Energy"`
 
 	// Faults summarizes injected adversity and the degradation machinery
 	// it triggered; all-zero for a fault-free run.
-	Faults FaultStats
+	Faults FaultStats `json:"Faults"`
 
 	// Compression summarizes the interlayer codec's effect: the logical
 	// (pre-codec) bytes per class, what actually crossed the wire, and
 	// the encode/decode engine cycles (already included in TotalCycles).
 	// Nil when no codec was configured, so uncompressed runs serialize
 	// byte-identically to previous releases.
-	Compression *CompressionStats `json:",omitempty"`
+	Compression *CompressionStats `json:"Compression,omitempty"`
 
 	// Metrics is the registry snapshot of an observed run (nil when
 	// the run was not observed); scm-sim -json embeds it verbatim.
-	Metrics *metrics.Snapshot `json:",omitempty"`
+	Metrics *metrics.Snapshot `json:"Metrics,omitempty"`
 }
 
 // FaultStats summarizes a run's injected faults and the cost of
@@ -85,16 +85,16 @@ type RunStats struct {
 // RetryBytes is NOT included in Traffic (retries re-move bytes the
 // tally already counted once).
 type FaultStats struct {
-	BankFailures    int64 // banks hard-failed and retired from service
-	TransientErrors int64 // correctable SRAM upsets (scrubbed in place)
-	Relocations     int64 // failed banks whose data moved to a spare
-	FaultSpillBytes int64 // bytes P5-spilled to DRAM because no spare existed
-	MigrationCycles int64 // cycles spent relocating + scrubbing
+	BankFailures    int64 `json:"BankFailures"`    // banks hard-failed and retired from service
+	TransientErrors int64 `json:"TransientErrors"` // correctable SRAM upsets (scrubbed in place)
+	Relocations     int64 `json:"Relocations"`     // failed banks whose data moved to a spare
+	FaultSpillBytes int64 `json:"FaultSpillBytes"` // bytes P5-spilled to DRAM because no spare existed
+	MigrationCycles int64 `json:"MigrationCycles"` // cycles spent relocating + scrubbing
 
-	DMARetries     int64 // failed transfer attempts that were reissued
-	DMARetryCycles int64 // re-transfer plus exponential-backoff cycles
-	RetryBytes     int64 // burst-rounded bytes re-moved by retries
-	DegradedCycles int64 // extra channel cycles from bandwidth degradation
+	DMARetries     int64 `json:"DMARetries"`     // failed transfer attempts that were reissued
+	DMARetryCycles int64 `json:"DMARetryCycles"` // re-transfer plus exponential-backoff cycles
+	RetryBytes     int64 `json:"RetryBytes"`     // burst-rounded bytes re-moved by retries
+	DegradedCycles int64 `json:"DegradedCycles"` // extra channel cycles from bandwidth degradation
 }
 
 // Any reports whether any fault machinery fired during the run.
@@ -109,19 +109,19 @@ func (f FaultStats) Any() bool { return f != FaultStats{} }
 type CompressionStats struct {
 	// Codec is the spec-grammar rendering of the configuration
 	// (e.g. "zvc:sparsity=0.55,enc=2,dec=2").
-	Codec string
+	Codec string `json:"Codec"`
 
-	Logical dram.Traffic // requested bytes by class, pre-codec
-	Wire    dram.Traffic // post-codec payload bytes by class
+	Logical dram.Traffic `json:"Logical"` // requested bytes by class, pre-codec
+	Wire    dram.Traffic `json:"Wire"`    // post-codec payload bytes by class
 
 	// SavedBytes is Logical.Total() − Wire.Total() — what the codec
 	// kept off the wire.
-	SavedBytes int64
+	SavedBytes int64 `json:"SavedBytes"`
 
 	// EncodeCycles / DecodeCycles are the codec engine time serialized
 	// into the run (already included in TotalCycles).
-	EncodeCycles int64
-	DecodeCycles int64
+	EncodeCycles int64 `json:"EncodeCycles"`
+	DecodeCycles int64 `json:"DecodeCycles"`
 }
 
 // Ratio is the achieved compression ratio (logical/wire) over the
